@@ -1,0 +1,37 @@
+"""Benchmark: the equation 3 worked example and the MTTDL formulas.
+
+Paper values: MTTDL = 36,162 years; 0.27 expected DDFs over 1,000 RAID
+groups in 10 years (MTBF = 461,386 h, MTTR = 12 h, N = 7).
+"""
+
+import pytest
+
+from repro.analytical.mttdl import (
+    HOURS_PER_YEAR,
+    mttdl_exact,
+    mttdl_independent,
+    mttdl_raid6,
+    paper_equation_3_example,
+)
+from repro.reporting import format_table
+
+
+def test_eq3_worked_example(benchmark, paper_report):
+    value = benchmark(paper_equation_3_example)
+    assert value == pytest.approx(0.277, abs=0.005)
+
+    mttdl_years = mttdl_independent(7, 461_386.0, 12.0) / HOURS_PER_YEAR
+    rows = [
+        ["MTTDL eq. 2 (years)", mttdl_years, 36_162.0],
+        ["MTTDL eq. 1 (years)", mttdl_exact(7, 461_386.0, 12.0) / HOURS_PER_YEAR, 36_162.0],
+        ["eq. 3 DDFs (1,000 groups, 10 y)", value, 0.27],
+        ["RAID 6 MTTDL (years)", mttdl_raid6(7, 461_386.0, 12.0) / HOURS_PER_YEAR, float("nan")],
+    ]
+    table = format_table(
+        ["quantity", "computed", "paper"],
+        rows,
+        float_format=".6g",
+        title="Equation 3: MTTDL expected-failure example",
+    )
+    paper_report.add("eq3", table)
+    assert mttdl_years == pytest.approx(36_162.0, abs=1.0)

@@ -1,0 +1,47 @@
+"""Extension benchmark: RAID 6 quantifies the paper's closing claim.
+
+"It appears that, eventually, RAID 6 will be required to meet high
+reliability requirements."  The generalized simulator (n_parity = 2) puts
+a number on it: the unscrubbed base case that loses >1,200 data sets per
+1,000 single-parity groups per decade drops to ~zero under double parity.
+"""
+
+from repro.reporting import format_table
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+N_GROUPS = 2_000
+
+
+def _run_comparison():
+    base = RaidGroupConfig.paper_base_case(scrub_characteristic_hours=None)
+    scenarios = {
+        "RAID 5 (N+1), no scrub": base,
+        "RAID 5 (N+1), 168 h scrub": RaidGroupConfig.paper_base_case(168.0),
+        "RAID 6 (N+2), no scrub": base.as_raid6(),
+        "RAID 6 (N+2), 168 h scrub": RaidGroupConfig.paper_base_case(168.0).as_raid6(),
+    }
+    return {
+        name: simulate_raid_groups(config, n_groups=N_GROUPS, seed=0)
+        for name, config in scenarios.items()
+    }
+
+
+def test_ext_raid6_comparison(benchmark, paper_report):
+    results = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+
+    rows = [
+        [name, r.total_ddfs * 1000.0 / r.n_groups]
+        for name, r in results.items()
+    ]
+    table = format_table(
+        ["configuration", "data-loss events /1000 groups @ 10 y"],
+        rows,
+        float_format=".4g",
+        title=f"Extension: single vs double parity ({N_GROUPS} groups/scenario)",
+    )
+    paper_report.add("ext_raid6", table)
+
+    r5 = results["RAID 5 (N+1), no scrub"].total_ddfs
+    r6 = results["RAID 6 (N+2), no scrub"].total_ddfs
+    assert r5 > 1.1 * N_GROUPS  # >1,100 per 1,000 groups
+    assert r6 < 0.01 * r5

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 10 (TTOp shape sweep at fixed eta).
+
+Paper findings asserted (no latent defects; the pure double-op pathway):
+
+* beta = 0.8 yields substantially *more* DDFs than beta = 1 (the paper
+  quotes "83% more"; the direction and multiple-x scale are the claim);
+* beta = 1.4 yields a small fraction ("only 30%") of the constant-rate
+  count;
+* totals decrease monotonically in beta over {0.8, 1.0, 1.12, 1.4, 2.0}.
+
+Like Fig. 6 this needs a large fleet (50k groups per shape).
+"""
+
+from repro.experiments import figure10
+from repro.reporting import ascii_line_plot, format_table
+
+N_GROUPS = 50_000
+
+
+def test_fig10_shape_sweep(benchmark, paper_report):
+    result = benchmark.pedantic(
+        figure10.run,
+        kwargs={"n_groups": N_GROUPS, "seed": 0, "n_points": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["TTOp shape", "DDFs/1000 @ 10 y", "ratio to beta=1"],
+        result.rows(),
+        float_format=".3g",
+        title=f"Figure 10: operational-failure shape sweep ({N_GROUPS} groups/shape)",
+    )
+    plot = ascii_line_plot(
+        {f"beta={s:g}": (result.times, curve) for s, curve in result.curves.items()},
+        x_label="hours",
+        y_label="DDFs per 1000 RAID groups",
+    )
+    paper_report.add("fig10", table + "\n\n" + plot)
+
+    ratios = result.ratios_to_constant()
+    assert ratios[0.8] > 1.4
+    assert ratios[1.4] < 0.75
+    assert ratios[2.0] < ratios[1.4]
+    totals = result.mission_totals()
+    ordered = [totals[s] for s in figure10.SHAPES]
+    assert ordered == sorted(ordered, reverse=True)

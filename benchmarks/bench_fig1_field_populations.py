@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 1 (Weibull probability plots, 3 products).
+
+Paper findings asserted: only HDD #1 plots straight (single Weibull,
+beta ~ 0.9); HDD #2 (mechanism change) and HDD #3 (mixture + competing
+risks) bend, with late slopes exceeding early slopes.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+from repro.reporting import format_table
+
+
+def test_fig1_field_populations(benchmark, paper_report):
+    result = benchmark.pedantic(
+        figure1.run, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["product", "beta", "eta (h)", "R^2", "early slope", "late slope", "straight"],
+        result.rows(),
+        float_format=".4g",
+        title="Figure 1: Weibull probability plots of three field populations",
+    )
+    paper_report.add("fig1", table)
+
+    hdd1 = result.analyses["HDD #1"]
+    assert hdd1.is_straight
+    assert hdd1.fit.shape == pytest.approx(0.9, abs=0.12)
+    assert not result.analyses["HDD #2"].is_straight
+    assert result.analyses["HDD #2"].late_shape > result.analyses["HDD #2"].early_shape
+    assert not result.analyses["HDD #3"].is_straight
+    assert result.analyses["HDD #3"].late_shape > result.analyses["HDD #3"].early_shape

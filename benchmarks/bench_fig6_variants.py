@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 6 (model vs MTTDL, no latent defects).
+
+Four variants crossing constant/Weibull failure and restoration rates.
+Paper findings asserted: the "c-c" curve tracks the MTTDL line (the
+model-validation check), and every variant stays within small-multiple
+range of MTTDL ("on the order of 2 to 1") — versus the orders-of-magnitude
+gaps once latent defects enter (Fig. 7).
+
+DDFs are ~0.3 per 1,000 groups per decade here, so the fleet is large
+(50k groups per variant) and this is the slowest benchmark.
+"""
+
+import numpy as np
+
+from repro.experiments import figure6
+from repro.reporting import ascii_line_plot, format_table
+
+N_GROUPS = 50_000
+
+
+def test_fig6_variants(benchmark, paper_report):
+    result = benchmark.pedantic(
+        figure6.run,
+        kwargs={"n_groups": N_GROUPS, "seed": 0, "n_points": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["variant", "DDFs/1000 @ 10 y", "ratio to MTTDL"],
+        result.rows(),
+        float_format=".3g",
+        title=f"Figure 6: model vs MTTDL without latent defects ({N_GROUPS} groups/variant)",
+    )
+    series = {"MTTDL": (result.times, result.mttdl)}
+    series.update({name: (result.times, curve) for name, curve in result.curves.items()})
+    plot = ascii_line_plot(
+        series, x_label="hours", y_label="DDFs per 1000 RAID groups"
+    )
+    paper_report.add("fig6", table + "\n\n" + plot)
+
+    mttdl_total = float(result.mttdl[-1])
+    totals = result.mission_totals()
+    # Model validation: c-c within a small multiple of the MTTDL line.
+    assert 0.3 * mttdl_total < totals["c-c"] < 3.0 * mttdl_total
+    # All variants are the same order of magnitude as MTTDL (2:1-ish).
+    for name, total in totals.items():
+        assert total < 6 * mttdl_total, name
+    # Curves are cumulative, hence monotone.
+    for curve in result.curves.values():
+        assert np.all(np.diff(curve) >= 0)

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 8 (ROCOF of the Figure 7 scenarios).
+
+Paper finding asserted: the rate of occurrence of DDFs *increases* with
+system age for both scenarios — the system-level process is not a
+homogeneous Poisson process, which is exactly why a single MTTDL number
+cannot describe it.
+"""
+
+from repro.experiments import figure8
+from repro.reporting import ascii_line_plot, format_table
+
+N_GROUPS = 4_000
+
+
+def test_fig8_rocof(benchmark, paper_report):
+    result = benchmark.pedantic(
+        figure8.run,
+        kwargs={"n_groups": N_GROUPS, "seed": 0, "bin_width_hours": 8_760.0},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["scenario", "first-year rate", "last-year rate", "last/first", "nonzero bins"],
+        result.rows(),
+        float_format=".4g",
+        title=(
+            f"Figure 8: ROCOF (DDFs per 1000 groups per year, {N_GROUPS} groups)"
+        ),
+    )
+    plot = ascii_line_plot(
+        {name: rocof for name, rocof in result.rocofs.items()},
+        x_label="hours",
+        y_label="DDFs/1000 groups/year",
+    )
+    paper_report.add("fig8", table + "\n\n" + plot)
+
+    assert result.is_increasing("no scrub")
+    assert result.is_increasing("168 hr scrub")
+    for name, (_, rates) in result.rocofs.items():
+        assert rates[-1] > rates[0], name

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 9 (scrub-duration sweep: 336/168/48/12 h).
+
+Paper findings asserted: mission DDFs decrease monotonically as scrubbing
+speeds up, and even the fastest scrub remains far above the MTTDL line
+(0.27 DDFs per 1,000 groups per decade).
+"""
+
+import numpy as np
+
+from repro.experiments import figure9, mttdl_line
+from repro.reporting import ascii_line_plot, format_table
+
+N_GROUPS = 4_000
+
+
+def test_fig9_scrub_sweep(benchmark, paper_report):
+    result = benchmark.pedantic(
+        figure9.run,
+        kwargs={"n_groups": N_GROUPS, "seed": 0, "n_points": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["scrub eta (h)", "DDFs/1000 @ 10 y", "DDFs/1000 @ 1 y"],
+        result.rows(),
+        float_format=".4g",
+        title=f"Figure 9: scrub-duration sweep ({N_GROUPS} groups/point)",
+    )
+    plot = ascii_line_plot(
+        {f"{hours:g}h": (result.times, curve) for hours, curve in result.curves.items()},
+        x_label="hours",
+        y_label="DDFs per 1000 RAID groups",
+    )
+    paper_report.add("fig9", table + "\n\n" + plot)
+
+    totals = result.mission_totals()
+    ordered = [totals[h] for h in figure9.SCRUB_HOURS]
+    assert ordered == sorted(ordered, reverse=True)
+    reference = float(mttdl_line(np.array([87_600.0]))[0])
+    assert min(totals.values()) > 10 * reference

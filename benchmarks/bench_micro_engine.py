@@ -1,0 +1,81 @@
+"""Micro-benchmarks: throughput of the engine's hot paths.
+
+Unlike the artifact benchmarks these run repeatedly (pytest-benchmark's
+normal mode) and track the performance of the pieces that dominate
+large-fleet studies: the per-group event loop, Weibull sampling, and the
+parity-code kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.raid.parity import xor_parity
+from repro.raid.rdp import RdpArray
+from repro.raid.reed_solomon import RaidSixCodec
+from repro.simulation import RaidGroupConfig, RaidGroupSimulator
+
+
+def test_micro_group_mission_base_case(benchmark):
+    """One 10-year group chronology of the Table 2 base case."""
+    simulator = RaidGroupSimulator(RaidGroupConfig.paper_base_case())
+    rng = np.random.default_rng(0)
+    chrono = benchmark(simulator.run, rng)
+    assert chrono.mission_hours == 87_600.0
+
+
+def test_micro_weibull_sampling(benchmark):
+    """One million three-parameter Weibull draws."""
+    dist = Weibull(shape=1.12, scale=461_386.0, location=6.0)
+    rng = np.random.default_rng(0)
+    draws = benchmark(dist.sample, rng, 1_000_000)
+    assert draws.shape == (1_000_000,)
+
+
+def test_micro_xor_parity(benchmark):
+    """XOR parity over a 7+1 stripe of 64 KiB blocks."""
+    rng = np.random.default_rng(0)
+    blocks = [rng.integers(0, 256, 65_536, dtype=np.uint8) for _ in range(7)]
+    parity = benchmark(xor_parity, blocks)
+    assert parity.shape == (65_536,)
+
+
+def test_micro_raid6_double_recovery(benchmark):
+    """P+Q double-erasure recovery over 64 KiB blocks, 8 data drives."""
+    rng = np.random.default_rng(0)
+    codec = RaidSixCodec(n_data=8)
+    data = [rng.integers(0, 256, 65_536, dtype=np.uint8) for _ in range(8)]
+    p, q = codec.encode(data)
+    present = {i: b for i, b in enumerate(data) if i not in (2, 5)}
+
+    out = benchmark(codec.recover, present, p, q, (2, 5))
+    assert np.array_equal(out[2], data[2])
+
+
+def test_micro_rdp_double_recovery(benchmark):
+    """RDP double-disk recovery, prime 17 (16 data disks), 4 KiB blocks."""
+    rng = np.random.default_rng(0)
+    rdp = RdpArray(prime=17)
+    data = rng.integers(0, 256, (16, 16, 4_096), dtype=np.uint8)
+    full = rdp.encode(data)
+    broken = full.copy()
+    broken[:, 3, :] = 0
+    broken[:, 9, :] = 0
+
+    out = benchmark(rdp.recover, broken, (3, 9))
+    assert np.array_equal(out, full)
+
+
+@pytest.mark.parametrize("n_groups", [200])
+def test_micro_fleet_throughput(benchmark, n_groups):
+    """A small fleet end-to-end (dominates every figure's runtime)."""
+    from repro.simulation import simulate_raid_groups
+
+    result = benchmark.pedantic(
+        simulate_raid_groups,
+        args=(RaidGroupConfig.paper_base_case(),),
+        kwargs={"n_groups": n_groups, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_groups == n_groups

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (read-error-rate grid).
+
+Deterministic arithmetic; the benchmark verifies the grid matches the
+paper's printed values exactly and reports the same 3 x 2 table.
+"""
+
+from repro.experiments import table1
+from repro.reporting import format_table
+
+
+def test_table1_error_rates(benchmark, paper_report):
+    result = benchmark(table1.run)
+    assert result.max_relative_error() < 1e-9
+    table = format_table(
+        result.header(),
+        result.rows(),
+        float_format=".3g",
+        title="Table 1: Range of average read error rates (err/h)",
+    )
+    paper_report.add("table1", table)

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 3 (first-year DDF comparisons vs MTTDL).
+
+Paper findings asserted: the MTTDL first-year estimate is ~0.0277 DDFs
+per 1,000 groups; the unscrubbed base case exceeds it by >2,500x; a
+168-hour scrub still exceeds it by >360x; ratios fall monotonically with
+faster scrubbing.
+"""
+
+import pytest
+
+from repro.experiments import table3
+from repro.reporting import format_table
+
+N_GROUPS = 10_000
+
+
+def test_table3_ratios(benchmark, paper_report):
+    result = benchmark.pedantic(
+        table3.run,
+        kwargs={"n_groups": N_GROUPS, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["assumptions", "DDFs in 1st year (/1000 groups)", "ratio to MTTDL"],
+        result.rows(),
+        float_format=".4g",
+        title=f"Table 3: DDF comparisons, first year ({N_GROUPS} groups/scenario)",
+    )
+    paper_report.add("table3", table)
+
+    assert result.mttdl_first_year == pytest.approx(0.0277, abs=0.0005)
+    ratios = result.ratios()
+    assert ratios["Base Case w/o Scrub"] > 1_800  # paper: >2,500
+    assert ratios["168 hr Scrub"] > 150  # paper: >360
+    ordered = [
+        ratios[name]
+        for name in (
+            "Base Case w/o Scrub",
+            "336 hr Scrub",
+            "168 hr Scrub",
+            "48 hr Scrub",
+            "12 hr Scrub",
+        )
+    ]
+    assert ordered == sorted(ordered, reverse=True)

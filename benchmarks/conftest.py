@@ -1,0 +1,44 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one paper artifact and registers the same rows
+the paper reports via the ``paper_report`` fixture.  The tables are
+printed in the terminal summary (after pytest's capture ends), so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced tables
+in its output, alongside the timing table.  Every table is also written
+to ``benchmarks/results/<id>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_collected: List[str] = []
+
+
+class PaperReport:
+    """Collects rendered tables for the end-of-run summary."""
+
+    def add(self, experiment_id: str, table: str) -> None:
+        """Register one reproduced artifact's table."""
+        _collected.append(table)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{experiment_id}.txt").write_text(table + "\n")
+
+
+@pytest.fixture
+def paper_report() -> PaperReport:
+    """Fixture handing benchmarks the report collector."""
+    return PaperReport()
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _collected:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for table in _collected:
+        terminalreporter.write_line(table)
+        terminalreporter.write_line("")

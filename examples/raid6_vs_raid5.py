@@ -1,0 +1,94 @@
+"""Single vs double parity: quantifying "RAID 6 will be required".
+
+The paper closes: "It appears that, eventually, RAID 6 will be required
+to meet high reliability requirements."  This example makes that
+concrete at two levels:
+
+1. **the code itself** — build a P+Q (RAID 6) stripe, destroy two whole
+   drives, and recover them bit-for-bit (also shown for NetApp's
+   Row-Diagonal Parity, the paper's reference 24);
+2. **the system** — run the paper's base case as (N+1) and as (N+2) and
+   compare decade data-loss rates, alongside the constant-rate MTTDL
+   closed forms.
+
+Run:  python examples/raid6_vs_raid5.py
+"""
+
+import numpy as np
+
+from repro.analytical import mttdl_independent, mttdl_raid6
+from repro.analytical.mttdl import HOURS_PER_YEAR
+from repro.raid.rdp import RdpArray
+from repro.raid.reed_solomon import RaidSixCodec
+from repro.reporting import format_table
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+
+def demonstrate_codes() -> None:
+    rng = np.random.default_rng(0)
+
+    # P+Q over GF(2^8): lose drives 2 and 5 of 8, recover both.
+    codec = RaidSixCodec(n_data=8)
+    data = [rng.integers(0, 256, 4_096, dtype=np.uint8) for _ in range(8)]
+    p, q = codec.encode(data)
+    survivors = {i: d for i, d in enumerate(data) if i not in (2, 5)}
+    recovered = codec.recover(survivors, p, q, erased=(2, 5))
+    ok_pq = all(np.array_equal(recovered[i], data[i]) for i in (2, 5))
+    print(f"P+Q Reed-Solomon: lost drives 2 and 5 of 8 -> recovered: {ok_pq}")
+
+    # Row-Diagonal Parity (Corbett et al., FAST'04), prime 11: lose the
+    # row-parity disk and a data disk simultaneously.
+    rdp = RdpArray(prime=11)
+    stripe = rdp.encode(rng.integers(0, 256, (10, 10, 512), dtype=np.uint8))
+    broken = stripe.copy()
+    broken[:, 4, :] = 0
+    broken[:, rdp.row_parity_column, :] = 0
+    fixed = rdp.recover(broken, (4, rdp.row_parity_column))
+    print(
+        f"Row-Diagonal Parity: lost data disk 4 + row-parity disk -> "
+        f"recovered: {np.array_equal(fixed, stripe)}"
+    )
+    print()
+
+
+def compare_systems() -> None:
+    print("Simulating the Table 2 base case, 1,500 groups each ...")
+    scenarios = {
+        "RAID 5 (7+1), no scrub": RaidGroupConfig.paper_base_case(None),
+        "RAID 5 (7+1), 168 h scrub": RaidGroupConfig.paper_base_case(168.0),
+        "RAID 6 (7+2), no scrub": RaidGroupConfig.paper_base_case(None).as_raid6(),
+        "RAID 6 (7+2), 168 h scrub": RaidGroupConfig.paper_base_case(168.0).as_raid6(),
+    }
+    rows = []
+    for name, config in scenarios.items():
+        result = simulate_raid_groups(config, n_groups=1_500, seed=0)
+        rows.append([name, result.total_ddfs * 1000.0 / result.n_groups])
+    print(
+        format_table(
+            ["configuration", "data-loss events /1000 groups @ 10 y"],
+            rows,
+            float_format=".4g",
+            title="Single vs double parity under the NHPP latent-defect model",
+        )
+    )
+
+    r5_years = mttdl_independent(7, 461_386.0, 12.0) / HOURS_PER_YEAR
+    r6_years = mttdl_raid6(7, 461_386.0, 12.0) / HOURS_PER_YEAR
+    print(
+        f"\nConstant-rate closed forms, for scale: MTTDL(RAID5) = "
+        f"{r5_years:,.0f} years; MTTDL(RAID6) = {r6_years:,.0f} years."
+    )
+    print(
+        "Note the asymmetry: latent defects gut RAID 5 (the no-scrub row) "
+        "but barely dent RAID 6, because a single corrupt sector plus a "
+        "single dead drive is still within double-parity's correction power."
+    )
+
+
+def main() -> None:
+    demonstrate_codes()
+    compare_systems()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Spare-pool provisioning: when logistics become a reliability problem.
+
+The paper's restore distribution "includes the delay time to physically
+incorporate the spare HDD" — assuming a spare always exists.  For remote
+or lights-out sites that assumption fails: a failure that finds the spare
+shelf empty waits for the next replenishment shipment, and every waiting
+hour is an hour of single-fault exposure.  This example sizes the shelf
+for a remote site with weekly (168 h) resupply.
+
+Run:  python examples/spare_pool_provisioning.py
+"""
+
+import dataclasses
+
+from repro.distributions import Weibull
+from repro.hdd.vintages import PAPER_VINTAGES
+from repro.reporting import format_table
+from repro.simulation import (
+    RaidGroupConfig,
+    SparePoolConfig,
+    simulate_raid_groups,
+)
+
+#: Monthly resupply shipments to the remote site.
+LEAD_TIME_HOURS = 720.0
+
+
+def main() -> None:
+    vintage = PAPER_VINTAGES[2]  # beta = 1.4873, eta = 75,012 h: an aging fleet
+    base = RaidGroupConfig(
+        n_data=7,
+        time_to_op=vintage.distribution,
+        time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+        time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+        time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+    )
+    print(
+        f"Remote site, one 7+1 group of {vintage.name} drives "
+        f"(beta = {vintage.shape}, eta = {vintage.scale:,.0f} h — roughly a\n"
+        f"failure per group-year late in life), monthly resupply "
+        f"({LEAD_TIME_HOURS:.0f} h lead time).\nHow many spares on the shelf?\n"
+    )
+    rows = []
+    for n_spares in (None, 1, 2, 4):
+        config = base
+        if n_spares is None:
+            label = "infinite shelf (paper's assumption)"
+        else:
+            config = dataclasses.replace(
+                base,
+                spare_pool=SparePoolConfig(
+                    n_spares=n_spares, replenishment_hours=LEAD_TIME_HOURS
+                ),
+            )
+            label = f"{n_spares} spare(s), monthly resupply"
+        result = simulate_raid_groups(config, n_groups=1_000, seed=0)
+        waits = sum(c.n_spare_waits for c in result.chronologies)
+        wait_hours = sum(c.spare_wait_hours for c in result.chronologies)
+        rows.append(
+            [
+                label,
+                result.total_ddfs * 1000.0 / result.n_groups,
+                waits,
+                wait_hours / waits if waits else 0.0,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "shelf policy",
+                "DDFs/1000 groups @ 10 y",
+                "failures that waited",
+                "mean wait (h)",
+            ],
+            rows,
+            float_format=".4g",
+            title="Spare provisioning vs data loss (1,000 groups each)",
+        )
+    )
+    print(
+        "\nAn aging fleet turns spare logistics into a reliability "
+        "parameter: with one shelf spare and monthly shipments, failures "
+        "regularly queue behind the resupply truck, and every waiting hour "
+        "is single-fault (or worse) exposure. A modest buffer of 2-4 "
+        "spares recovers most of the infinite-shelf reliability."
+    )
+
+
+if __name__ == "__main__":
+    main()

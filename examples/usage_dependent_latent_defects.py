@@ -1,0 +1,88 @@
+"""Usage-dependent latent defects: workload profiles drive corruption.
+
+Section 6.3's empirical chain — corruption rate = read-error rate x
+Bytes read per hour — means a drive's *workload history* shapes its
+latent-defect hazard.  The paper approximates usage as a constant; this
+example uses the library's extension: a time-varying workload profile
+induces a piecewise latent-defect hazard that the simulator consumes
+directly.
+
+Scenario: drives spend their first year in a hot serving tier
+(1.35e10 B/h), then age out to an archival tier (1.35e9 B/h).  Compare
+against always-hot and always-cold fleets, with and without scrubbing.
+
+Run:  python examples/usage_dependent_latent_defects.py
+"""
+
+from repro.distributions import Weibull
+from repro.hdd.error_rates import READ_ERROR_RATES
+from repro.hdd.workload import WorkloadPhase, WorkloadProfile
+from repro.reporting import format_table
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+RER = READ_ERROR_RATES["medium"]  # 8e-14 err/Byte (the 282k-drive study)
+
+PROFILES = {
+    "always hot (1.35e10 B/h)": WorkloadProfile.constant(1.35e10),
+    "hot year, then archive": WorkloadProfile(
+        phases=(
+            WorkloadPhase(start_hours=0.0, bytes_per_hour=1.35e10),
+            WorkloadPhase(start_hours=8_760.0, bytes_per_hour=1.35e9),
+        )
+    ),
+    "always cold (1.35e9 B/h)": WorkloadProfile.constant(1.35e9),
+}
+
+
+def build_config(profile: WorkloadProfile, scrub_hours: "float | None") -> RaidGroupConfig:
+    return RaidGroupConfig(
+        n_data=7,
+        time_to_op=Weibull(shape=1.12, scale=461_386.0),
+        time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+        time_to_latent=profile.latent_defect_distribution(RER),
+        time_to_scrub=(
+            Weibull(shape=3.0, scale=scrub_hours, location=6.0)
+            if scrub_hours is not None
+            else None
+        ),
+        # Anchor latent arrivals to drive age so the workload phases mean
+        # "first year in service", not "first year since the last scrub".
+        latent_age_anchored=True,
+    )
+
+
+def main() -> None:
+    print("Per-profile latent-defect intensity (defects per drive-decade):")
+    for name, profile in PROFILES.items():
+        dist = profile.latent_defect_distribution(RER)
+        expected = float(dist.cumulative_hazard(87_600.0))
+        print(f"  {name:28s} {expected:7.1f}")
+    print()
+
+    rows = []
+    for name, profile in PROFILES.items():
+        for scrub_hours, scrub_label in ((168.0, "168 h scrub"), (None, "no scrub")):
+            config = build_config(profile, scrub_hours)
+            result = simulate_raid_groups(config, n_groups=600, seed=0)
+            rows.append(
+                [name, scrub_label, result.total_ddfs * 1000.0 / result.n_groups]
+            )
+
+    print(
+        format_table(
+            ["workload profile", "scrubbing", "DDFs/1000 groups @ 10 y"],
+            rows,
+            float_format=".4g",
+            title="Workload history vs data loss (7+1 groups, Table 2 drives)",
+        )
+    )
+    print(
+        "\nTwo lessons: (1) hot tiers need proportionally faster scrubbing — "
+        "corruption arrives 10x faster at 10x the read volume; (2) a drive's "
+        "*history* matters: the tiered fleet tracks the hot fleet early and "
+        "the cold fleet late, which no single constant rate can represent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Field-data analysis: from raw drive lifetimes to a reliability verdict.
+
+Replays the paper's Section 2 workflow on synthetic field data: three
+drive products are observed in the field (most drives still running —
+heavy right-censoring), their failure data are placed on Weibull
+probability paper via median ranks, fitted by rank regression and by
+censored maximum likelihood, and judged for "straightness" — the paper's
+criterion for whether a single Weibull (let alone a constant failure
+rate) describes the population.  The fitted vintage models then feed the
+RAID simulator to show how much group reliability varies by vintage.
+
+Run:  python examples/vintage_field_analysis.py
+"""
+
+import numpy as np
+
+from repro.distributions import Weibull
+from repro.fielddata import analyze_population, figure1_populations
+from repro.hdd.vintages import PAPER_VINTAGES
+from repro.distributions.fitting import fit_weibull_mle
+from repro.reporting import format_table
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+
+def analyze_products(rng: np.random.Generator) -> None:
+    rows = []
+    for population in figure1_populations():
+        analysis = analyze_population(population, rng)
+        verdict = "single Weibull OK" if analysis.is_straight else "NOT a single Weibull"
+        rows.append(
+            [
+                analysis.name,
+                analysis.fit.n_failures,
+                analysis.fit.n_suspensions,
+                analysis.fit.shape,
+                analysis.fit.r_squared,
+                analysis.slope_ratio,
+                verdict,
+            ]
+        )
+    print(
+        format_table(
+            ["product", "F", "S", "beta (fit)", "R^2", "late/early slope", "verdict"],
+            rows,
+            float_format=".3g",
+            title="Probability-plot analysis of three field populations (Fig. 1)",
+        )
+    )
+
+
+def recover_vintages(rng: np.random.Generator) -> None:
+    rows = []
+    for vintage in PAPER_VINTAGES:
+        failures, suspensions = vintage.sample_field_study(rng)
+        fit = fit_weibull_mle(failures, suspensions)
+        rows.append(
+            [vintage.name, vintage.shape, fit.shape, vintage.scale, fit.scale,
+             f"{len(failures)}/{vintage.n_failures}"]
+        )
+    print()
+    print(
+        format_table(
+            ["vintage", "beta pub", "beta fit", "eta pub", "eta fit", "F obs/pub"],
+            rows,
+            float_format=".5g",
+            title="Censored-MLE recovery of the Fig. 2 vintages",
+        )
+    )
+
+
+def vintages_in_raid(rng: np.random.Generator) -> None:
+    rows = []
+    for vintage in PAPER_VINTAGES:
+        config = RaidGroupConfig(
+            n_data=7,
+            time_to_op=vintage.distribution,
+            time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+            time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+        )
+        result = simulate_raid_groups(config, n_groups=400, seed=3)
+        rows.append(
+            [vintage.name, vintage.hazard_trend(), result.total_ddfs * 1000 / result.n_groups]
+        )
+    print()
+    print(
+        format_table(
+            ["vintage", "hazard trend", "DDFs/1000 groups @ 10 y"],
+            rows,
+            float_format=".4g",
+            title="The same RAID design, three drive vintages",
+        )
+    )
+    print(
+        "\nThe design is fixed; only the drive vintage changes — and the "
+        "data-loss rate moves by an order of magnitude. This is why the "
+        "paper insists reliability models track real distributions, not "
+        "a single MTBF."
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    analyze_products(rng)
+    recover_vintages(rng)
+    vintages_in_raid(rng)
+
+
+if __name__ == "__main__":
+    main()

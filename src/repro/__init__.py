@@ -1,0 +1,103 @@
+"""repro — Enhanced Reliability Modeling of RAID Storage Systems.
+
+A from-scratch reproduction of J. G. Elerath and M. Pecht, "Enhanced
+Reliability Modeling of RAID Storage Systems" (DSN 2007): a sequential
+Monte Carlo model of RAID (N+1) groups with generalized (non-exponential)
+failure, restore, latent-defect and scrub distributions, compared against
+the classic MTTDL method it corrects.
+
+Quickstart
+----------
+>>> from repro import NHPPLatentDefectModel
+>>> model = NHPPLatentDefectModel.paper_base_case()
+>>> comparison = model.compare_to_mttdl(n_groups=100, seed=0)
+>>> comparison.ratio > 10  # MTTDL underestimates DDFs badly
+True
+
+Package map
+-----------
+* :mod:`repro.core` — the paper's model as a high-level API;
+* :mod:`repro.simulation` — the sequential Monte Carlo engine;
+* :mod:`repro.distributions` — Weibull & friends, plus life-data fitting;
+* :mod:`repro.analytical` — MTTDL formulas and Markov baselines;
+* :mod:`repro.hdd` — drive specs, failure modes, error rates, vintages;
+* :mod:`repro.raid` — RAID geometry, XOR/P+Q/RDP parity, rebuild physics;
+* :mod:`repro.scrub` — scrub policies and optimisation;
+* :mod:`repro.fielddata` — synthetic field populations (Figs 1-2);
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.reporting` — tables/plots/CSV for the bench harness.
+"""
+
+from .analytical import expected_ddfs, mttdl_exact, mttdl_independent, mttdl_raid6
+from .core import MTTDLComparison, NHPPLatentDefectModel
+from .distributions import (
+    CompetingRisks,
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    PiecewiseWeibullHazard,
+    Uniform,
+    Weibull,
+    WeibullPhase,
+)
+from .exceptions import (
+    DistributionError,
+    ExperimentError,
+    FittingError,
+    ParameterError,
+    RaidConfigurationError,
+    ReconstructionError,
+    ReproError,
+    SimulationError,
+)
+from .simulation import (
+    DDFType,
+    RaidGroupConfig,
+    RaidGroupSimulator,
+    SimulationResult,
+    simulate_raid_groups,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "NHPPLatentDefectModel",
+    "MTTDLComparison",
+    # simulation
+    "RaidGroupConfig",
+    "RaidGroupSimulator",
+    "SimulationResult",
+    "DDFType",
+    "simulate_raid_groups",
+    # analytical
+    "mttdl_exact",
+    "mttdl_independent",
+    "mttdl_raid6",
+    "expected_ddfs",
+    # distributions
+    "Distribution",
+    "Weibull",
+    "Exponential",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Uniform",
+    "Mixture",
+    "CompetingRisks",
+    "PiecewiseWeibullHazard",
+    "WeibullPhase",
+    # exceptions
+    "ReproError",
+    "ParameterError",
+    "DistributionError",
+    "FittingError",
+    "SimulationError",
+    "RaidConfigurationError",
+    "ReconstructionError",
+    "ExperimentError",
+]

@@ -1,0 +1,100 @@
+"""Shared argument-validation helpers.
+
+These helpers raise :class:`repro.exceptions.ParameterError` with uniform,
+descriptive messages.  They return the validated value so they can be used
+inline in assignments::
+
+    self.eta = require_positive("eta", eta)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import ParameterError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    value = require_finite(name, value)
+    if value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    value = require_finite(name, value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_finite(name: str, value: float) -> float:
+    """Return ``value`` coerced to ``float`` if it is a finite real number."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    value = require_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_int(name: str, value: int, minimum: Optional[int] = None) -> int:
+    """Return ``value`` as ``int`` after checking integrality and a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def require_in(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Return ``value`` if it is a member of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ParameterError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def require_weights(name: str, weights: Sequence[float]) -> np.ndarray:
+    """Validate a vector of mixture weights: non-negative, summing to one.
+
+    Weights are renormalised when they sum to within 1e-9 of one, so callers
+    may pass e.g. ``[1/3, 1/3, 1/3]`` without worrying about rounding.
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ParameterError(f"{name} must be a non-empty 1-D sequence")
+    if np.any(~np.isfinite(arr)) or np.any(arr < 0):
+        raise ParameterError(f"{name} must contain finite non-negative values")
+    total = arr.sum()
+    if total <= 0:
+        raise ParameterError(f"{name} must have a positive sum")
+    if abs(total - 1.0) > 1e-9:
+        raise ParameterError(f"{name} must sum to 1, got {total!r}")
+    return arr / total
+
+
+def as_float_array(name: str, values: object, allow_empty: bool = False) -> np.ndarray:
+    """Convert ``values`` to a 1-D float array, validating finiteness."""
+    arr = np.atleast_1d(np.asarray(values, dtype=float))
+    if arr.ndim != 1:
+        raise ParameterError(f"{name} must be one-dimensional")
+    if not allow_empty and arr.size == 0:
+        raise ParameterError(f"{name} must not be empty")
+    if np.any(~np.isfinite(arr)):
+        raise ParameterError(f"{name} must contain only finite values")
+    return arr

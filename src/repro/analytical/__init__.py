@@ -1,0 +1,48 @@
+"""Analytical reliability baselines: MTTDL, Markov chains, approximations.
+
+These are the "previous models" of Section 4.1 — the methods the paper's
+Monte Carlo simulator is evaluated against:
+
+* :mod:`~repro.analytical.mttdl` — the classic MTTDL formulas (eqs 1-3)
+  and their RAID 6 extension;
+* :mod:`~repro.analytical.markov` — continuous-time Markov chains with
+  transient solutions, including the Fig. 4 state structure under
+  constant-rate assumptions (what Markov-model papers like refs 15-16
+  would compute);
+* :mod:`~repro.analytical.approximations` — closed-form steady-state DDF
+  rate approximations used to sanity-check the simulator.
+"""
+
+from .approximations import (
+    ddf_rate_approximation,
+    expected_ddfs_approximation,
+    latent_exposure_fraction,
+)
+from .markov import (
+    ContinuousTimeMarkovChain,
+    raid5_ctmc,
+    raid5_latent_ctmc,
+    raid6_ctmc,
+)
+from .mttdl import (
+    expected_ddfs,
+    mttdl_exact,
+    mttdl_independent,
+    mttdl_raid6,
+    paper_equation_3_example,
+)
+
+__all__ = [
+    "mttdl_exact",
+    "mttdl_independent",
+    "mttdl_raid6",
+    "expected_ddfs",
+    "paper_equation_3_example",
+    "ContinuousTimeMarkovChain",
+    "raid5_ctmc",
+    "raid5_latent_ctmc",
+    "raid6_ctmc",
+    "latent_exposure_fraction",
+    "ddf_rate_approximation",
+    "expected_ddfs_approximation",
+]

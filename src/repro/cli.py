@@ -1,0 +1,112 @@
+"""Command-line interface: run paper experiments from a shell.
+
+``python -m repro list`` enumerates the reproduced tables/figures;
+``python -m repro run fig7 --groups 2000 --seed 0`` regenerates one and
+prints its rows (optionally as CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.registry import EXPERIMENTS, get_experiment
+from .reporting import format_table, write_csv
+
+#: Column headers per experiment, matching each result's ``rows()``.
+_HEADERS = {
+    "fig1": ["product", "beta", "eta", "R^2", "early slope", "late slope", "straight"],
+    "fig2": ["vintage", "beta (pub)", "beta (fit)", "eta (pub)", "eta (fit)", "F (pub)", "F (obs)"],
+    "tab1": ["RER", "err/Byte", "err/h @ low workload", "err/h @ high workload"],
+    "fig6": ["variant", "DDFs/1000 @ 10y", "ratio to MTTDL"],
+    "fig7": ["scenario", "DDFs/1000 @ 10y", "latent-pathway share"],
+    "fig8": ["scenario", "first-bin rate", "last-bin rate", "last/first", "nonzero bins"],
+    "fig9": ["scrub hours", "DDFs/1000 @ 10y", "DDFs/1000 @ 1y"],
+    "fig10": ["TTOp shape", "DDFs/1000 @ 10y", "ratio to beta=1"],
+    "tab3": ["assumptions", "DDFs in 1st year /1000", "ratio to MTTDL"],
+}
+
+#: Keyword arguments each stochastic runner accepts.
+_TAKES_GROUPS = {"fig6", "fig7", "fig8", "fig9", "fig10", "tab3"}
+_TAKES_SEED = _TAKES_GROUPS | {"fig1", "fig2"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures from Elerath & Pecht, 'Enhanced "
+            "Reliability Modeling of RAID Storage Systems' (DSN 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its rows")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run.add_argument(
+        "--groups",
+        type=int,
+        default=None,
+        help="fleet size for simulation experiments (default: runner default)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes")
+    run.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report.add_argument("--out", type=str, default="EXPERIMENTS.md", help="output path")
+    report.add_argument(
+        "--quick", action="store_true", help="reduced fleet sizes (noisier, faster)"
+    )
+    report.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    info = get_experiment(args.experiment)
+    kwargs = {}
+    if args.experiment in _TAKES_SEED:
+        kwargs["seed"] = args.seed
+    if args.experiment in _TAKES_GROUPS:
+        if args.groups is not None:
+            kwargs["n_groups"] = args.groups
+        if args.jobs != 1:
+            kwargs["n_jobs"] = args.jobs
+    result = info.runner(**kwargs)
+    headers = _HEADERS[args.experiment]
+    rows = result.rows()
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    title = f"{info.paper_reference}: {info.title}"
+    return format_table(headers, rows, title=title)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        rows: List[List[object]] = [
+            [info.experiment_id, info.paper_reference, info.title, info.stochastic]
+            for info in sorted(EXPERIMENTS.values(), key=lambda i: i.experiment_id)
+        ]
+        print(format_table(["id", "artifact", "title", "stochastic"], rows))
+        return 0
+    if args.command == "report":
+        from .experiments import report as report_module
+
+        report_module.generate(args.out, quick=args.quick, seed=args.seed)
+        print(f"wrote {args.out}")
+        return 0
+    print(_run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's primary contribution, as a high-level API.
+
+:class:`NHPPLatentDefectModel` wraps the full method of the paper:
+configure an (N+1) RAID group with generalized (non-exponential) failure,
+restore, latent-defect and scrub distributions; evaluate it by sequential
+Monte Carlo; and compare the resulting DDF counts against what the
+classic MTTDL method would have predicted for the same group.
+
+>>> from repro.core import NHPPLatentDefectModel
+>>> model = NHPPLatentDefectModel.paper_base_case()
+>>> comparison = model.compare_to_mttdl(n_groups=200, seed=1)
+>>> comparison.simulated_ddfs_per_thousand > comparison.mttdl_ddfs_per_thousand
+True
+"""
+
+from .model import MTTDLComparison, NHPPLatentDefectModel
+
+__all__ = ["NHPPLatentDefectModel", "MTTDLComparison"]

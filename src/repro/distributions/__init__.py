@@ -1,0 +1,53 @@
+"""Generalized failure-time distributions.
+
+The paper's central statistical argument is that hard-drive times to failure
+do **not** follow the exponential distribution implied by a homogeneous
+Poisson process.  This subpackage provides the distribution toolbox used by
+both the analytical models and the sequential Monte Carlo simulator:
+
+* :class:`~repro.distributions.weibull.Weibull` — the three-parameter
+  Weibull the paper uses for all four transition distributions (Table 2);
+* :class:`~repro.distributions.exponential.Exponential` — the HPP baseline;
+* :class:`~repro.distributions.lognormal.LogNormal`,
+  :class:`~repro.distributions.gamma.Gamma` — common alternatives for
+  repair-time modeling;
+* :class:`~repro.distributions.deterministic.Deterministic` — a fixed delay
+  (minimum-restore-time building block);
+* :class:`~repro.distributions.mixture.Mixture` — subpopulation mixtures
+  (Fig. 1, HDD #3 first inflection);
+* :class:`~repro.distributions.competing.CompetingRisks` — independent
+  competing failure mechanisms (Fig. 1, HDD #3 upturn);
+* :class:`~repro.distributions.piecewise.PiecewiseWeibullHazard` — bathtub /
+  change-point hazards (Fig. 1, HDD #2).
+
+Fitting routines (median ranks, probability-plot rank regression, censored
+maximum likelihood, Kaplan–Meier, mean cumulative functions) live in
+:mod:`repro.distributions.fitting`.
+"""
+
+from .base import Distribution
+from .competing import CompetingRisks
+from .deterministic import Deterministic
+from .exponential import Exponential
+from .gamma import Gamma
+from .lognormal import LogNormal
+from .mixture import Mixture
+from .empirical import Empirical
+from .piecewise import PiecewiseWeibullHazard, WeibullPhase
+from .uniform import Uniform
+from .weibull import Weibull
+
+__all__ = [
+    "Distribution",
+    "Weibull",
+    "Exponential",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Uniform",
+    "Empirical",
+    "Mixture",
+    "CompetingRisks",
+    "PiecewiseWeibullHazard",
+    "WeibullPhase",
+]

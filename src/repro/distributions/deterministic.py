@@ -1,0 +1,81 @@
+"""Degenerate (deterministic) distribution — a fixed delay.
+
+Useful as a building block: a strict minimum reconstruction time, a fixed
+periodic scrub interval, or a known service-response delay.  It behaves as a
+point mass, so ``cdf`` is a step function and every sample equals the delay.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import require_non_negative
+from .base import ArrayLike, Distribution
+
+
+class Deterministic(Distribution):
+    """Point mass at ``value`` hours.
+
+    Examples
+    --------
+    >>> d = Deterministic(6.0)
+    >>> d.sample(np.random.default_rng(0))
+    6.0
+    >>> d.cdf([5.0, 6.0, 7.0]).tolist()
+    [0.0, 1.0, 1.0]
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = require_non_negative("value", value)
+        self.location = self.value
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(t_arr >= self.value, 1.0, 0.0)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t: ArrayLike) -> ArrayLike:
+        """Density of a point mass: zero everywhere except an atom.
+
+        Reported as ``inf`` exactly at the atom so that plots and numeric
+        checks make the degeneracy visible rather than silently losing mass.
+        """
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(t_arr == self.value, np.inf, 0.0)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q: ArrayLike) -> ArrayLike:
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError(f"quantile levels must be in [0, 1], got {q!r}")
+        out = np.full_like(q_arr, self.value, dtype=float)
+        return out if out.ndim else float(out)
+
+    def sample(self, rng: np.random.Generator, size: Union[int, None] = None) -> ArrayLike:
+        if size is None:
+            return self.value
+        return np.full(size, self.value, dtype=float)
+
+    def sample_conditional(
+        self, rng: np.random.Generator, age: float, size: Union[int, None] = None
+    ) -> ArrayLike:
+        if age > self.value:
+            raise ValueError(f"cannot condition on survival past the atom at {self.value}")
+        remaining = self.value - age
+        if size is None:
+            return remaining
+        return np.full(size, remaining, dtype=float)
+
+    def mean(self) -> float:
+        return self.value
+
+    def var(self) -> float:
+        return 0.0
+
+    def median(self) -> float:
+        return self.value
+
+    def _repr_params(self) -> dict:
+        return {"value": self.value}

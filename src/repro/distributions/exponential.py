@@ -1,0 +1,109 @@
+"""Exponential distribution — the homogeneous-Poisson-process baseline.
+
+The MTTDL method the paper criticises assumes every drive has a constant
+failure rate ``lambda`` and a constant repair rate ``mu``; both are
+exponential distributions.  The simulator accepts this class anywhere a
+distribution is expected, which is how the Fig. 6 "c-c" variant (constant
+failure and restoration rates) is expressed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from .._validation import require_non_negative, require_positive
+from .base import ArrayLike, Distribution
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterised by its ``mean`` (1 / rate).
+
+    A ``location`` shift is supported for symmetry with
+    :class:`~repro.distributions.weibull.Weibull`; the paper's baselines use
+    ``location=0``.
+
+    Examples
+    --------
+    >>> mtbf = Exponential(mean=461386.0)
+    >>> round(mtbf.rate * 1e6, 3)  # failures per million hours
+    2.167
+    """
+
+    def __init__(self, mean: float, location: float = 0.0) -> None:
+        self._mean = require_positive("mean", mean)
+        self.location = require_non_negative("location", location)
+
+    @classmethod
+    def from_rate(cls, rate: float, location: float = 0.0) -> "Exponential":
+        """Construct from a failure rate (events per hour)."""
+        return cls(mean=1.0 / require_positive("rate", rate), location=location)
+
+    @property
+    def rate(self) -> float:
+        """Constant hazard ``lambda = 1 / mean``."""
+        return 1.0 / self._mean
+
+    def _z(self, t: ArrayLike) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return np.maximum(t - self.location, 0.0) * self.rate
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        out = -np.expm1(-self._z(t))
+        return out if out.ndim else float(out)
+
+    def sf(self, t: ArrayLike) -> ArrayLike:
+        out = np.exp(-self._z(t))
+        return out if out.ndim else float(out)
+
+    def pdf(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.asarray(t, dtype=float)
+        out = self.rate * np.exp(-self._z(t_arr))
+        out = np.where(t_arr < self.location, 0.0, out)
+        return out if out.ndim else float(out)
+
+    def hazard(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.where(t_arr < self.location, 0.0, self.rate)
+        return out if out.ndim else float(out)
+
+    def cumulative_hazard(self, t: ArrayLike) -> ArrayLike:
+        out = self._z(t)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q: ArrayLike) -> ArrayLike:
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ValueError(f"quantile levels must be in [0, 1], got {q!r}")
+        with np.errstate(divide="ignore"):
+            out = self.location - self._mean * np.log1p(-q_arr)
+        return out if out.ndim else float(out)
+
+    def sample(self, rng: np.random.Generator, size: Union[int, None] = None) -> ArrayLike:
+        draw = self.location + rng.exponential(self._mean, size)
+        return draw if np.ndim(draw) else float(draw)
+
+    def sample_conditional(
+        self, rng: np.random.Generator, age: float, size: Union[int, None] = None
+    ) -> ArrayLike:
+        # Memorylessness: remaining life beyond the location is a fresh
+        # exponential draw.
+        if age <= self.location:
+            draw = (self.location - age) + rng.exponential(self._mean, size)
+        else:
+            draw = rng.exponential(self._mean, size)
+        return draw if np.ndim(draw) else float(draw)
+
+    def mean(self) -> float:
+        return self.location + self._mean
+
+    def var(self) -> float:
+        return self._mean**2
+
+    def median(self) -> float:
+        return self.location + self._mean * math.log(2.0)
+
+    def _repr_params(self) -> dict:
+        return {"mean": self._mean, "location": self.location}

@@ -1,0 +1,38 @@
+"""Life-data analysis: the machinery behind the paper's Figs 1 and 2.
+
+The paper's empirical case rests on standard reliability-engineering
+estimators applied to large, heavily right-censored field populations:
+
+* :func:`~repro.distributions.fitting.median_ranks.median_ranks` — plotting
+  positions (Bernard's approximation), with Johnson's mean-order-number
+  adjustment for suspensions;
+* :func:`~repro.distributions.fitting.probability_plot.weibull_probability_plot`
+  — the Weibull probability plot of Figs 1–2, plus rank-regression fits;
+* :func:`~repro.distributions.fitting.mle.fit_weibull_mle` — censored
+  maximum-likelihood Weibull estimation;
+* :func:`~repro.distributions.fitting.kaplan_meier.kaplan_meier` — the
+  product-limit survival estimator;
+* :func:`~repro.distributions.fitting.mcf.mean_cumulative_function` — the
+  Nelson MCF for repairable systems [Trindade & Nathan, paper ref. 23],
+  which is how the simulator's cumulative-DDF curves are estimated.
+"""
+
+from .kaplan_meier import KaplanMeierEstimate, kaplan_meier
+from .mcf import MCFEstimate, mean_cumulative_function
+from .median_ranks import median_ranks, plotting_positions
+from .mle import WeibullMLEResult, fit_weibull_mle
+from .probability_plot import WeibullPlotFit, fit_weibull_rank_regression, weibull_probability_plot
+
+__all__ = [
+    "median_ranks",
+    "plotting_positions",
+    "weibull_probability_plot",
+    "fit_weibull_rank_regression",
+    "WeibullPlotFit",
+    "fit_weibull_mle",
+    "WeibullMLEResult",
+    "kaplan_meier",
+    "KaplanMeierEstimate",
+    "mean_cumulative_function",
+    "MCFEstimate",
+]

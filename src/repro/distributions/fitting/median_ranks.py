@@ -1,0 +1,115 @@
+"""Median-rank plotting positions for (possibly censored) life data.
+
+A Weibull probability plot places each observed failure at an estimated
+cumulative-failure probability.  The standard estimate is the *median rank*,
+approximated by Bernard's formula ``(i - 0.3) / (n + 0.4)`` for the ``i``-th
+ordered failure out of ``n`` units.  When suspensions (right-censored units,
+e.g. drives still running at the end of the observation window — the "S"
+counts in the paper's Fig. 2) are interleaved with failures, the order
+numbers are adjusted with Johnson's mean-order-number method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..._validation import as_float_array
+from ...exceptions import FittingError
+
+
+def bernard(order: np.ndarray, n: int) -> np.ndarray:
+    """Bernard's approximation to the median rank of order statistics."""
+    return (np.asarray(order, dtype=float) - 0.3) / (n + 0.4)
+
+
+def plotting_positions(
+    failures: np.ndarray, n: int, method: str = "bernard"
+) -> np.ndarray:
+    """Plotting positions for complete (already ordered) failure ranks.
+
+    Parameters
+    ----------
+    failures:
+        Order numbers (1-based) of the failures.
+    n:
+        Total population size.
+    method:
+        ``"bernard"`` (default), ``"mean"`` (``i/(n+1)``) or ``"midpoint"``
+        (``(i-0.5)/n``).
+    """
+    order = np.asarray(failures, dtype=float)
+    if method == "bernard":
+        return bernard(order, n)
+    if method == "mean":
+        return order / (n + 1.0)
+    if method == "midpoint":
+        return (order - 0.5) / n
+    raise FittingError(f"unknown plotting-position method {method!r}")
+
+
+def median_ranks(
+    failure_times: np.ndarray,
+    censor_times: Optional[np.ndarray] = None,
+    method: str = "bernard",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Median-rank estimates of F(t) at each failure time.
+
+    Parameters
+    ----------
+    failure_times:
+        Times of observed failures (any order).
+    censor_times:
+        Times of right-censored units (suspensions), if any.
+    method:
+        Plotting-position formula; see :func:`plotting_positions`.
+
+    Returns
+    -------
+    (times, ranks):
+        Sorted failure times and the estimated cumulative probability of
+        failure at each.
+
+    Notes
+    -----
+    With suspensions present, Johnson's mean order numbers are used: after a
+    block of suspensions, each subsequent failure's order number advances by
+
+    ``increment = (n + 1 - previous_order) / (1 + n_remaining)``
+
+    where ``n_remaining`` counts the units (failures and suspensions) with
+    times strictly after the previous event.  Ties between a failure and a
+    suspension at the same instant treat the failure as occurring first,
+    the standard convention.
+    """
+    fails = np.sort(as_float_array("failure_times", failure_times))
+    if np.any(fails < 0):
+        raise FittingError("failure times must be non-negative")
+    if censor_times is None or len(np.atleast_1d(censor_times)) == 0:
+        n = fails.size
+        order = np.arange(1, n + 1, dtype=float)
+        return fails, plotting_positions(order, n, method)
+
+    cens = np.sort(as_float_array("censor_times", censor_times))
+    if np.any(cens < 0):
+        raise FittingError("censor times must be non-negative")
+    n = fails.size + cens.size
+
+    # Merge, failures before suspensions at ties.
+    events = [(t, True) for t in fails] + [(t, False) for t in cens]
+    events.sort(key=lambda item: (item[0], not item[1]))
+
+    orders = np.empty(fails.size, dtype=float)
+    prev_order = 0.0
+    out_idx = 0
+    for position, (_, is_failure) in enumerate(events):
+        if not is_failure:
+            continue
+        remaining = n - position  # units at risk including this one
+        increment = (n + 1.0 - prev_order) / (1.0 + remaining)
+        prev_order = prev_order + increment
+        orders[out_idx] = prev_order
+        out_idx += 1
+
+    return fails, plotting_positions(orders, n, method)

@@ -1,0 +1,69 @@
+"""Uniform distribution on an interval.
+
+Used for scrub-residence modeling: a latent defect arriving at a random
+moment within a periodic scrub cycle waits a uniformly distributed time
+for the next pass to reach it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import require_finite
+from ..exceptions import ParameterError
+from .base import ArrayLike, Distribution
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Interval endpoints, ``0 <= low < high``.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        self.low = require_finite("low", low)
+        self.high = require_finite("high", high)
+        if self.low < 0:
+            raise ParameterError(f"low must be >= 0, got {low!r}")
+        if self.high <= self.low:
+            raise ParameterError(f"high ({high!r}) must exceed low ({low!r})")
+        self.location = self.low
+
+    def cdf(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.asarray(t, dtype=float)
+        out = np.clip((t_arr - self.low) / (self.high - self.low), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def pdf(self, t: ArrayLike) -> ArrayLike:
+        t_arr = np.asarray(t, dtype=float)
+        inside = (t_arr >= self.low) & (t_arr <= self.high)
+        out = np.where(inside, 1.0 / (self.high - self.low), 0.0)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q: ArrayLike) -> ArrayLike:
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise ParameterError(f"quantile levels must be in [0, 1], got {q!r}")
+        out = self.low + q_arr * (self.high - self.low)
+        return out if out.ndim else float(out)
+
+    def sample(self, rng: np.random.Generator, size: Union[int, None] = None) -> ArrayLike:
+        draw = rng.uniform(self.low, self.high, size)
+        return draw if np.ndim(draw) else float(draw)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def var(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def median(self) -> float:
+        return self.mean()
+
+    def _repr_params(self) -> dict:
+        return {"low": self.low, "high": self.high}

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses partition errors by the subsystem that raised them, which keeps
+``except`` clauses narrow in user code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is out of range or otherwise invalid.
+
+    Inherits from :class:`ValueError` so generic callers that catch
+    ``ValueError`` keep working.
+    """
+
+
+class DistributionError(ReproError):
+    """A probability-distribution operation failed (bad support, no fit)."""
+
+
+class FittingError(DistributionError):
+    """A life-data fitting routine could not produce an estimate."""
+
+
+class SimulationError(ReproError):
+    """The Monte Carlo engine detected an inconsistent internal state."""
+
+
+class RaidConfigurationError(ReproError, ValueError):
+    """A RAID geometry or code configuration is invalid or unsupported."""
+
+
+class ReconstructionError(ReproError):
+    """Data reconstruction failed (too many erasures for the code)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured inconsistently."""

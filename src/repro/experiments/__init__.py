@@ -1,0 +1,48 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a result object with
+a ``rows()`` method (the same rows the paper reports) and, where the paper
+plots curves, the series themselves.  Benchmarks in ``benchmarks/`` are
+thin wrappers over these runners; ``EXPERIMENTS.md`` records paper-vs-
+measured for each.
+
+Use :data:`~repro.experiments.registry.EXPERIMENTS` to enumerate them.
+"""
+
+from . import figure1, figure2, figure6, figure7, figure8, figure9, figure10, table1, table3
+from .base_case import (
+    BASE_MISSION_HOURS,
+    BASE_N_DATA,
+    MTTDL_MTBF_HOURS,
+    MTTDL_MTTR_HOURS,
+    constant_constant_config,
+    constant_op_weibull_restore_config,
+    mttdl_line,
+    weibull_op_constant_restore_config,
+    weibull_weibull_config,
+)
+from .registry import EXPERIMENTS, ExperimentInfo, get_experiment
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table1",
+    "table3",
+    "EXPERIMENTS",
+    "ExperimentInfo",
+    "get_experiment",
+    "BASE_N_DATA",
+    "BASE_MISSION_HOURS",
+    "MTTDL_MTBF_HOURS",
+    "MTTDL_MTTR_HOURS",
+    "constant_constant_config",
+    "weibull_op_constant_restore_config",
+    "constant_op_weibull_restore_config",
+    "weibull_weibull_config",
+    "mttdl_line",
+]

@@ -1,0 +1,58 @@
+"""Figure 1: Weibull probability plots of three field populations.
+
+Synthetic fleets generated from the published population *structures*
+(pure Weibull / change-point / mixture + competing risks), censored at a
+field observation window and pushed through the median-rank +
+rank-regression pipeline.  Findings to reproduce:
+
+* HDD #1 plots straight (single fit R^2 high, split slopes equal) with a
+  shallow slope (beta ~ 0.9);
+* HDD #2 bends upward past ~10,000 h (late slope >> early slope);
+* HDD #3 shows a slope decrease then increase (mixture burn-off followed
+  by competing-risk wear-out).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from ..fielddata.analysis import PopulationAnalysis, analyze_population
+from ..fielddata.datasets import figure1_populations
+from ..simulation.rng import make_seed_sequence
+
+
+@dataclasses.dataclass
+class Figure1Result:
+    """One :class:`PopulationAnalysis` per product."""
+
+    analyses: Dict[str, PopulationAnalysis]
+
+    def rows(self) -> List[List[object]]:
+        """Product, fitted beta, fitted eta, R^2, early/late slopes, straight?"""
+        out: List[List[object]] = []
+        for name, analysis in self.analyses.items():
+            out.append(
+                [
+                    name,
+                    analysis.fit.shape,
+                    analysis.fit.scale,
+                    analysis.fit.r_squared,
+                    analysis.early_shape,
+                    analysis.late_shape,
+                    analysis.is_straight,
+                ]
+            )
+        return out
+
+
+def run(seed: int = 0) -> Figure1Result:
+    """Generate and analyse the three Fig. 1 populations."""
+    root = make_seed_sequence(seed)
+    analyses: Dict[str, PopulationAnalysis] = {}
+    for population, child in zip(figure1_populations(), root.spawn(3)):
+        rng = np.random.Generator(np.random.PCG64(child))
+        analyses[population.name] = analyze_population(population, rng)
+    return Figure1Result(analyses=analyses)

@@ -1,0 +1,85 @@
+"""Figure 2: vintage effects — recovering the published Weibull fits.
+
+Three synthetic fleets are generated from the *published* Fig. 2 vintage
+parameters (beta, eta, failure and suspension counts), censored at each
+vintage's implied observation window, and re-fitted by censored maximum
+likelihood.  Findings to reproduce:
+
+* the recovered shapes order as published: Vin 1 ~ constant (1.0987),
+  Vin 2 increasing (1.2162), Vin 3 strongly increasing (1.4873);
+* the recovered failure/suspension counts land near the published F/S;
+* recovered parameters fall within sampling error of the published ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from ..distributions.fitting import WeibullMLEResult, fit_weibull_mle
+from ..hdd.vintages import PAPER_VINTAGES, Vintage
+from ..simulation.rng import make_seed_sequence
+
+
+@dataclasses.dataclass
+class VintageRecovery:
+    """Published vs recovered parameters for one vintage."""
+
+    vintage: Vintage
+    fit: WeibullMLEResult
+    n_failures_observed: int
+
+    @property
+    def shape_error(self) -> float:
+        """Relative error of the recovered shape."""
+        return abs(self.fit.shape / self.vintage.shape - 1.0)
+
+    @property
+    def scale_error(self) -> float:
+        """Relative error of the recovered scale."""
+        return abs(self.fit.scale / self.vintage.scale - 1.0)
+
+
+@dataclasses.dataclass
+class Figure2Result:
+    """One recovery per vintage."""
+
+    recoveries: Dict[str, VintageRecovery]
+
+    def rows(self) -> List[List[object]]:
+        """Vintage, published beta/eta, recovered beta/eta, F published/observed."""
+        out: List[List[object]] = []
+        for name, rec in self.recoveries.items():
+            out.append(
+                [
+                    name,
+                    rec.vintage.shape,
+                    rec.fit.shape,
+                    rec.vintage.scale,
+                    rec.fit.scale,
+                    rec.vintage.n_failures,
+                    rec.n_failures_observed,
+                ]
+            )
+        return out
+
+    def shapes_ordered_as_published(self) -> bool:
+        """Recovered shapes preserve the published Vin1 < Vin2 < Vin3 order."""
+        shapes = [self.recoveries[v.name].fit.shape for v in PAPER_VINTAGES]
+        return bool(shapes[0] < shapes[1] < shapes[2])
+
+
+def run(seed: int = 0) -> Figure2Result:
+    """Regenerate and re-fit the three vintages."""
+    root = make_seed_sequence(seed)
+    recoveries: Dict[str, VintageRecovery] = {}
+    for vintage, child in zip(PAPER_VINTAGES, root.spawn(len(PAPER_VINTAGES))):
+        rng = np.random.Generator(np.random.PCG64(child))
+        failures, suspensions = vintage.sample_field_study(rng)
+        fit = fit_weibull_mle(failures, suspensions)
+        recoveries[vintage.name] = VintageRecovery(
+            vintage=vintage, fit=fit, n_failures_observed=int(failures.size)
+        )
+    return Figure2Result(recoveries=recoveries)

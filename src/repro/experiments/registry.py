@@ -1,0 +1,121 @@
+"""Experiment registry: id -> runner, for discovery and the bench harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from . import figure1, figure2, figure6, figure7, figure8, figure9, figure10, table1, table3
+from ..exceptions import ExperimentError
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentInfo:
+    """Registry entry for one paper artifact.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (e.g. ``"fig6"``).
+    title:
+        What the artifact shows.
+    paper_reference:
+        Table/figure number in the paper.
+    runner:
+        The ``run(...)`` callable.
+    stochastic:
+        Whether the experiment involves simulation randomness.
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable
+    stochastic: bool
+
+
+#: Every reproduced table and figure.
+EXPERIMENTS: Dict[str, ExperimentInfo] = {
+    info.experiment_id: info
+    for info in (
+        ExperimentInfo(
+            "fig1",
+            "Weibull probability plots of three field populations",
+            "Figure 1",
+            figure1.run,
+            True,
+        ),
+        ExperimentInfo(
+            "fig2",
+            "Vintage effects: recovering published Weibull fits",
+            "Figure 2",
+            figure2.run,
+            True,
+        ),
+        ExperimentInfo(
+            "tab1",
+            "Range of average read error rates",
+            "Table 1",
+            table1.run,
+            False,
+        ),
+        ExperimentInfo(
+            "fig6",
+            "Model vs MTTDL without latent defects (four variants)",
+            "Figure 6",
+            figure6.run,
+            True,
+        ),
+        ExperimentInfo(
+            "fig7",
+            "Latent defects with no scrub and 168 h scrub",
+            "Figure 7",
+            figure7.run,
+            True,
+        ),
+        ExperimentInfo(
+            "fig8",
+            "ROCOF of the Figure 7 scenarios",
+            "Figure 8",
+            figure8.run,
+            True,
+        ),
+        ExperimentInfo(
+            "fig9",
+            "Scrub-duration sweep",
+            "Figure 9",
+            figure9.run,
+            True,
+        ),
+        ExperimentInfo(
+            "fig10",
+            "Operational-failure shape-parameter sweep",
+            "Figure 10",
+            figure10.run,
+            True,
+        ),
+        ExperimentInfo(
+            "tab3",
+            "First-year DDF comparisons vs MTTDL",
+            "Table 3",
+            table3.run,
+            True,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentInfo:
+    """Look up an experiment by id.
+
+    Raises
+    ------
+    ExperimentError:
+        Unknown id.
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Table 1: the grid of average read-error rates.
+
+Three field-measured read-error rates crossed with two workload
+intensities, yielding hourly latent-defect generation rates from
+1.08e-5 to 4.32e-3 err/h.  The Table 2 base case's TTLd characteristic
+life (9,259 h) is the reciprocal of the medium-RER / low-workload cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..hdd.error_rates import READ_ERROR_RATES, WORKLOADS, read_error_rate_table
+
+#: Paper-printed values for verification (err/h).
+PAPER_VALUES: Dict[Tuple[str, str], float] = {
+    ("low", "low"): 1.08e-5,
+    ("low", "high"): 1.08e-4,
+    ("medium", "low"): 1.08e-4,
+    ("medium", "high"): 1.08e-3,
+    ("high", "low"): 4.32e-4,
+    ("high", "high"): 4.32e-3,
+}
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """The computed grid plus the paper's printed values."""
+
+    computed: Dict[Tuple[str, str], float]
+    paper: Dict[Tuple[str, str], float]
+
+    def max_relative_error(self) -> float:
+        """Largest |computed/paper - 1| over the grid."""
+        return max(
+            abs(self.computed[key] / value - 1.0) for key, value in self.paper.items()
+        )
+
+    def rows(self) -> List[List[object]]:
+        """RER label, err/Byte, err/h at low workload, err/h at high workload."""
+        out: List[List[object]] = []
+        for rer_label in ("low", "medium", "high"):
+            rer = READ_ERROR_RATES[rer_label]
+            out.append(
+                [
+                    rer_label,
+                    rer.errors_per_byte,
+                    self.computed[(rer_label, "low")],
+                    self.computed[(rer_label, "high")],
+                ]
+            )
+        return out
+
+    def header(self) -> List[str]:
+        """Column names matching :meth:`rows`."""
+        low = WORKLOADS["low"].bytes_per_hour
+        high = WORKLOADS["high"].bytes_per_hour
+        return ["RER", "err/Byte", f"err/h @ {low:.3g} B/h", f"err/h @ {high:.3g} B/h"]
+
+
+def run() -> Table1Result:
+    """Compute the grid (no randomness involved)."""
+    return Table1Result(computed=read_error_rate_table(), paper=dict(PAPER_VALUES))

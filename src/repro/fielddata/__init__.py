@@ -1,0 +1,34 @@
+"""Synthetic field-reliability data shaped like the paper's Figs 1-2.
+
+The paper's field datasets (NetApp fleets of 10k-282k drives) are
+proprietary; what it *publishes* are the generating structures — a clean
+Weibull population, a change-point population, a mixture-plus-competing-
+risks population (Fig. 1), and three vintages with exact fitted
+parameters and failure/suspension counts (Fig. 2).  This subpackage
+regenerates statistically equivalent datasets from those published
+structures and provides the analysis used to make the figures.
+"""
+
+from .analysis import (
+    PopulationAnalysis,
+    analyze_population,
+    split_slope_diagnostic,
+)
+from .datasets import (
+    HDD1_POPULATION,
+    HDD2_POPULATION,
+    HDD3_POPULATION,
+    figure1_populations,
+    figure2_populations,
+)
+
+__all__ = [
+    "HDD1_POPULATION",
+    "HDD2_POPULATION",
+    "HDD3_POPULATION",
+    "figure1_populations",
+    "figure2_populations",
+    "analyze_population",
+    "PopulationAnalysis",
+    "split_slope_diagnostic",
+]

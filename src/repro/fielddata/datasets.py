@@ -1,0 +1,98 @@
+"""Canned generating models for the Fig. 1 and Fig. 2 populations.
+
+Fig. 1 plots three drive products on Weibull probability paper:
+
+* **HDD #1** — a straight line with shallow slope (beta ~ 0.9): a single
+  Weibull with a decreasing hazard;
+* **HDD #2** — "two separate linear sections ... sometime after 10,000
+  hours, [the later one] having a marked increase in failure rate", traced
+  to a change of failure mechanism: a change-point hazard;
+* **HDD #3** — "two inflection points ... the characteristics of both
+  competing risks and population mixtures": a weak contaminated
+  subpopulation (first inflection, hazard decrease) inside a robust
+  majority, plus a late wear-out competing risk (second inflection,
+  upturn).
+
+The exact etas are not published; values are chosen so the synthetic
+populations show the same qualitative features at the same timescales
+(10^2..10^4 hours on the Fig. 1 axis).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..distributions import CompetingRisks, Mixture, PiecewiseWeibullHazard, Weibull, WeibullPhase
+from ..hdd.population import FieldPopulation
+from ..hdd.vintages import PAPER_VINTAGES
+
+#: HDD #1: the one population that actually fits a Weibull (beta = 0.9).
+HDD1_POPULATION = FieldPopulation(
+    name="HDD #1",
+    lifetime=Weibull(shape=0.9, scale=350_000.0),
+    size=15_000,
+    observation_hours=20_000.0,
+)
+
+#: HDD #2: mechanism change after ~10,000 h; the plot bends upward.  The
+#: second phase's hazard overtakes the first within the observation
+#: window, which is what makes the two linear sections visible.
+HDD2_POPULATION = FieldPopulation(
+    name="HDD #2",
+    lifetime=PiecewiseWeibullHazard(
+        [
+            WeibullPhase(start=0.0, shape=0.9, scale=400_000.0),
+            WeibullPhase(start=10_000.0, shape=3.0, scale=55_000.0),
+        ]
+    ),
+    size=15_000,
+    observation_hours=20_000.0,
+)
+
+#: HDD #3: 4 % contaminated subpopulation (early decreasing hazard) inside
+#: a robust majority, with a shared late wear-out competing risk: two
+#: inflection points.
+HDD3_POPULATION = FieldPopulation(
+    name="HDD #3",
+    lifetime=Mixture(
+        [
+            # Weak units: contamination failures, decreasing hazard.
+            CompetingRisks(
+                [
+                    Weibull(shape=0.9, scale=20_000.0),
+                    Weibull(shape=3.2, scale=40_000.0),
+                ]
+            ),
+            # Robust units: only the wear-out risk applies.
+            Weibull(shape=3.2, scale=40_000.0),
+        ],
+        weights=[0.04, 0.96],
+    ),
+    size=15_000,
+    observation_hours=20_000.0,
+)
+
+
+def figure1_populations() -> Tuple[FieldPopulation, ...]:
+    """The three Fig. 1 products."""
+    return (HDD1_POPULATION, HDD2_POPULATION, HDD3_POPULATION)
+
+
+def figure2_populations() -> Tuple[FieldPopulation, ...]:
+    """The three Fig. 2 vintages as field populations.
+
+    Sizes are the published F+S counts; the observation window is backed
+    out of each vintage's fitted CDF so the expected failure count matches
+    the published F.
+    """
+    populations = []
+    for vintage in PAPER_VINTAGES:
+        populations.append(
+            FieldPopulation(
+                name=vintage.name,
+                lifetime=vintage.distribution,
+                size=vintage.population_size,
+                observation_hours=vintage.observation_window_hours(),
+            )
+        )
+    return tuple(populations)

@@ -1,0 +1,76 @@
+"""Hard-disk-drive substrate: specs, failure modes, error rates, vintages.
+
+Section 3 of the paper grounds the model in HDD physics: which mechanisms
+produce *operational* failures (the drive cannot find data: servo damage,
+electronics, head failures, SMART trips) versus *latent defects* (data
+missing or corrupted: write errors, high-fly writes, thermal asperities,
+corrosion, scratches).  This subpackage encodes that taxonomy plus the
+quantitative drive models the simulator consumes:
+
+* :mod:`~repro.hdd.interfaces` / :mod:`~repro.hdd.specs` — bus and drive
+  parameters used for reconstruction- and scrub-time minima (§6.2, §6.4);
+* :mod:`~repro.hdd.failure_modes` — the Fig. 3 taxonomy;
+* :mod:`~repro.hdd.error_rates` — read-error rates and workloads, Table 1;
+* :mod:`~repro.hdd.vintages` — the Fig. 2 vintage populations;
+* :mod:`~repro.hdd.smart` — SMART-trip (reallocation-burst) model;
+* :mod:`~repro.hdd.drive_model` — bundles a spec with TTOp/TTLd
+  distributions, ready for the simulator;
+* :mod:`~repro.hdd.population` — synthetic fleets for field-data studies.
+"""
+
+from .drive_model import DriveReliabilityModel
+from .error_rates import (
+    GRAY_BYTES_PER_DAY,
+    READ_ERROR_RATES,
+    WORKLOADS,
+    ReadErrorRate,
+    Workload,
+    latent_defect_distribution,
+    latent_defect_rate,
+    read_error_rate_table,
+)
+from .failure_modes import (
+    FAILURE_MODES,
+    FailureClass,
+    FailureMode,
+    latent_defect_modes,
+    operational_failure_modes,
+)
+from .interfaces import BusInterface, FC_2G, FC_4G, SAS_3G, SATA_1_5G, SATA_3G
+from .population import FieldPopulation, sample_fleet_lifetimes
+from .smart import SmartTripModel
+from .specs import HddSpec
+from .vintages import PAPER_VINTAGES, Vintage
+from .workload import WorkloadPhase, WorkloadProfile, seasonal_profile
+
+__all__ = [
+    "BusInterface",
+    "FC_2G",
+    "FC_4G",
+    "SATA_1_5G",
+    "SATA_3G",
+    "SAS_3G",
+    "HddSpec",
+    "FailureClass",
+    "FailureMode",
+    "FAILURE_MODES",
+    "operational_failure_modes",
+    "latent_defect_modes",
+    "ReadErrorRate",
+    "Workload",
+    "READ_ERROR_RATES",
+    "WORKLOADS",
+    "GRAY_BYTES_PER_DAY",
+    "latent_defect_rate",
+    "latent_defect_distribution",
+    "read_error_rate_table",
+    "Vintage",
+    "PAPER_VINTAGES",
+    "SmartTripModel",
+    "DriveReliabilityModel",
+    "FieldPopulation",
+    "sample_fleet_lifetimes",
+    "WorkloadProfile",
+    "WorkloadPhase",
+    "seasonal_profile",
+]

@@ -1,0 +1,181 @@
+"""The Fig. 3 failure-mode taxonomy: operational failures vs latent defects.
+
+The model's two-distribution structure (TTOp and TTLd) rests on this
+physical distinction:
+
+* **Operational (catastrophic) failures** — the drive cannot *find* data:
+  the whole drive is lost, and replacement plus RAID reconstruction is the
+  only remedy.
+* **Latent defects** — data is *missing or corrupted* in place: the drive
+  keeps running, the defect sits undetected until the sector is read (or
+  scrubbed), and only then can parity-based repair fix it.
+
+Each mode carries its class, its cause chain from the paper's Fig. 3 and
+§3 prose, and whether usage (bytes transferred) accelerates it — the basis
+for the TTLd ~ usage-rate coupling of §6.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+
+class FailureClass(enum.Enum):
+    """Consequence class of an HDD failure mechanism."""
+
+    #: Drive cannot find data; removal and replacement is the only fix.
+    OPERATIONAL = "operational"
+    #: Data missing/corrupted; drive still operates; scrubbing can repair.
+    LATENT_DEFECT = "latent_defect"
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureMode:
+    """One leaf of the Fig. 3 breakdown.
+
+    Attributes
+    ----------
+    name:
+        Short identifier.
+    failure_class:
+        Operational or latent.
+    description:
+        Mechanism summary from the paper.
+    causes:
+        Physical causes listed in §3.
+    usage_dependent:
+        True when the rate scales with bytes read/written rather than
+        wall-clock time alone.
+    """
+
+    name: str
+    failure_class: FailureClass
+    description: str
+    causes: Tuple[str, ...] = ()
+    usage_dependent: bool = False
+
+
+#: The complete Fig. 3 taxonomy.
+FAILURE_MODES: Tuple[FailureMode, ...] = (
+    # -- Operational: cannot find data ---------------------------------
+    FailureMode(
+        name="bad_servo_track",
+        failure_class=FailureClass.OPERATIONAL,
+        description=(
+            "Servo wedges written at manufacture are damaged; the head can "
+            "no longer position itself, losing access to intact user data. "
+            "Servo data cannot be reconstructed by RAID."
+        ),
+        causes=("scratches", "thermal asperities"),
+    ),
+    FailureMode(
+        name="bad_electronics",
+        failure_class=FailureClass.OPERATIONAL,
+        description="Controller-board failure (DRAM, cracked chip capacitors).",
+        causes=("DRAM failure", "cracked chip capacitors"),
+    ),
+    FailureMode(
+        name="cannot_stay_on_track",
+        failure_class=FailureClass.OPERATIONAL,
+        description=(
+            "Non-repeatable run-out exceeds the servo loop's ability to "
+            "lock onto a track."
+        ),
+        causes=(
+            "motor-bearing tolerances",
+            "excessive wear",
+            "actuator-arm bearings",
+            "noise and vibration",
+            "servo-loop response errors",
+        ),
+    ),
+    FailureMode(
+        name="bad_read_head",
+        failure_class=FailureClass.OPERATIONAL,
+        description="Head magnetic properties degrade until reads fail.",
+        causes=("electro-static discharge", "physical impact", "high temperature"),
+    ),
+    FailureMode(
+        name="smart_limit_exceeded",
+        failure_class=FailureClass.OPERATIONAL,
+        description=(
+            "Self-monitoring threshold trip, e.g. excessive sector "
+            "reallocations in a time window; the drive is failed "
+            "preemptively."
+        ),
+        causes=("reallocation bursts", "media defect clusters"),
+    ),
+    # -- Latent: errors during writing ----------------------------------
+    FailureMode(
+        name="bad_media_write",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description="Writing on scratched, smeared or pitted media corrupts data.",
+        causes=(
+            "hard-particle scratches (TiW, Si2O3, C)",
+            "soft-particle smears (stainless steel, aluminum)",
+            "pits and voids from dislodged embedded particles",
+            "hydrocarbon contamination",
+        ),
+        usage_dependent=True,
+    ),
+    FailureMode(
+        name="inherent_bit_error_rate",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description=(
+            "Statistical write-path bit errors; writes are rarely verified "
+            "immediately, so they persist as latent defects."
+        ),
+        usage_dependent=True,
+    ),
+    FailureMode(
+        name="high_fly_write",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description=(
+            "Perturbed head aerodynamics (e.g. lubricant build-up) raise "
+            "the fly height, writing magnetically weak, unreadable data."
+        ),
+        causes=("lubricant build-up on head", "aerodynamic perturbation"),
+        usage_dependent=True,
+    ),
+    # -- Latent: written but destroyed -----------------------------------
+    FailureMode(
+        name="thermal_asperity_erasure",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description=(
+            "Head-disk contact over media bumps generates localised heat "
+            "that can thermally erase data after repeated contacts."
+        ),
+        causes=("embedded manufacturing particles",),
+    ),
+    FailureMode(
+        name="corrosion",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description="Media corrosion erases data; accelerated by T/A heat.",
+        causes=("ambient chemistry", "thermal-asperity heating"),
+    ),
+    FailureMode(
+        name="scratch_smear_erasure",
+        failure_class=FailureClass.LATENT_DEFECT,
+        description=(
+            "Loose hard particles scratch, and soft particles smear, the "
+            "media any time the disks spin, destroying written data."
+        ),
+        causes=("Al2O3/TiW/C hard particles", "stainless-steel soft particles"),
+    ),
+)
+
+
+def operational_failure_modes() -> Tuple[FailureMode, ...]:
+    """Modes whose consequence is a catastrophic (operational) failure."""
+    return tuple(
+        m for m in FAILURE_MODES if m.failure_class is FailureClass.OPERATIONAL
+    )
+
+
+def latent_defect_modes() -> Tuple[FailureMode, ...]:
+    """Modes whose consequence is an undetected data corruption."""
+    return tuple(
+        m for m in FAILURE_MODES if m.failure_class is FailureClass.LATENT_DEFECT
+    )

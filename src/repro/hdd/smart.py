@@ -1,0 +1,115 @@
+"""SMART-trip model: predictive failure from reallocation bursts.
+
+Section 3.1 and the Fig. 4 state diagram's state-2-to-4 transition: a drive
+accumulating media defects reallocates sectors; *too many reallocations in
+a time window* exceeds a SMART threshold and the drive is failed
+preemptively (a "SMART trip"), which the model folds into the operational
+failure distribution.  This module makes that folding quantitative, so the
+contribution of SMART trips to the TTOp distribution can be studied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from .._validation import require_int, require_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class SmartTripModel:
+    """Threshold trip on sector-reallocation bursts.
+
+    Reallocations arrive as a Poisson process whose rate can jump by a
+    burst factor (a media-defect cluster, e.g. a scratch spreading debris).
+    The drive trips when more than ``threshold`` reallocations land inside
+    any sliding window of ``window_hours``.
+
+    Attributes
+    ----------
+    threshold:
+        Maximum reallocations tolerated per window before tripping.
+    window_hours:
+        Width of the sliding observation window.
+    base_rate_per_hour:
+        Nominal reallocation rate for a healthy drive.
+    burst_rate_per_hour:
+        Reallocation rate once a defect cluster develops.
+    """
+
+    threshold: int
+    window_hours: float
+    base_rate_per_hour: float
+    burst_rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        require_int("threshold", self.threshold, minimum=1)
+        require_positive("window_hours", self.window_hours)
+        require_positive("base_rate_per_hour", self.base_rate_per_hour)
+        require_positive("burst_rate_per_hour", self.burst_rate_per_hour)
+
+    def _first_trip(self, events: np.ndarray) -> float:
+        """Earliest time at which ``threshold + 1`` events fit in a window."""
+        k = self.threshold  # trip on event index i when events[i] - events[i-k] fits
+        if events.size <= k:
+            return float("inf")
+        spans = events[k:] - events[: events.size - k]
+        hits = np.nonzero(spans <= self.window_hours)[0]
+        if hits.size == 0:
+            return float("inf")
+        return float(events[k + hits[0]])
+
+    def simulate_trip_time(
+        self,
+        rng: np.random.Generator,
+        burst_onset_hours: float,
+        horizon_hours: float,
+    ) -> float:
+        """Time of the first SMART trip, or ``inf`` if none before the horizon.
+
+        Reallocations arrive at ``base_rate_per_hour`` until
+        ``burst_onset_hours``, then at ``burst_rate_per_hour``.
+        """
+        require_positive("horizon_hours", horizon_hours)
+        if burst_onset_hours < 0:
+            raise ValueError(f"burst_onset_hours must be >= 0, got {burst_onset_hours!r}")
+
+        # Piecewise-homogeneous Poisson process: simulate each constant-rate
+        # segment separately (restarting at the onset is exact, by the
+        # memorylessness of exponential inter-arrivals).
+        events: List[float] = []
+        for seg_start, seg_end, rate in (
+            (0.0, min(burst_onset_hours, horizon_hours), self.base_rate_per_hour),
+            (min(burst_onset_hours, horizon_hours), horizon_hours, self.burst_rate_per_hour),
+        ):
+            t = seg_start
+            while seg_start < seg_end:
+                t += float(rng.exponential(1.0 / rate))
+                if t > seg_end:
+                    break
+                events.append(t)
+        return self._first_trip(np.asarray(events, dtype=float))
+
+    def trip_probability(
+        self,
+        rng: np.random.Generator,
+        burst_onset_hours: float,
+        horizon_hours: float,
+        n_trials: int = 1000,
+    ) -> float:
+        """Monte Carlo estimate of P(trip before horizon)."""
+        require_int("n_trials", n_trials, minimum=1)
+        trips = sum(
+            1
+            for _ in range(n_trials)
+            if self.simulate_trip_time(rng, burst_onset_hours, horizon_hours)
+            < float("inf")
+        )
+        return trips / n_trials
+
+    def expected_window_count(self, rate_per_hour: float) -> float:
+        """Mean reallocations per window at a given arrival rate."""
+        require_positive("rate_per_hour", rate_per_hour)
+        return rate_per_hour * self.window_hours

@@ -1,0 +1,85 @@
+"""Hard-drive specifications relevant to reliability modeling.
+
+Only the parameters the paper's model actually consumes are represented:
+capacity (sets rebuild and scrub floors), sustained media transfer rate
+(can cap rebuild below the bus rate) and the attachment interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .._validation import require_positive
+from .interfaces import FC_2G, SATA_1_5G, BusInterface
+
+#: Bytes per gigabyte (storage vendors use decimal GB).
+BYTES_PER_GB = 1e9
+
+
+@dataclasses.dataclass(frozen=True)
+class HddSpec:
+    """Physical drive parameters.
+
+    Attributes
+    ----------
+    model:
+        Label, e.g. ``"144GB-FC"``.
+    capacity_gb:
+        Formatted capacity in decimal gigabytes.
+    interface:
+        The bus the drive attaches to.
+    sustained_mb_per_s:
+        Sustained media transfer rate, MB/s.  The paper quotes FC drives
+        sustaining up to 100 MB/s with 50 MB/s more common.
+    rpm:
+        Spindle speed, informational (higher speeds exacerbate
+        non-repeatable run-out, §3.1).
+    """
+
+    model: str
+    capacity_gb: float
+    interface: BusInterface
+    sustained_mb_per_s: float = 50.0
+    rpm: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_gb", self.capacity_gb)
+        require_positive("sustained_mb_per_s", self.sustained_mb_per_s)
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Capacity in bytes."""
+        return self.capacity_gb * BYTES_PER_GB
+
+    @property
+    def sustained_bytes_per_hour(self) -> float:
+        """Sustained media rate in bytes/hour."""
+        return self.sustained_mb_per_s * 1e6 * 3600.0
+
+    def full_read_hours(self) -> float:
+        """Hours to read the entire drive at its sustained media rate.
+
+        This is the drive-side floor for a full scrub pass (§6.4) when the
+        bus is not the bottleneck.
+        """
+        return self.capacity_bytes / self.sustained_bytes_per_hour
+
+
+#: The paper's Fibre Channel example drive (144 GB, FC, 100 MB/s capable).
+FC_144GB = HddSpec(
+    model="144GB-FC",
+    capacity_gb=144.0,
+    interface=FC_2G,
+    sustained_mb_per_s=100.0,
+    rpm=10_000,
+)
+
+#: The paper's Serial ATA example drive (500 GB, SATA 1.5 Gb/s).
+SATA_500GB = HddSpec(
+    model="500GB-SATA",
+    capacity_gb=500.0,
+    interface=SATA_1_5G,
+    sustained_mb_per_s=50.0,
+    rpm=7_200,
+)

@@ -1,0 +1,171 @@
+"""Usage-dependent latent-defect modeling from workload profiles.
+
+Section 6.3's core empirical claim is that latent-defect generation is
+*usage* dependent — errors per Byte read times Bytes read per hour.  The
+paper then approximates usage as a constant average rate.  This module
+implements the natural refinement the paper's own framing invites: a
+time-varying workload profile (duty cycles, busy seasons) induces a
+piecewise-constant latent-defect hazard, realised as a
+:class:`~repro.distributions.piecewise.PiecewiseWeibullHazard` with unit
+shapes, which the simulator consumes like any other distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_positive
+from ..distributions import PiecewiseWeibullHazard, WeibullPhase
+from ..exceptions import ParameterError
+from .error_rates import ReadErrorRate
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadPhase:
+    """One segment of a workload profile.
+
+    Attributes
+    ----------
+    start_hours:
+        When this intensity takes over (first phase must start at 0).
+    bytes_per_hour:
+        Average per-drive read volume during the phase.
+    """
+
+    start_hours: float
+    bytes_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.start_hours < 0:
+            raise ParameterError(f"start_hours must be >= 0, got {self.start_hours!r}")
+        require_positive("bytes_per_hour", self.bytes_per_hour)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """A piecewise-constant per-drive I/O intensity over drive age.
+
+    Examples
+    --------
+    A drive that serves a hot tier for its first year, then ages into an
+    archival tier with a tenth the traffic:
+
+    >>> profile = WorkloadProfile(phases=(
+    ...     WorkloadPhase(start_hours=0.0, bytes_per_hour=1.35e10),
+    ...     WorkloadPhase(start_hours=8_760.0, bytes_per_hour=1.35e9),
+    ... ))
+    >>> profile.bytes_per_hour_at(100.0)
+    13500000000.0
+    """
+
+    phases: Tuple[WorkloadPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ParameterError("a WorkloadProfile needs at least one phase")
+        starts = [p.start_hours for p in self.phases]
+        if starts[0] != 0.0:
+            raise ParameterError(f"first phase must start at 0, got {starts[0]!r}")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ParameterError(f"phase starts must increase, got {starts!r}")
+
+    @classmethod
+    def constant(cls, bytes_per_hour: float) -> "WorkloadProfile":
+        """A flat profile (recovers the paper's §6.3 approximation)."""
+        return cls(phases=(WorkloadPhase(0.0, bytes_per_hour),))
+
+    @classmethod
+    def duty_cycle(
+        cls,
+        busy_bytes_per_hour: float,
+        idle_bytes_per_hour: float,
+        busy_fraction: float,
+    ) -> "WorkloadProfile":
+        """Time-averaged equivalent of a busy/idle duty cycle.
+
+        Latent-defect arrival over timescales of thousands of hours only
+        sees the average intensity, so a daily or weekly duty cycle
+        collapses to its weighted mean.
+        """
+        require_positive("busy_bytes_per_hour", busy_bytes_per_hour)
+        require_positive("idle_bytes_per_hour", idle_bytes_per_hour)
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ParameterError(f"busy_fraction must be in [0, 1], got {busy_fraction!r}")
+        mean = busy_fraction * busy_bytes_per_hour + (1 - busy_fraction) * idle_bytes_per_hour
+        return cls.constant(mean)
+
+    def bytes_per_hour_at(self, age_hours: float) -> float:
+        """Intensity in effect at a drive age."""
+        if age_hours < 0:
+            raise ParameterError(f"age_hours must be >= 0, got {age_hours!r}")
+        value = self.phases[0].bytes_per_hour
+        for phase in self.phases:
+            if phase.start_hours <= age_hours:
+                value = phase.bytes_per_hour
+            else:
+                break
+        return value
+
+    def mean_bytes_per_hour(self, horizon_hours: float) -> float:
+        """Time-averaged intensity over ``[0, horizon]``."""
+        require_positive("horizon_hours", horizon_hours)
+        starts = [p.start_hours for p in self.phases] + [float("inf")]
+        total = 0.0
+        for i, phase in enumerate(self.phases):
+            lo = min(phase.start_hours, horizon_hours)
+            hi = min(starts[i + 1], horizon_hours)
+            total += (hi - lo) * phase.bytes_per_hour
+        return total / horizon_hours
+
+    def latent_defect_distribution(self, rer: ReadErrorRate) -> PiecewiseWeibullHazard:
+        """TTLd whose hazard follows this profile's intensity.
+
+        Each workload phase contributes a unit-shape (constant-hazard)
+        segment with rate ``RER x bytes_per_hour``; the result is an exact
+        non-homogeneous Poisson first-arrival time, sampled in closed form.
+        """
+        segments = []
+        for phase in self.phases:
+            rate = rer.errors_per_byte * phase.bytes_per_hour
+            segments.append(
+                WeibullPhase(start=phase.start_hours, shape=1.0, scale=1.0 / rate)
+            )
+        return PiecewiseWeibullHazard(segments)
+
+
+def seasonal_profile(
+    base_bytes_per_hour: float,
+    peak_bytes_per_hour: float,
+    period_hours: float,
+    peak_fraction: float,
+    n_periods: int,
+) -> WorkloadProfile:
+    """Alternating base/peak seasons (e.g. yearly busy quarters).
+
+    Parameters
+    ----------
+    base_bytes_per_hour, peak_bytes_per_hour:
+        Off-peak and peak intensities.
+    period_hours:
+        Length of one full season cycle.
+    peak_fraction:
+        Fraction of each period spent at peak (peak comes last).
+    n_periods:
+        Number of cycles to lay out explicitly.
+    """
+    require_positive("period_hours", period_hours)
+    if not 0.0 < peak_fraction < 1.0:
+        raise ParameterError(f"peak_fraction must be in (0, 1), got {peak_fraction!r}")
+    if n_periods < 1:
+        raise ParameterError(f"n_periods must be >= 1, got {n_periods!r}")
+    phases = []
+    for k in range(n_periods):
+        start = k * period_hours
+        phases.append(WorkloadPhase(start, base_bytes_per_hour))
+        phases.append(
+            WorkloadPhase(start + (1 - peak_fraction) * period_hours, peak_bytes_per_hour)
+        )
+    return WorkloadProfile(phases=tuple(phases))

@@ -1,0 +1,47 @@
+"""RAID substrate: geometry, parity mathematics, and reconstruction.
+
+The paper's model treats RAID reconstruction as a black box with a
+capacity/bandwidth-determined minimum time; this subpackage builds the box
+itself so reconstruction is exercised rather than assumed:
+
+* :mod:`~repro.raid.geometry` — RAID levels and group shapes;
+* :mod:`~repro.raid.gf256` — GF(2^8) arithmetic;
+* :mod:`~repro.raid.parity` — XOR (single) parity, the RAID 4/5 code the
+  model's (N+1) groups use;
+* :mod:`~repro.raid.reed_solomon` — P+Q (RAID 6) encode/recover, the code
+  the paper's conclusion says will "eventually be required";
+* :mod:`~repro.raid.rdp` — Row-Diagonal Parity [Corbett et al., FAST '04,
+  paper ref. 24], NetApp's own double-failure-correcting code;
+* :mod:`~repro.raid.stripe` — logical-block to (disk, stripe) mapping;
+* :mod:`~repro.raid.reconstruction` — the Section 6.2 rebuild-time model
+  (minimum time from capacity, bus, group size and foreground I/O).
+"""
+
+from .array_model import BlockArray, ScrubReport
+from .geometry import RaidGeometry, RaidLevel
+from .gf256 import GF256
+from .parity import reconstruct_single, xor_parity
+from .rdp import RdpArray
+from .reconstruction import (
+    RebuildTimeModel,
+    minimum_rebuild_hours,
+    rebuild_time_distribution,
+)
+from .reed_solomon import RaidSixCodec
+from .stripe import StripeMap
+
+__all__ = [
+    "RaidLevel",
+    "RaidGeometry",
+    "GF256",
+    "BlockArray",
+    "ScrubReport",
+    "xor_parity",
+    "reconstruct_single",
+    "RaidSixCodec",
+    "RdpArray",
+    "StripeMap",
+    "RebuildTimeModel",
+    "minimum_rebuild_hours",
+    "rebuild_time_distribution",
+]

@@ -1,0 +1,127 @@
+"""RAID levels and group geometry.
+
+The paper studies the (N+1) single-parity group — RAID 4 in NetApp systems,
+RAID 5 generally; both have identical reliability structure — and concludes
+that double-parity RAID (RAID 6 / RAID-DP) "will eventually be required".
+This module captures group shapes and what failures each level tolerates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from .._validation import require_int
+from ..exceptions import RaidConfigurationError
+
+
+class RaidLevel(enum.Enum):
+    """Common RAID organisations."""
+
+    #: Striping, no redundancy.
+    RAID0 = "RAID0"
+    #: Mirroring.
+    RAID1 = "RAID1"
+    #: Dedicated-parity striping (NetApp's arrangement; same fault model
+    #: as RAID 5).
+    RAID4 = "RAID4"
+    #: Rotated-parity striping.
+    RAID5 = "RAID5"
+    #: Double parity (P+Q or row-diagonal parity).
+    RAID6 = "RAID6"
+    #: Striped mirrors.
+    RAID10 = "RAID10"
+
+
+#: Drive failures each level tolerates within one group (RAID10 per
+#: mirrored pair).
+_FAULT_TOLERANCE = {
+    RaidLevel.RAID0: 0,
+    RaidLevel.RAID1: 1,
+    RaidLevel.RAID4: 1,
+    RaidLevel.RAID5: 1,
+    RaidLevel.RAID6: 2,
+    RaidLevel.RAID10: 1,
+}
+
+#: Parity (or redundancy-equivalent) drive count per group.
+_PARITY_DRIVES = {
+    RaidLevel.RAID0: 0,
+    RaidLevel.RAID1: 1,
+    RaidLevel.RAID4: 1,
+    RaidLevel.RAID5: 1,
+    RaidLevel.RAID6: 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RaidGeometry:
+    """Shape of one RAID group.
+
+    Attributes
+    ----------
+    level:
+        RAID organisation.
+    n_data:
+        Data drives per group (the paper's ``N``).
+    """
+
+    level: RaidLevel
+    n_data: int
+
+    def __post_init__(self) -> None:
+        require_int("n_data", self.n_data, minimum=1)
+        if self.level is RaidLevel.RAID1 and self.n_data != 1:
+            raise RaidConfigurationError("RAID1 groups hold exactly one data drive")
+        if self.level is RaidLevel.RAID6 and self.n_data < 2:
+            raise RaidConfigurationError("RAID6 requires at least two data drives")
+        if self.level is RaidLevel.RAID10 and self.n_data < 2:
+            raise RaidConfigurationError("RAID10 requires at least two data drives")
+
+    @classmethod
+    def n_plus_one(cls, n_data: int, level: RaidLevel = RaidLevel.RAID4) -> "RaidGeometry":
+        """The paper's (N+1) group: ``n_data`` data drives plus one parity."""
+        if level not in (RaidLevel.RAID4, RaidLevel.RAID5):
+            raise RaidConfigurationError(
+                f"(N+1) groups are single-parity (RAID4/RAID5), got {level}"
+            )
+        return cls(level=level, n_data=n_data)
+
+    @classmethod
+    def n_plus_two(cls, n_data: int) -> "RaidGeometry":
+        """A double-parity (RAID 6) group."""
+        return cls(level=RaidLevel.RAID6, n_data=n_data)
+
+    @property
+    def n_parity(self) -> int:
+        """Redundant drives per group."""
+        if self.level is RaidLevel.RAID10:
+            return self.n_data  # one mirror per data drive
+        return _PARITY_DRIVES[self.level]
+
+    @property
+    def group_size(self) -> int:
+        """Total drives per group (the paper's ``N + 1`` for single parity)."""
+        return self.n_data + self.n_parity
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Simultaneous whole-drive failures survivable in the worst case."""
+        return _FAULT_TOLERANCE[self.level]
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Usable fraction of raw capacity."""
+        return self.n_data / self.group_size
+
+    def data_loss_failure_count(self) -> int:
+        """Concurrent failures that constitute data loss (DDF for N+1)."""
+        return self.fault_tolerance + 1
+
+    def usable_capacity_gb(self, drive_capacity_gb: float) -> float:
+        """Usable group capacity for a given drive size."""
+        if drive_capacity_gb <= 0:
+            raise RaidConfigurationError(
+                f"drive_capacity_gb must be > 0, got {drive_capacity_gb!r}"
+            )
+        return self.n_data * drive_capacity_gb

@@ -1,0 +1,129 @@
+"""GF(2^8) arithmetic for RAID 6 parity mathematics.
+
+The Galois field with 256 elements, constructed modulo the primitive
+polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d) with generator 2 — the
+standard choice for storage P+Q parity (e.g. the Linux md RAID 6
+implementation).  Addition is XOR; multiplication uses exp/log tables built
+once at import.
+
+All operations are vectorised over ``numpy`` ``uint8`` arrays so parity
+computation over large blocks is a table lookup, not a Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+#: The field's primitive polynomial (degree-8 bits included).
+PRIMITIVE_POLY = 0x11D
+
+#: The multiplicative generator used to build the exp/log tables.
+GENERATOR = 2
+
+IntOrArray = Union[int, np.ndarray]
+
+
+def _build_tables() -> "tuple[np.ndarray, np.ndarray]":
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    # Duplicate so exp[(a + b) mod 255] can be read as exp[a + b].
+    exp[255:510] = exp[:255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of vectorised GF(2^8) operations.
+
+    All methods are static; the class exists to group the field operations
+    and their tables under one importable name.
+
+    Examples
+    --------
+    >>> GF256.multiply(2, 0x8E)  # 2 * 0x8e = 0x11c = 1 mod 0x11d
+    1
+    >>> GF256.add(7, 7)
+    0
+    """
+
+    #: Number of field elements.
+    ORDER = 256
+
+    @staticmethod
+    def _as_uint8(name: str, value: IntOrArray) -> np.ndarray:
+        arr = np.asarray(value)
+        if arr.dtype != np.uint8:
+            if np.any((arr < 0) | (arr > 255)):
+                raise ParameterError(f"{name} must contain values in [0, 255]")
+            arr = arr.astype(np.uint8)
+        return arr
+
+    @staticmethod
+    def add(a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """Field addition (= subtraction): bitwise XOR."""
+        result = np.bitwise_xor(GF256._as_uint8("a", a), GF256._as_uint8("b", b))
+        return int(result) if result.ndim == 0 else result
+
+    # Subtraction is identical to addition in characteristic 2.
+    subtract = add
+
+    @staticmethod
+    def multiply(a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """Field multiplication via log/exp tables."""
+        a_arr = GF256._as_uint8("a", a)
+        b_arr = GF256._as_uint8("b", b)
+        result = _EXP[_LOG[a_arr].astype(np.int64) + _LOG[b_arr].astype(np.int64)]
+        # Anything multiplied by zero is zero (log[0] is a table artifact).
+        result = np.where((a_arr == 0) | (b_arr == 0), np.uint8(0), result)
+        return int(result) if result.ndim == 0 else result.astype(np.uint8)
+
+    @staticmethod
+    def inverse(a: IntOrArray) -> IntOrArray:
+        """Multiplicative inverse; raises on zero."""
+        a_arr = GF256._as_uint8("a", a)
+        if np.any(a_arr == 0):
+            raise ParameterError("zero has no multiplicative inverse in GF(2^8)")
+        result = _EXP[255 - _LOG[a_arr]]
+        return int(result) if result.ndim == 0 else result.astype(np.uint8)
+
+    @staticmethod
+    def divide(a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """Field division ``a / b``; raises on division by zero."""
+        return GF256.multiply(a, GF256.inverse(b))
+
+    @staticmethod
+    def power(base: int, exponent: int) -> int:
+        """``base ** exponent`` in the field (integer scalars).
+
+        Negative exponents are supported through the inverse.
+        """
+        base_arr = GF256._as_uint8("base", base)
+        if base_arr.ndim != 0:
+            raise ParameterError("power expects scalar operands")
+        base_int = int(base_arr)
+        if base_int == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ParameterError("zero has no negative powers")
+            return 0
+        log_val = int(_LOG[base_int]) * int(exponent)
+        return int(_EXP[log_val % 255])
+
+    @staticmethod
+    def generator_power(exponent: int) -> int:
+        """``GENERATOR ** exponent`` — the RAID 6 Q-parity coefficients."""
+        return int(_EXP[exponent % 255])

@@ -1,0 +1,95 @@
+"""Logical-block to physical (disk, stripe) mapping.
+
+Utility layer tying the parity codes to an addressable array: where a
+logical block lives, which disk holds the parity of its stripe, and which
+blocks a rebuild of one disk must read.  Supports dedicated parity
+(RAID 4, NetApp's layout) and left-symmetric rotated parity (RAID 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from .._validation import require_int
+from ..exceptions import RaidConfigurationError
+from .geometry import RaidGeometry, RaidLevel
+
+
+@dataclasses.dataclass(frozen=True)
+class StripeMap:
+    """Block placement for a single-parity group.
+
+    Attributes
+    ----------
+    geometry:
+        The group shape; RAID 4 and RAID 5 are supported.
+    stripe_unit_blocks:
+        Blocks per stripe unit (contiguous run placed on one disk before
+        moving to the next).
+    """
+
+    geometry: RaidGeometry
+    stripe_unit_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.geometry.level not in (RaidLevel.RAID4, RaidLevel.RAID5):
+            raise RaidConfigurationError(
+                f"StripeMap supports RAID4/RAID5, got {self.geometry.level}"
+            )
+        require_int("stripe_unit_blocks", self.stripe_unit_blocks, minimum=1)
+
+    @property
+    def n_disks(self) -> int:
+        """Drives per group."""
+        return self.geometry.group_size
+
+    def parity_disk(self, stripe: int) -> int:
+        """Disk holding the parity unit of a stripe.
+
+        RAID 4 dedicates the last disk; RAID 5 rotates left-symmetrically.
+        """
+        require_int("stripe", stripe, minimum=0)
+        if self.geometry.level is RaidLevel.RAID4:
+            return self.n_disks - 1
+        return (self.n_disks - 1 - stripe) % self.n_disks
+
+    def locate(self, logical_block: int) -> Tuple[int, int, int]:
+        """Map a logical block to (disk, stripe, offset-in-unit).
+
+        Data units fill each stripe's non-parity disks in order; the
+        left-symmetric RAID 5 layout starts numbering data units just
+        after the parity disk so sequential reads rotate across spindles.
+        """
+        require_int("logical_block", logical_block, minimum=0)
+        unit_index, offset = divmod(logical_block, self.stripe_unit_blocks)
+        stripe, unit_in_stripe = divmod(unit_index, self.geometry.n_data)
+        pdisk = self.parity_disk(stripe)
+        if self.geometry.level is RaidLevel.RAID4:
+            disk = unit_in_stripe  # data disks are 0..n_data-1
+        else:
+            disk = (pdisk + 1 + unit_in_stripe) % self.n_disks
+        return disk, stripe, offset
+
+    def data_disks(self, stripe: int) -> List[int]:
+        """Disks holding data units of a stripe, in logical order."""
+        pdisk = self.parity_disk(stripe)
+        if self.geometry.level is RaidLevel.RAID4:
+            return list(range(self.geometry.n_data))
+        return [(pdisk + 1 + k) % self.n_disks for k in range(self.geometry.n_data)]
+
+    def rebuild_reads(self, failed_disk: int, stripe: int) -> List[int]:
+        """Disks a rebuild must read to reconstruct a failed disk's unit
+        in one stripe — every surviving disk of the stripe."""
+        require_int("failed_disk", failed_disk, minimum=0)
+        if failed_disk >= self.n_disks:
+            raise RaidConfigurationError(
+                f"failed_disk {failed_disk} out of range for {self.n_disks} disks"
+            )
+        return [d for d in range(self.n_disks) if d != failed_disk]
+
+    def stripes_for_blocks(self, n_logical_blocks: int) -> int:
+        """Stripes needed to hold a given number of logical blocks."""
+        require_int("n_logical_blocks", n_logical_blocks, minimum=0)
+        units = -(-n_logical_blocks // self.stripe_unit_blocks)
+        return -(-units // self.geometry.n_data)

@@ -1,0 +1,11 @@
+"""Reporting utilities: ASCII tables, terminal plots, CSV export.
+
+Benchmarks and examples print the same rows and series the paper's tables
+and figures report; these helpers keep that output consistent.
+"""
+
+from .ascii_plot import ascii_line_plot
+from .csvout import write_csv
+from .tables import format_table
+
+__all__ = ["format_table", "ascii_line_plot", "write_csv"]

@@ -1,0 +1,67 @@
+"""Terminal line plots for cumulative-DDF curves and ROCOFs."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_int
+from ..exceptions import ParameterError
+
+#: Glyphs assigned to successive series.
+_MARKERS = "ox+*@%&#"
+
+
+def ascii_line_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 70,
+    height: int = 18,
+    x_label: str = "t",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    Parameters
+    ----------
+    series:
+        ``{label: (xs, ys)}``; all series share axes.
+    width, height:
+        Plot area in characters.
+    x_label, y_label:
+        Axis annotations.
+    """
+    require_int("width", width, minimum=10)
+    require_int("height", height, minimum=4)
+    if not series:
+        raise ParameterError("at least one series is required")
+
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, ys in series.values()])
+    if all_x.size == 0:
+        raise ParameterError("series must contain data")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(min(all_y.min(), 0.0)), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{y_hi:>10.4g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<12.4g}{x_label:^{max(width - 24, 4)}}{x_hi:>12.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{y_label}; series: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""CSV export for experiment results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence, Union
+
+from ..exceptions import ParameterError
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write headers + rows to ``path``; returns the resolved path.
+
+    Parent directories are created as needed.
+    """
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for r, row in enumerate(rows):
+            row = list(row)
+            if len(row) != len(headers):
+                raise ParameterError(
+                    f"row {r} has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(row)
+    return out

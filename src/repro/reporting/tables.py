@@ -1,0 +1,67 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..exceptions import ParameterError
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; each row must match the header length.
+    float_format:
+        ``format()`` spec applied to floats.
+    title:
+        Optional heading printed above the table.
+
+    Examples
+    --------
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+    rendered: List[List[str]] = []
+    for r, row in enumerate(rows):
+        row = list(row)
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row {r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered.append([_render_cell(v, float_format) for v in row])
+
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths) + "-")
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Data scrubbing: policies, schedule physics, and optimisation.
+
+Scrubbing is "essentially preventive maintenance on data errors" (§6.4):
+a background pass reads every sector, checks it against parity, and
+repairs latent defects before an operational failure can turn them into
+double-disk failures.  The paper's Fig. 9 sweeps scrub durations and its
+conclusion warns that systems that do not scrub are "a recipe for
+disaster" — and that ever-larger drives make complete scrubs costly.
+
+* :mod:`~repro.scrub.policies` — scrub policy objects that produce the
+  TTScrub distribution the simulator consumes;
+* :mod:`~repro.scrub.schedule` — the physical floor: minimum full-pass
+  time from capacity and spare bandwidth;
+* :mod:`~repro.scrub.optimizer` — pick the cheapest scrub meeting a DDF
+  target.
+"""
+
+from .optimizer import ScrubRecommendation, recommend_scrub_interval
+from .policies import (
+    AdaptiveScrubPolicy,
+    BackgroundScrubPolicy,
+    NoScrubPolicy,
+    PeriodicScrubPolicy,
+    ScrubPolicy,
+)
+from .schedule import minimum_scrub_pass_hours, scrub_distribution_for_drive
+
+__all__ = [
+    "ScrubPolicy",
+    "NoScrubPolicy",
+    "BackgroundScrubPolicy",
+    "PeriodicScrubPolicy",
+    "AdaptiveScrubPolicy",
+    "minimum_scrub_pass_hours",
+    "scrub_distribution_for_drive",
+    "recommend_scrub_interval",
+    "ScrubRecommendation",
+]

@@ -1,0 +1,121 @@
+"""Scrub-interval optimisation against a reliability target.
+
+The paper's closing guidance: "Short scrub durations can improve
+reliability, but at some point the extensive scrubbing required ... will
+unacceptably impact performance."  The optimizer finds the *slowest*
+(cheapest) scrub that still meets a DDF budget, using the closed-form
+approximation for search speed and the Monte Carlo engine for optional
+verification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from .._validation import require_positive
+from ..analytical.approximations import expected_ddfs_approximation
+from ..exceptions import ParameterError
+from ..simulation.config import RaidGroupConfig
+from ..simulation.monte_carlo import simulate_raid_groups
+from .policies import BackgroundScrubPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubRecommendation:
+    """Outcome of a scrub-interval search.
+
+    Attributes
+    ----------
+    characteristic_hours:
+        Chosen TTScrub characteristic life (``None`` if no candidate met
+        the target).
+    predicted_ddfs_per_thousand:
+        Closed-form mission estimate for the chosen scrub.
+    simulated_ddfs_per_thousand:
+        Monte Carlo verification, when requested.
+    candidates_evaluated:
+        Every (characteristic, prediction) pair inspected, slowest first.
+    """
+
+    characteristic_hours: Optional[float]
+    predicted_ddfs_per_thousand: Optional[float]
+    simulated_ddfs_per_thousand: Optional[float]
+    candidates_evaluated: List
+
+    @property
+    def target_met(self) -> bool:
+        """Whether any candidate satisfied the budget."""
+        return self.characteristic_hours is not None
+
+
+def _predict(config: RaidGroupConfig, scrub_hours: Optional[float]) -> float:
+    policy = (
+        BackgroundScrubPolicy(characteristic_hours=scrub_hours)
+        if scrub_hours is not None
+        else None
+    )
+    return expected_ddfs_approximation(
+        n_data=config.n_data,
+        time_to_op=config.time_to_op,
+        time_to_restore=config.time_to_restore,
+        mission_hours=config.mission_hours,
+        n_groups=1000,
+        time_to_latent=config.time_to_latent,
+        scrub_residence=policy.residence_distribution() if policy else None,
+    )
+
+
+def recommend_scrub_interval(
+    config: RaidGroupConfig,
+    target_ddfs_per_thousand: float,
+    candidate_hours: Sequence[float] = (336.0, 168.0, 48.0, 24.0, 12.0, 6.0),
+    verify_groups: int = 0,
+    seed: int = 0,
+) -> ScrubRecommendation:
+    """Slowest background scrub meeting a mission DDF budget.
+
+    Parameters
+    ----------
+    config:
+        Group design; must model latent defects (otherwise scrubbing is
+        moot).
+    target_ddfs_per_thousand:
+        Mission DDF budget per 1,000 groups.
+    candidate_hours:
+        Scrub characteristic lives to consider, slowest (cheapest) first.
+    verify_groups:
+        When > 0, verify the chosen candidate with a fleet simulation of
+        this size.
+    """
+    if config.time_to_latent is None:
+        raise ParameterError("config models no latent defects; nothing to scrub")
+    require_positive("target_ddfs_per_thousand", target_ddfs_per_thousand)
+    candidates = sorted(set(float(c) for c in candidate_hours), reverse=True)
+    if not candidates:
+        raise ParameterError("candidate_hours must be non-empty")
+
+    evaluated = []
+    chosen: Optional[float] = None
+    chosen_prediction: Optional[float] = None
+    for hours in candidates:
+        prediction = _predict(config, hours)
+        evaluated.append((hours, prediction))
+        if prediction <= target_ddfs_per_thousand:
+            chosen = hours
+            chosen_prediction = prediction
+            break
+
+    simulated: Optional[float] = None
+    if chosen is not None and verify_groups > 0:
+        policy = BackgroundScrubPolicy(characteristic_hours=chosen)
+        verified_config = config.with_scrub(policy.residence_distribution())
+        result = simulate_raid_groups(verified_config, n_groups=verify_groups, seed=seed)
+        simulated = result.total_ddfs * 1000.0 / result.n_groups
+
+    return ScrubRecommendation(
+        characteristic_hours=chosen,
+        predicted_ddfs_per_thousand=chosen_prediction,
+        simulated_ddfs_per_thousand=simulated,
+        candidates_evaluated=evaluated,
+    )

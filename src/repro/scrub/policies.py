@@ -1,0 +1,143 @@
+"""Scrub policies: how long a latent defect survives before repair.
+
+A policy's job is to produce the ``d_Scrub`` distribution of Fig. 4 — the
+time from a defect's *arrival* to its repair.  The paper models this as a
+three-parameter Weibull with shape 3 ("a Normal shaped distribution after
+the delay set by the location parameter"), the location being the minimum
+time to cover the whole drive.  Alternative policies are provided for
+design studies.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+from .._validation import require_non_negative, require_positive
+from ..distributions import Mixture, Uniform, Weibull
+from ..distributions.base import Distribution
+
+
+class ScrubPolicy(abc.ABC):
+    """Strategy object producing a TTScrub distribution."""
+
+    @abc.abstractmethod
+    def residence_distribution(self) -> Optional[Distribution]:
+        """Distribution of defect residence time (``None`` = never scrubbed)."""
+
+    def mean_residence_hours(self) -> float:
+        """Mean time a defect stays latent; ``inf`` when never scrubbed."""
+        dist = self.residence_distribution()
+        if dist is None:
+            return float("inf")
+        return float(dist.mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class NoScrubPolicy(ScrubPolicy):
+    """The paper's "recipe for disaster": defects persist until the drive
+    is replaced (or a DDF forces a full restoration)."""
+
+    def residence_distribution(self) -> Optional[Distribution]:
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class BackgroundScrubPolicy(ScrubPolicy):
+    """Continuous background scrubbing — the paper's model (§6.4).
+
+    Attributes
+    ----------
+    characteristic_hours:
+        Weibull ``eta``: the spread set by foreground-I/O competition (the
+        Fig. 9 sweep variable: 12, 48, 168, 336 h).
+    minimum_hours:
+        Location ``gamma``: the time to cover the whole drive at full
+        spare bandwidth (the paper's base case uses 6 h).
+    shape:
+        Weibull ``beta``; the paper fixes 3 for a near-Normal shape.
+    """
+
+    characteristic_hours: float
+    minimum_hours: float = 6.0
+    shape: float = 3.0
+
+    def __post_init__(self) -> None:
+        require_positive("characteristic_hours", self.characteristic_hours)
+        require_non_negative("minimum_hours", self.minimum_hours)
+        require_positive("shape", self.shape)
+
+    def residence_distribution(self) -> Distribution:
+        return Weibull(
+            shape=self.shape,
+            scale=self.characteristic_hours,
+            location=self.minimum_hours,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodicScrubPolicy(ScrubPolicy):
+    """Fixed-interval full passes (e.g. "scrub every Sunday night").
+
+    A defect arrives uniformly within the scrub cycle, waits for the next
+    pass to start, and is repaired partway through that pass — on average
+    halfway, since defect locations are uniform over the drive.  The
+    residence is therefore ``Uniform(0, interval) + pass_duration/2``,
+    modeled as a uniform on ``[pass/2, interval + pass/2]``.
+
+    Attributes
+    ----------
+    interval_hours:
+        Time between pass starts.
+    pass_duration_hours:
+        Time for one full pass over the drive.
+    """
+
+    interval_hours: float
+    pass_duration_hours: float
+
+    def __post_init__(self) -> None:
+        require_positive("interval_hours", self.interval_hours)
+        require_positive("pass_duration_hours", self.pass_duration_hours)
+
+    def residence_distribution(self) -> Distribution:
+        half_pass = 0.5 * self.pass_duration_hours
+        return Uniform(low=half_pass, high=self.interval_hours + half_pass)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveScrubPolicy(ScrubPolicy):
+    """Workload-adaptive scrubbing: fast when idle, slow when busy.
+
+    A fraction of time the system is idle enough for a fast pass; the
+    rest of the time scrubbing crawls.  The residence is a mixture of a
+    fast and a slow Weibull — an extension the paper's §6.4 discussion
+    ("may be as short as the transfer rates permit, or may be as long as
+    weeks") invites.
+
+    Attributes
+    ----------
+    fast:
+        Policy in effect during idle periods.
+    slow:
+        Policy in effect under heavy foreground load.
+    idle_fraction:
+        Long-run fraction of defects arriving into idle conditions.
+    """
+
+    fast: BackgroundScrubPolicy
+    slow: BackgroundScrubPolicy
+    idle_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.idle_fraction < 1.0:
+            raise ValueError(
+                f"idle_fraction must be strictly between 0 and 1, got {self.idle_fraction!r}"
+            )
+
+    def residence_distribution(self) -> Distribution:
+        return Mixture(
+            [self.fast.residence_distribution(), self.slow.residence_distribution()],
+            weights=[self.idle_fraction, 1.0 - self.idle_fraction],
+        )

@@ -1,0 +1,91 @@
+"""Physical scrub-schedule floors (Section 6.4).
+
+"The minimum time to cover the entire HDD is based on capacity and
+foreground I/O" — a full scrub pass must read every byte of the drive at
+whatever bandwidth foreground traffic leaves over.  "The operating system
+may invoke a maximum time to complete scrubbing", which caps the slow
+tail.  Together these produce the paper's three-parameter Weibull TTScrub.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .._validation import require_positive, require_probability
+from ..distributions import Weibull
+from ..hdd.specs import HddSpec
+
+
+def minimum_scrub_pass_hours(
+    spec: HddSpec,
+    foreground_io_fraction: float = 0.0,
+) -> float:
+    """Fastest possible full pass over one drive.
+
+    Parameters
+    ----------
+    spec:
+        The drive (capacity and sustained rate set the floor).
+    foreground_io_fraction:
+        Share of the drive's bandwidth serving user I/O; scrubbing gets
+        the remainder.
+
+    Examples
+    --------
+    >>> from repro.hdd.specs import FC_144GB
+    >>> round(minimum_scrub_pass_hours(FC_144GB), 2)  # 144 GB at 100 MB/s
+    0.4
+    """
+    require_probability("foreground_io_fraction", foreground_io_fraction)
+    if foreground_io_fraction >= 1.0:
+        raise ValueError("foreground I/O cannot consume the whole drive bandwidth")
+    spare = spec.sustained_bytes_per_hour * (1.0 - foreground_io_fraction)
+    return spec.capacity_bytes / spare
+
+
+def scrub_distribution_for_drive(
+    spec: HddSpec,
+    foreground_io_fraction: float = 0.5,
+    max_hours: Optional[float] = None,
+    shape: float = 3.0,
+    max_quantile: float = 0.95,
+) -> Weibull:
+    """Build a TTScrub distribution from drive physics and an OS cap.
+
+    Parameters
+    ----------
+    spec:
+        The drive being scrubbed.
+    foreground_io_fraction:
+        Long-run share of drive bandwidth taken by user I/O.
+    max_hours:
+        Operating-system bound on scrub completion; sets the scale so that
+        ``max_quantile`` of scrubs finish within it.  When ``None``, the
+        scale is three times the minimum pass (a moderate-load default).
+    shape:
+        Weibull ``beta``; the paper fixes 3.
+    max_quantile:
+        Which quantile the ``max_hours`` cap pins.
+
+    Raises
+    ------
+    ValueError:
+        ``max_hours`` at or below the physical minimum.
+    """
+    require_positive("shape", shape)
+    minimum = minimum_scrub_pass_hours(spec, foreground_io_fraction)
+    if max_hours is None:
+        scale = 3.0 * minimum
+    else:
+        require_positive("max_hours", max_hours)
+        if max_hours <= minimum:
+            raise ValueError(
+                f"max_hours ({max_hours!r}) must exceed the physical minimum "
+                f"pass time ({minimum:.2f} h)"
+            )
+        if not 0.0 < max_quantile < 1.0:
+            raise ValueError(f"max_quantile must be in (0, 1), got {max_quantile!r}")
+        # Solve (max - min) = scale * (-ln(1 - q))**(1/shape) for the scale.
+        scale = (max_hours - minimum) / (-math.log(1.0 - max_quantile)) ** (1.0 / shape)
+    return Weibull(shape=shape, scale=scale, location=minimum)

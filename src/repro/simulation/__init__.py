@@ -1,0 +1,49 @@
+"""Sequential Monte Carlo simulation of RAID groups (Sections 4.2 and 5).
+
+This is the paper's primary contribution: a chronological simulation of
+each RAID group in which every drive slot carries its own time-to-
+operational-failure, time-to-restore, time-to-latent-defect and
+time-to-scrub distributions — none of which needs to be exponential.
+
+* :mod:`~repro.simulation.config` — :class:`RaidGroupConfig`, the four
+  transition distributions plus group shape and mission;
+* :mod:`~repro.simulation.events` — the discrete-event machinery;
+* :mod:`~repro.simulation.rng` — reproducible per-replication random
+  streams;
+* :mod:`~repro.simulation.raid_simulator` — the Fig. 4 state machine for
+  one group over one mission;
+* :mod:`~repro.simulation.monte_carlo` — fleet-level replication runner
+  (:func:`simulate_raid_groups`);
+* :mod:`~repro.simulation.results` — cumulative DDF curves (the
+  "DDFs per 1000 RAID groups" axes of Figs 6-10), ROCOF estimation,
+  confidence intervals;
+* :mod:`~repro.simulation.sensitivity` — parameter sweeps;
+* :mod:`~repro.simulation.trace` — Fig. 5-style per-slot timing traces.
+"""
+
+from .availability import AvailabilityReport
+from .config import RaidGroupConfig
+from .monte_carlo import MonteCarloRunner, simulate_raid_groups
+from .raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
+from .results import DDFEvent, SimulationResult
+from .sensitivity import SweepResult, sweep
+from .spares import SparePool, SparePoolConfig
+from .trace import TimelineRecorder, render_timing_diagram
+
+__all__ = [
+    "RaidGroupConfig",
+    "RaidGroupSimulator",
+    "GroupChronology",
+    "DDFType",
+    "DDFEvent",
+    "SimulationResult",
+    "MonteCarloRunner",
+    "simulate_raid_groups",
+    "sweep",
+    "SweepResult",
+    "SparePool",
+    "SparePoolConfig",
+    "AvailabilityReport",
+    "TimelineRecorder",
+    "render_timing_diagram",
+]

@@ -1,0 +1,140 @@
+"""Availability and exposure accounting from simulation timelines.
+
+DDF counts answer "how often do we lose data?"; operators also ask "how
+long do we run degraded?".  This module post-processes a
+:class:`~repro.simulation.trace.TimelineRecorder` into interval-based
+metrics: per-slot downtime, group degraded time (any drive down),
+double-degraded time (redundancy exhausted), and latent-defect exposure
+time — the window the latent-then-op DDF pathway lives in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from .._validation import require_int, require_positive
+from .trace import TimelineRecorder
+
+Interval = Tuple[float, float]
+
+
+def _merge(intervals: Sequence[Interval]) -> List[Interval]:
+    """Union of possibly overlapping intervals."""
+    merged: List[Interval] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _total(intervals: Sequence[Interval]) -> float:
+    return sum(end - start for start, end in intervals)
+
+
+def _overlap_at_least(intervals: Sequence[Interval], k: int) -> float:
+    """Total time covered by at least ``k`` of the given intervals."""
+    events: List[Tuple[float, int]] = []
+    for start, end in intervals:
+        events.append((start, 1))
+        events.append((end, -1))
+    events.sort()
+    depth = 0
+    covered = 0.0
+    previous = None
+    for time, delta in events:
+        if previous is not None and depth >= k:
+            covered += time - previous
+        depth += delta
+        previous = time
+    return covered
+
+
+@dataclasses.dataclass(frozen=True)
+class AvailabilityReport:
+    """Interval-based availability metrics for one group chronology.
+
+    Attributes
+    ----------
+    mission_hours:
+        Observation window.
+    slot_down_hours:
+        Per-slot operational downtime (failed / rebuilding).
+    degraded_hours:
+        Time with at least one drive down.
+    double_degraded_hours:
+        Time with two or more drives down simultaneously (redundancy
+        exhausted for a single-parity group).
+    exposure_hours:
+        Total slot-hours carrying an unrepaired latent defect.
+    """
+
+    mission_hours: float
+    slot_down_hours: List[float]
+    degraded_hours: float
+    double_degraded_hours: float
+    exposure_hours: float
+
+    @property
+    def group_availability(self) -> float:
+        """Fraction of the mission with every drive up."""
+        return 1.0 - self.degraded_hours / self.mission_hours
+
+    @property
+    def mean_slot_availability(self) -> float:
+        """Average per-drive uptime fraction."""
+        n = len(self.slot_down_hours)
+        down = sum(self.slot_down_hours) / n if n else 0.0
+        return 1.0 - down / self.mission_hours
+
+    @property
+    def exposure_fraction(self) -> float:
+        """Average fraction of slot-time spent latent-exposed."""
+        n = len(self.slot_down_hours)
+        if n == 0:
+            return 0.0
+        return self.exposure_hours / (n * self.mission_hours)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: TimelineRecorder,
+        n_slots: int,
+        mission_hours: float,
+    ) -> "AvailabilityReport":
+        """Compute the report from a recorded simulator run."""
+        require_int("n_slots", n_slots, minimum=1)
+        require_positive("mission_hours", mission_hours)
+
+        slot_down: List[float] = []
+        all_down_intervals: List[Interval] = []
+        exposure = 0.0
+        for slot in range(n_slots):
+            down = [
+                (start, min(end, mission_hours))
+                for start, end in recorder.slot_intervals(
+                    slot, "op_fail", "restore", mission_hours
+                )
+                if start < mission_hours
+            ]
+            down = _merge(down)
+            slot_down.append(_total(down))
+            all_down_intervals.extend(down)
+            exposed = [
+                (start, min(end, mission_hours))
+                for start, end in recorder.slot_intervals(
+                    slot, "latent", "scrub", mission_hours
+                )
+                if start < mission_hours
+            ]
+            exposure += _total(_merge(exposed))
+
+        return cls(
+            mission_hours=mission_hours,
+            slot_down_hours=slot_down,
+            degraded_hours=_total(_merge(all_down_intervals)),
+            double_degraded_hours=_overlap_at_least(all_down_intervals, 2),
+            exposure_hours=exposure,
+        )

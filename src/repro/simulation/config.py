@@ -1,0 +1,179 @@
+"""Simulation configuration: the four transition distributions + geometry.
+
+A :class:`RaidGroupConfig` is the complete input of the paper's model: the
+group shape (N+1), the mission, and the distributions ``d_Op``,
+``d_Restore``, ``d_Ld``, ``d_Scrub`` of Fig. 4.  Omitting ``d_Ld`` models
+an idealised drive with no data corruption (the Fig. 6 studies); omitting
+``d_Scrub`` while keeping ``d_Ld`` models a system that never scrubs (the
+Fig. 7 "no scrub" curve, the paper's "recipe for disaster").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .._validation import require_int, require_positive
+from ..distributions import Weibull
+from ..distributions.base import Distribution
+from ..exceptions import ParameterError
+from .spares import SparePoolConfig
+
+#: The paper's mission: 87,600 hours = 10 years.
+DEFAULT_MISSION_HOURS = 87_600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RaidGroupConfig:
+    """Everything the simulator needs about one RAID group design.
+
+    Attributes
+    ----------
+    n_data:
+        N — data drives; the group has N+1 drives total.
+    time_to_op:
+        d_Op, per-drive time to operational failure (fresh-drive age).
+    time_to_restore:
+        d_Restore, drive replacement + reconstruction duration.
+    time_to_latent:
+        d_Ld, per-drive time to latent-defect arrival; ``None`` disables
+        latent defects.
+    time_to_scrub:
+        d_Scrub, time from defect arrival until a scrub repairs it;
+        ``None`` (with latent defects enabled) means defects persist until
+        the drive itself is replaced.
+    mission_hours:
+        Simulated horizon per group.
+    n_parity:
+        Redundant drives per group.  1 (default) is the paper's (N+1)
+        single-parity group; 2 models the double-parity RAID 6 the paper's
+        conclusion recommends — data loss then requires a *third*
+        coincident problem (see
+        :class:`~repro.simulation.raid_simulator.RaidGroupSimulator` for
+        the exact rule).
+    latent_age_anchored:
+        How the latent process renews after a scrub.  ``False`` (default,
+        the paper's Fig. 5 discipline) draws each TTLd fresh — exact for
+        the paper's constant-rate TTLd, where both conventions coincide.
+        ``True`` samples the next arrival *conditional on current drive
+        age*, which is required for age-anchored TTLd models such as the
+        workload-profile hazards of :mod:`repro.hdd.workload` (otherwise
+        every scrub would reset the drive into its first workload phase).
+    spare_pool:
+        Optional finite spare shelf
+        (:class:`~repro.simulation.spares.SparePoolConfig`).  ``None``
+        (the paper's implicit assumption) means a spare is always in
+        hand; with a pool, a failure finding the shelf empty waits for
+        the next replenishment before its TTR clock starts.
+    """
+
+    n_data: int
+    time_to_op: Distribution
+    time_to_restore: Distribution
+    time_to_latent: Optional[Distribution] = None
+    time_to_scrub: Optional[Distribution] = None
+    mission_hours: float = DEFAULT_MISSION_HOURS
+    n_parity: int = 1
+    latent_age_anchored: bool = False
+    spare_pool: Optional["SparePoolConfig"] = None
+
+    def __post_init__(self) -> None:
+        require_int("n_data", self.n_data, minimum=1)
+        require_int("n_parity", self.n_parity, minimum=1)
+        require_positive("mission_hours", self.mission_hours)
+        if self.time_to_scrub is not None and self.time_to_latent is None:
+            raise ParameterError(
+                "time_to_scrub given without time_to_latent: nothing to scrub"
+            )
+
+    @property
+    def n_drives(self) -> int:
+        """Total drive slots (N + n_parity; the paper's N + 1)."""
+        return self.n_data + self.n_parity
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Simultaneous whole-drive failures survivable."""
+        return self.n_parity
+
+    @property
+    def models_latent_defects(self) -> bool:
+        """Whether the latent-defect process is active."""
+        return self.time_to_latent is not None
+
+    @property
+    def scrubbing_enabled(self) -> bool:
+        """Whether latent defects get repaired by scrubbing."""
+        return self.time_to_scrub is not None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_base_case(
+        cls,
+        scrub_characteristic_hours: Optional[float] = 168.0,
+        mission_hours: float = DEFAULT_MISSION_HOURS,
+    ) -> "RaidGroupConfig":
+        """The Table 2 base case: 8 drives, all-Weibull transitions.
+
+        Parameters
+        ----------
+        scrub_characteristic_hours:
+            d_Scrub characteristic life (the paper sweeps 12/48/168/336 in
+            Fig. 9); ``None`` disables scrubbing (the Fig. 7 worst case).
+        mission_hours:
+            Defaults to the paper's 10-year mission.
+
+        Notes
+        -----
+        Table 2 parameters: TTOp (0, 461386, 1.12); TTR (6, 12, 2);
+        TTLd (0, 9259, 1); TTScrub (6, eta, 3).
+        """
+        scrub: Optional[Distribution]
+        if scrub_characteristic_hours is None:
+            scrub = None
+        else:
+            scrub = Weibull(
+                shape=3.0,
+                scale=require_positive(
+                    "scrub_characteristic_hours", scrub_characteristic_hours
+                ),
+                location=6.0,
+            )
+        return cls(
+            n_data=7,
+            time_to_op=Weibull(shape=1.12, scale=461_386.0),
+            time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+            time_to_scrub=scrub,
+            mission_hours=mission_hours,
+        )
+
+    def without_latent_defects(self) -> "RaidGroupConfig":
+        """A copy with the latent-defect process disabled (Fig. 6 variants)."""
+        return dataclasses.replace(self, time_to_latent=None, time_to_scrub=None)
+
+    def as_raid6(self) -> "RaidGroupConfig":
+        """A copy with a second parity drive (the paper's recommended fix).
+
+        Same data drives; one extra slot; data loss now requires three
+        coincident problems instead of two.
+        """
+        return dataclasses.replace(self, n_parity=2)
+
+    def with_scrub(self, scrub: Optional[Distribution]) -> "RaidGroupConfig":
+        """A copy with a different (or no) scrub distribution."""
+        return dataclasses.replace(self, time_to_scrub=scrub)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"(N+1)={self.n_drives}", f"mission={self.mission_hours:g}h"]
+        parts.append(f"TTOp={self.time_to_op!r}")
+        parts.append(f"TTR={self.time_to_restore!r}")
+        if self.time_to_latent is not None:
+            parts.append(f"TTLd={self.time_to_latent!r}")
+            parts.append(
+                f"TTScrub={self.time_to_scrub!r}" if self.time_to_scrub else "no scrub"
+            )
+        else:
+            parts.append("no latent defects")
+        return ", ".join(parts)

@@ -1,0 +1,94 @@
+"""Discrete-event machinery: event kinds and a stable priority queue.
+
+The simulator is event-driven rather than the paper's array-sort-and-
+compare formulation (Fig. 5); the two are equivalent — both realise the
+same chronological sampling process — but an event queue makes the state
+machine explicit and scales linearly in the number of events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+from typing import List, Optional
+
+from ..exceptions import SimulationError
+
+
+class EventKind(enum.Enum):
+    """What happens at an event instant."""
+
+    #: A drive suffers an operational (catastrophic) failure.
+    OP_FAIL = "op_fail"
+    #: A replaced drive's reconstruction completes.
+    OP_RESTORED = "op_restored"
+    #: A latent defect (undetected data corruption) appears on a drive.
+    LD_ARRIVE = "ld_arrive"
+    #: A scrub pass reaches and repairs a drive's latent defect.
+    SCRUB_DONE = "scrub_done"
+    #: Post-DDF cleanup clears an exposed drive's defect.
+    LD_CLEARED = "ld_cleared"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Ordering is (time, sequence): the sequence number makes simultaneous
+    events deterministic in insertion order — required for reproducibility.
+
+    Attributes
+    ----------
+    time:
+        Simulation clock, hours.
+    seq:
+        Monotone insertion counter (tie-breaker).
+    kind:
+        The event type.
+    slot:
+        The drive slot the event concerns.
+    generation:
+        Process generation stamp; events whose slot process has since been
+        reset (drive replaced, defect force-cleared) are stale and must be
+        ignored.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = dataclasses.field(compare=False)
+    slot: int = dataclasses.field(compare=False)
+    generation: int = dataclasses.field(compare=False, default=0)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, slot: int, generation: int = 0) -> Event:
+        """Schedule an event; returns the stored event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time!r}")
+        event = Event(time=time, seq=self._seq, kind=kind, slot=slot, generation=generation)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None``."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

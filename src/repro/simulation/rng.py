@@ -1,0 +1,80 @@
+"""Reproducible random-number streams for the Monte Carlo engine.
+
+One user-supplied seed fans out deterministically to per-replication
+generators via :class:`numpy.random.SeedSequence` spawning.  Two runs with
+the same seed and replication count produce identical chronologies;
+changing the fleet size leaves earlier replications' streams unchanged,
+so scenario comparisons are variance-coupled where configurations share
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from .._validation import require_int
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+def make_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Normalise a user seed into a :class:`~numpy.random.SeedSequence`."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def replication_generators(
+    seed: SeedLike,
+    n_replications: int,
+) -> List[np.random.Generator]:
+    """One independent generator per replication.
+
+    Each replication's stream depends only on (seed, replication index),
+    never on how many replications run.
+    """
+    require_int("n_replications", n_replications, minimum=1)
+    root = make_seed_sequence(seed)
+    return [np.random.Generator(np.random.PCG64(s)) for s in root.spawn(n_replications)]
+
+
+def iter_replication_generators(
+    seed: SeedLike,
+    n_replications: int,
+) -> Iterator[np.random.Generator]:
+    """Lazy variant of :func:`replication_generators` for large fleets."""
+    require_int("n_replications", n_replications, minimum=1)
+    root = make_seed_sequence(seed)
+    for child in root.spawn(n_replications):
+        yield np.random.Generator(np.random.PCG64(child))
+
+
+class SampleBuffer:
+    """Amortised scalar sampling from a distribution.
+
+    The event loop draws one value at a time, but per-call ``numpy``
+    overhead dominates scalar sampling.  This buffer draws in blocks and
+    hands out scalars — identical stream contents, ~10x fewer generator
+    calls.
+    """
+
+    def __init__(self, distribution, rng: np.random.Generator, block: int = 64) -> None:
+        require_int("block", block, minimum=1)
+        self._distribution = distribution
+        self._rng = rng
+        self._block = block
+        self._values: Optional[np.ndarray] = None
+        self._index = 0
+
+    def draw(self) -> float:
+        """Next sample from the wrapped distribution."""
+        if self._values is None or self._index >= self._values.size:
+            self._values = np.atleast_1d(
+                self._distribution.sample(self._rng, self._block)
+            )
+            self._index = 0
+        value = float(self._values[self._index])
+        self._index += 1
+        return value

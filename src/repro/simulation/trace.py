@@ -1,0 +1,113 @@
+"""Per-slot event traces and Fig. 5-style timing diagrams.
+
+The paper explains its sampling discipline with a digital-timing-diagram
+figure: one lane per drive slot, high = operating, low = failed/defective.
+:class:`TimelineRecorder` captures the same information from a simulator
+run, and :func:`render_timing_diagram` draws it as ASCII art — useful for
+eyeballing individual chronologies and for documentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from .._validation import require_int, require_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEntry:
+    """One recorded state change."""
+
+    time: float
+    slot: int
+    kind: str  # "op_fail" | "restore" | "latent" | "scrub"
+
+
+class TimelineRecorder:
+    """Collects per-slot events during a single simulator run."""
+
+    def __init__(self) -> None:
+        self.entries: List[TraceEntry] = []
+        self.ddfs: List[Tuple[float, str]] = []
+
+    def record_op_fail(self, slot: int, time: float) -> None:
+        """A drive slot suffered an operational failure."""
+        self.entries.append(TraceEntry(time=time, slot=slot, kind="op_fail"))
+
+    def record_restore(self, slot: int, time: float) -> None:
+        """A drive slot completed reconstruction."""
+        self.entries.append(TraceEntry(time=time, slot=slot, kind="restore"))
+
+    def record_latent(self, slot: int, time: float) -> None:
+        """A latent defect arrived on a slot."""
+        self.entries.append(TraceEntry(time=time, slot=slot, kind="latent"))
+
+    def record_scrub(self, slot: int, time: float) -> None:
+        """A slot's latent defect was repaired (scrub or DDF cleanup)."""
+        self.entries.append(TraceEntry(time=time, slot=slot, kind="scrub"))
+
+    def record_ddf(self, time: float, ddf_type: str) -> None:
+        """A double-disk failure occurred."""
+        self.ddfs.append((time, ddf_type))
+
+    def slot_intervals(self, slot: int, kind_down: str, kind_up: str, horizon: float):
+        """Down-state intervals for one slot, as (start, end) pairs."""
+        downs = sorted(
+            e.time for e in self.entries if e.slot == slot and e.kind == kind_down
+        )
+        ups = sorted(
+            e.time for e in self.entries if e.slot == slot and e.kind == kind_up
+        )
+        intervals = []
+        for start in downs:
+            later = [u for u in ups if u > start]
+            intervals.append((start, later[0] if later else horizon))
+        return intervals
+
+
+def render_timing_diagram(
+    recorder: TimelineRecorder,
+    n_slots: int,
+    horizon_hours: float,
+    width: int = 72,
+) -> str:
+    """ASCII timing diagram: one lane per slot plus a DDF marker lane.
+
+    ``#`` marks operational-failure downtime, ``~`` marks latent-defect
+    exposure, ``-`` is healthy operation; the DDF lane marks each
+    double-disk failure with ``X``.
+    """
+    require_int("n_slots", n_slots, minimum=1)
+    require_positive("horizon_hours", horizon_hours)
+    require_int("width", width, minimum=10)
+
+    def column(time: float) -> int:
+        return min(int(time / horizon_hours * width), width - 1)
+
+    lines = []
+    for slot in range(n_slots):
+        lane = ["-"] * width
+        for start, end in recorder.slot_intervals(slot, "latent", "scrub", horizon_hours):
+            for c in range(column(start), column(end) + 1):
+                lane[c] = "~"
+        for start, end in recorder.slot_intervals(slot, "op_fail", "restore", horizon_hours):
+            for c in range(column(start), column(end) + 1):
+                lane[c] = "#"
+        lines.append(f"slot {slot:2d} |{''.join(lane)}|")
+
+    ddf_lane = [" "] * width
+    for time, _ in recorder.ddfs:
+        ddf_lane[column(time)] = "X"
+    lines.append(f"DDF     |{''.join(ddf_lane)}|")
+    lines.append(
+        f"         0{'h':<{width - 8}}{horizon_hours:,.0f}h"
+    )
+    legend: Dict[str, str] = {
+        "#": "operational failure / restoring",
+        "~": "latent defect exposed",
+        "-": "healthy",
+        "X": "double-disk failure",
+    }
+    lines.append("legend: " + "  ".join(f"{k} {v}" for k, v in legend.items()))
+    return "\n".join(lines)

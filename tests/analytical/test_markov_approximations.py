@@ -1,0 +1,173 @@
+"""Unit tests for the CTMC baselines and closed-form approximations."""
+
+import numpy as np
+import pytest
+
+from repro.analytical.approximations import (
+    ddf_rate_approximation,
+    expected_ddfs_approximation,
+    latent_exposure_fraction,
+)
+from repro.analytical.markov import (
+    ContinuousTimeMarkovChain,
+    raid5_ctmc,
+    raid5_latent_ctmc,
+    raid6_ctmc,
+)
+from repro.analytical.mttdl import mttdl_raid6
+from repro.analytical.mttdl import expected_ddfs, mttdl_independent
+from repro.distributions import Weibull
+from repro.exceptions import ParameterError
+
+
+class TestCTMCCore:
+    def test_probabilities_sum_to_one(self):
+        chain = raid5_ctmc(7, 461_386.0, 12.0)
+        probs = chain.transient_probabilities(np.array([0.0, 100.0, 87_600.0]))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-7)
+
+    def test_initial_state(self):
+        chain = raid5_ctmc(7, 461_386.0, 12.0)
+        probs = chain.transient_probabilities(np.array([0.0]))
+        np.testing.assert_allclose(probs[0], [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_two_state_exponential_decay(self):
+        # A pure death chain: P(state 0 at t) = exp(-rate t).
+        chain = ContinuousTimeMarkovChain(2, {(0, 1): 0.01})
+        probs = chain.transient_probabilities(np.array([50.0, 100.0]))
+        np.testing.assert_allclose(probs[:, 0], np.exp([-0.5, -1.0]), rtol=1e-6)
+
+    def test_expected_entries_for_poisson_counter(self):
+        # Two states cycling 0 -> 1 -> 0 fast: entries into 1 ~ rate*t for
+        # rate << return rate.
+        chain = ContinuousTimeMarkovChain(2, {(0, 1): 1e-4, (1, 0): 10.0})
+        entries = chain.expected_entries([1], np.array([10_000.0]))
+        assert entries[0] == pytest.approx(1.0, rel=0.01)
+
+    def test_stationary_distribution(self):
+        chain = ContinuousTimeMarkovChain(2, {(0, 1): 1.0, (1, 0): 3.0})
+        pi = chain.stationary_distribution()
+        np.testing.assert_allclose(pi, [0.75, 0.25], atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ContinuousTimeMarkovChain(2, {(0, 0): 1.0})
+        with pytest.raises(ParameterError):
+            ContinuousTimeMarkovChain(2, {(0, 5): 1.0})
+        with pytest.raises(ParameterError):
+            ContinuousTimeMarkovChain(2, {(0, 1): -1.0})
+        with pytest.raises(ParameterError):
+            ContinuousTimeMarkovChain(2, {}, state_names=["only-one"])
+
+    def test_unsorted_times_handled(self):
+        chain = raid5_ctmc(7, 461_386.0, 12.0)
+        times = np.array([87_600.0, 8_760.0])
+        entries = chain.expected_entries([2], times)
+        assert entries[0] > entries[1]
+
+
+class TestRaid5Chain:
+    def test_matches_mttdl_rate(self):
+        # With constant rates the chain's expected DDF entries reproduce
+        # eq. 3 (the transient correction is tiny because mu >> lambda).
+        chain = raid5_ctmc(7, 461_386.0, 12.0)
+        t = 87_600.0
+        entries = chain.expected_entries([2], np.array([t]))[0]
+        mttdl = mttdl_independent(7, 461_386.0, 12.0)
+        eq3 = expected_ddfs(mttdl, n_groups=1, mission_hours=t)
+        assert entries == pytest.approx(eq3, rel=0.01)
+
+    def test_latent_chain_dominates_plain_chain(self):
+        plain = raid5_ctmc(7, 461_386.0, 12.0)
+        latent = raid5_latent_ctmc(7, 461_386.0, 9_259.0, 12.0, 156.0)
+        t = np.array([87_600.0])
+        plain_ddfs = plain.expected_entries([2], t)[0]
+        latent_ddfs = latent.expected_entries([3, 4], t)[0]
+        assert latent_ddfs > 100 * plain_ddfs
+
+    def test_latent_chain_state_count(self):
+        chain = raid5_latent_ctmc(7, 461_386.0, 9_259.0, 12.0, 156.0)
+        assert chain.n_states == 5
+        assert chain.state_names[0] == "fully_functional"
+
+    def test_faster_scrub_fewer_ddfs(self):
+        t = np.array([87_600.0])
+        slow = raid5_latent_ctmc(7, 461_386.0, 9_259.0, 12.0, 336.0)
+        fast = raid5_latent_ctmc(7, 461_386.0, 9_259.0, 12.0, 12.0)
+        assert (
+            fast.expected_entries([3, 4], t)[0] < slow.expected_entries([3, 4], t)[0]
+        )
+
+    def test_raid6_chain_matches_closed_form(self):
+        # Use elevated rates so the data-loss probability is resolvable.
+        chain = raid6_ctmc(7, 20_000.0, 50.0)
+        t = 87_600.0
+        entries = chain.expected_entries([3], np.array([t]))[0]
+        predicted = t / mttdl_raid6(7, 20_000.0, 50.0)
+        assert entries == pytest.approx(predicted, rel=0.05)
+
+    def test_raid6_chain_far_safer_than_raid5(self):
+        t = np.array([87_600.0])
+        r5 = raid5_ctmc(7, 461_386.0, 12.0).expected_entries([2], t)[0]
+        r6 = raid6_ctmc(7, 461_386.0, 12.0).expected_entries([3], t)[0]
+        assert r6 < 1e-3 * r5
+
+
+class TestApproximations:
+    def test_latent_exposure_alternating_renewal(self):
+        assert latent_exposure_fraction(9_259.0, 156.0) == pytest.approx(
+            156.0 / (9_259.0 + 156.0)
+        )
+
+    def test_latent_exposure_no_scrub(self):
+        assert latent_exposure_fraction(9_259.0, float("inf")) == 1.0
+
+    def test_ddf_rate_reduces_to_mttdl_without_latents(self):
+        lam = 1.0 / 461_386.0
+        rate = ddf_rate_approximation(7, lam, 12.0, latent_fraction=0.0)
+        assert rate == pytest.approx(1.0 / mttdl_independent(7, 461_386.0, 12.0))
+
+    def test_latent_term_saturates(self):
+        lam = 1.0 / 461_386.0
+        full = ddf_rate_approximation(7, lam, 12.0, latent_fraction=1.0)
+        # Every op failure is then a DDF: rate = (N+1) * lambda * ~1.
+        assert full == pytest.approx(8 * lam, rel=0.01)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ddf_rate_approximation(7, 1e-6, 12.0, latent_fraction=1.5)
+
+    def test_expected_ddfs_no_scrub_matches_simulator_band(self):
+        # Paper band: >1,200 DDFs per 1,000 groups per decade.
+        value = expected_ddfs_approximation(
+            7,
+            Weibull(shape=1.12, scale=461_386.0),
+            Weibull(shape=2.0, scale=12.0, location=6.0),
+            87_600.0,
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+        )
+        assert 900 < value < 1_600
+
+    def test_expected_ddfs_with_scrub_band(self):
+        value = expected_ddfs_approximation(
+            7,
+            Weibull(shape=1.12, scale=461_386.0),
+            Weibull(shape=2.0, scale=12.0, location=6.0),
+            87_600.0,
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+            scrub_residence=Weibull(shape=3.0, scale=168.0, location=6.0),
+        )
+        assert 60 < value < 250
+
+    def test_monotone_in_scrub_speed(self):
+        def value(scale):
+            return expected_ddfs_approximation(
+                7,
+                Weibull(shape=1.12, scale=461_386.0),
+                Weibull(shape=2.0, scale=12.0, location=6.0),
+                87_600.0,
+                time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+                scrub_residence=Weibull(shape=3.0, scale=scale, location=6.0),
+            )
+
+        assert value(12.0) < value(48.0) < value(168.0) < value(336.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the MTTDL formulas (paper equations 1-3)."""
+
+import pytest
+
+from repro.analytical.mttdl import (
+    HOURS_PER_YEAR,
+    expected_ddfs,
+    mttdl_exact,
+    mttdl_independent,
+    mttdl_raid6,
+    paper_equation_3_example,
+)
+from repro.exceptions import ParameterError
+
+
+class TestEquation1And2:
+    def test_paper_worked_example(self):
+        # MTBF = 461,386 h, MTTR = 12 h, N = 7 -> 36,162 years.
+        years = mttdl_independent(7, 461_386.0, 12.0) / HOURS_PER_YEAR
+        assert years == pytest.approx(36_162.0, abs=1.0)
+
+    def test_exact_close_to_simplified_when_mu_large(self):
+        exact = mttdl_exact(7, 461_386.0, 12.0)
+        simplified = mttdl_independent(7, 461_386.0, 12.0)
+        assert exact == pytest.approx(simplified, rel=1e-3)
+
+    def test_exact_exceeds_simplified(self):
+        # Equation 1 includes the (2N+1)lambda term, adding a little time.
+        assert mttdl_exact(4, 1_000.0, 100.0) > mttdl_independent(4, 1_000.0, 100.0)
+
+    def test_scales_inversely_with_group_size(self):
+        small = mttdl_independent(3, 1e5, 10.0)
+        large = mttdl_independent(10, 1e5, 10.0)
+        assert small / large == pytest.approx((10 * 11) / (3 * 4))
+
+    def test_scales_inversely_with_mttr(self):
+        fast = mttdl_independent(7, 1e5, 6.0)
+        slow = mttdl_independent(7, 1e5, 24.0)
+        assert fast / slow == pytest.approx(4.0)
+
+    def test_scales_with_mtbf_squared(self):
+        assert mttdl_independent(7, 2e5, 12.0) / mttdl_independent(
+            7, 1e5, 12.0
+        ) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            mttdl_independent(0, 1e5, 12.0)
+        with pytest.raises(ParameterError):
+            mttdl_independent(7, -1.0, 12.0)
+        with pytest.raises(ParameterError):
+            mttdl_exact(7, 1e5, 0.0)
+
+
+class TestRaid6:
+    def test_far_exceeds_raid5(self):
+        r5 = mttdl_independent(7, 461_386.0, 12.0)
+        r6 = mttdl_raid6(7, 461_386.0, 12.0)
+        # The improvement factor is ~ MTTF / ((N+2) MTTR).
+        assert r6 / r5 == pytest.approx(461_386.0 / (9 * 12.0), rel=1e-9)
+
+    def test_mttr_squared_dependence(self):
+        assert mttdl_raid6(7, 1e5, 24.0) / mttdl_raid6(7, 1e5, 12.0) == pytest.approx(
+            0.25
+        )
+
+
+class TestEquation3:
+    def test_paper_example(self):
+        # 1,000 groups, 10 years, MTTDL 36,162 years -> ~0.27 DDFs.
+        assert paper_equation_3_example() == pytest.approx(0.277, abs=0.005)
+
+    def test_linear_in_time(self):
+        one = expected_ddfs(1e6, 100, 1_000.0)
+        ten = expected_ddfs(1e6, 100, 10_000.0)
+        assert ten == pytest.approx(10 * one)
+
+    def test_linear_in_groups(self):
+        assert expected_ddfs(1e6, 200, 1_000.0) == pytest.approx(
+            2 * expected_ddfs(1e6, 100, 1_000.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            expected_ddfs(0.0, 100, 1.0)
+        with pytest.raises(ParameterError):
+            expected_ddfs(1.0, 0, 1.0)

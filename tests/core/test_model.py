@@ -1,0 +1,98 @@
+"""Unit tests for the high-level NHPP latent-defect model API."""
+
+import pytest
+
+from repro.core import MTTDLComparison, NHPPLatentDefectModel
+from repro.distributions import Exponential
+from repro.exceptions import ParameterError
+from repro.simulation import RaidGroupConfig
+
+
+class TestConstruction:
+    def test_rejects_non_config(self):
+        with pytest.raises(ParameterError):
+            NHPPLatentDefectModel("not a config")
+
+    def test_default_mttdl_params_are_means(self):
+        config = RaidGroupConfig(
+            n_data=4,
+            time_to_op=Exponential(10_000.0),
+            time_to_restore=Exponential(24.0),
+        )
+        model = NHPPLatentDefectModel(config)
+        assert model.mttdl_mtbf_hours == pytest.approx(10_000.0)
+        assert model.mttdl_mttr_hours == pytest.approx(24.0)
+
+    def test_paper_base_case_uses_characteristic_lives(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        assert model.mttdl_mtbf_hours == 461_386.0
+        assert model.mttdl_mttr_hours == 12.0
+
+    def test_explicit_overrides(self):
+        config = RaidGroupConfig(
+            n_data=4,
+            time_to_op=Exponential(10_000.0),
+            time_to_restore=Exponential(24.0),
+        )
+        model = NHPPLatentDefectModel(config, mttdl_mtbf_hours=5_000.0)
+        assert model.mttdl_mtbf_hours == 5_000.0
+
+
+class TestPredictions:
+    def test_mttdl_hours_matches_formula(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        assert model.mttdl_hours() == pytest.approx(461_386.0**2 / (56 * 12.0))
+
+    def test_mttdl_prediction_paper_example(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        assert model.mttdl_prediction(n_groups=1000) == pytest.approx(0.277, abs=0.005)
+
+    def test_prediction_scales_with_horizon(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        full = model.mttdl_prediction(horizon_hours=87_600.0)
+        year = model.mttdl_prediction(horizon_hours=8_760.0)
+        assert full == pytest.approx(10 * year)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        return model.compare_to_mttdl(n_groups=300, seed=2)
+
+    def test_ratio_is_large(self, comparison):
+        # The paper's headline: orders of magnitude, not percent.
+        assert comparison.ratio > 50
+
+    def test_fields_consistent(self, comparison):
+        assert comparison.horizon_hours == 87_600.0
+        assert comparison.simulated_ddfs_per_thousand > 0
+        assert comparison.mttdl_ddfs_per_thousand == pytest.approx(0.277, abs=0.005)
+
+    def test_reuse_result(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        result = model.simulate(n_groups=100, seed=1)
+        reused = model.compare_to_mttdl(result=result)
+        fresh = model.compare_to_mttdl(n_groups=100, seed=1)
+        assert reused.simulated_ddfs_per_thousand == pytest.approx(
+            fresh.simulated_ddfs_per_thousand
+        )
+
+    def test_first_year_horizon(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        result = model.simulate(n_groups=300, seed=2)
+        first_year = model.compare_to_mttdl(result=result, horizon_hours=8_760.0)
+        assert first_year.mttdl_ddfs_per_thousand == pytest.approx(0.0277, abs=0.0005)
+
+    def test_horizon_beyond_mission_rejected(self):
+        model = NHPPLatentDefectModel.paper_base_case()
+        with pytest.raises(ParameterError):
+            model.compare_to_mttdl(n_groups=10, horizon_hours=1e9)
+
+    def test_zero_mttdl_ratio_inf(self):
+        comparison = MTTDLComparison(
+            horizon_hours=1.0,
+            simulated_ddfs_per_thousand=1.0,
+            mttdl_ddfs_per_thousand=0.0,
+        )
+        assert comparison.ratio == float("inf")

@@ -1,0 +1,113 @@
+"""Unit tests for the empirical (bootstrap) distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical, Weibull
+from repro.exceptions import DistributionError
+
+
+class TestConstruction:
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(DistributionError):
+            Empirical(np.array([1.0]))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DistributionError):
+            Empirical(np.array([0.0, 1.0]))
+
+    def test_tail_requires_mean(self):
+        with pytest.raises(DistributionError):
+            Empirical(np.array([1.0, 2.0]), tail_probability=0.1)
+
+    def test_rejects_bad_tail_probability(self):
+        with pytest.raises(DistributionError):
+            Empirical(np.array([1.0, 2.0]), tail_mean=1.0, tail_probability=1.0)
+
+
+class TestBodyOnly:
+    @pytest.fixture
+    def dist(self):
+        return Empirical(np.array([10.0, 20.0, 30.0, 40.0]))
+
+    def test_cdf_steps(self, dist):
+        assert dist.cdf(5.0) == 0.0
+        assert dist.cdf(10.0) == 0.25
+        assert dist.cdf(25.0) == 0.5
+        assert dist.cdf(40.0) == 1.0
+
+    def test_mean_is_sample_mean(self, dist):
+        assert dist.mean() == 25.0
+
+    def test_var_is_sample_var(self, dist):
+        assert dist.var() == pytest.approx(np.var([10.0, 20.0, 30.0, 40.0]))
+
+    def test_samples_come_from_sample(self, dist):
+        draws = dist.sample(np.random.default_rng(0), 500)
+        assert set(np.unique(draws)) <= {10.0, 20.0, 30.0, 40.0}
+
+    def test_scalar_sample(self, dist):
+        assert dist.sample(np.random.default_rng(0)) in (10.0, 20.0, 30.0, 40.0)
+
+    def test_n_observations(self, dist):
+        assert dist.n_observations == 4
+
+
+class TestWithTail:
+    @pytest.fixture
+    def dist(self):
+        return Empirical(
+            np.array([10.0, 20.0, 30.0]), tail_mean=100.0, tail_probability=0.2
+        )
+
+    def test_cdf_reaches_body_mass_at_max(self, dist):
+        assert dist.cdf(30.0) == pytest.approx(0.8)
+
+    def test_cdf_approaches_one(self, dist):
+        assert dist.cdf(30.0 + 2_000.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_tail_samples_exceed_max(self, dist):
+        draws = np.asarray(dist.sample(np.random.default_rng(1), 5_000))
+        tail = draws[draws > 30.0]
+        assert tail.size == pytest.approx(1_000, rel=0.15)
+        assert np.all(tail > 30.0)
+
+    def test_mean_includes_tail(self, dist):
+        expected = 0.8 * 20.0 + 0.2 * 130.0
+        assert dist.mean() == pytest.approx(expected)
+        draws = np.asarray(dist.sample(np.random.default_rng(2), 100_000))
+        assert draws.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_var_matches_sampling(self, dist):
+        draws = np.asarray(dist.sample(np.random.default_rng(3), 200_000))
+        assert draws.var() == pytest.approx(dist.var(), rel=0.05)
+
+    def test_pdf_only_in_tail(self, dist):
+        assert dist.pdf(20.0) == 0.0
+        assert dist.pdf(50.0) > 0.0
+
+
+class TestBootstrapFidelity:
+    def test_resampling_preserves_distribution(self):
+        # Bootstrap from a big Weibull sample ~ the original Weibull.
+        source = Weibull(shape=1.3, scale=1_000.0)
+        rng = np.random.default_rng(4)
+        observations = np.asarray(source.sample(rng, 20_000))
+        dist = Empirical(observations)
+        for probe in (300.0, 1_000.0, 2_500.0):
+            assert dist.cdf(probe) == pytest.approx(source.cdf(probe), abs=0.02)
+
+    def test_simulator_accepts_empirical_ttop(self):
+        from repro.distributions import Exponential
+        from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+        rng = np.random.default_rng(5)
+        observations = np.asarray(Weibull(1.12, 5_000.0).sample(rng, 5_000))
+        config = RaidGroupConfig(
+            n_data=3,
+            time_to_op=Empirical(observations),
+            time_to_restore=Exponential(50.0),
+            mission_hours=8_760.0,
+        )
+        result = simulate_raid_groups(config, n_groups=200, seed=6)
+        assert sum(c.n_op_failures for c in result.chronologies) > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the exponential (HPP baseline) distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ParameterError):
+            Exponential(mean=0.0)
+
+    def test_from_rate(self):
+        dist = Exponential.from_rate(rate=1e-5)
+        assert dist.mean() == pytest.approx(1e5)
+        assert dist.rate == pytest.approx(1e-5)
+
+    def test_from_rate_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            Exponential.from_rate(0.0)
+
+
+class TestProbability:
+    def test_matches_weibull_shape_one(self):
+        exp_dist = Exponential(mean=461386.0)
+        wei = Weibull(shape=1.0, scale=461386.0)
+        ts = np.array([0.0, 1e4, 1e5, 1e6])
+        np.testing.assert_allclose(exp_dist.cdf(ts), wei.cdf(ts))
+        np.testing.assert_allclose(exp_dist.pdf(ts), wei.pdf(ts))
+
+    def test_constant_hazard(self):
+        dist = Exponential(mean=100.0)
+        np.testing.assert_allclose(
+            dist.hazard(np.array([1.0, 50.0, 1e4])), 0.01
+        )
+
+    def test_location_shift(self):
+        dist = Exponential(mean=10.0, location=5.0)
+        assert dist.cdf(4.0) == 0.0
+        assert dist.hazard(4.0) == 0.0
+        assert dist.mean() == pytest.approx(15.0)
+
+    def test_median(self):
+        assert Exponential(mean=100.0).median() == pytest.approx(100.0 * math.log(2))
+
+    def test_ppf_inverts(self):
+        dist = Exponential(mean=42.0)
+        for q in (0.1, 0.5, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q)
+
+
+class TestSampling:
+    def test_memoryless_conditional(self):
+        # Conditional remaining life has the same distribution as a fresh
+        # draw — the defining property MTTDL leans on.
+        dist = Exponential(mean=50.0)
+        rng = np.random.default_rng(2)
+        fresh = np.asarray(dist.sample(rng, 100_000))
+        rng = np.random.default_rng(2)
+        conditioned = np.asarray(dist.sample_conditional(rng, age=123.0, size=100_000))
+        assert fresh.mean() == pytest.approx(conditioned.mean(), rel=0.02)
+
+    def test_sample_mean(self):
+        rng = np.random.default_rng(4)
+        draws = np.asarray(Exponential(mean=12.0).sample(rng, 200_000))
+        assert draws.mean() == pytest.approx(12.0, rel=0.01)
+
+    def test_conditional_before_location(self):
+        dist = Exponential(mean=10.0, location=5.0)
+        rng = np.random.default_rng(1)
+        rem = np.asarray(dist.sample_conditional(rng, age=2.0, size=1000))
+        assert np.all(rem >= 3.0)
+
+    def test_scalar_sample(self):
+        assert isinstance(Exponential(mean=5.0).sample(np.random.default_rng(0)), float)
+
+
+class TestMTBFInterpretation:
+    def test_paper_mtbf_rate(self):
+        # MTBF = 461,386 h used in eq. 3.
+        dist = Exponential(mean=461386.0)
+        assert dist.rate == pytest.approx(2.1674e-6, rel=1e-4)
+
+    def test_var_is_mean_squared(self):
+        assert Exponential(mean=7.0).var() == pytest.approx(49.0)

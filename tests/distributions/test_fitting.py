@@ -1,0 +1,309 @@
+"""Unit tests for life-data fitting: median ranks, plots, MLE, KM, MCF."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.distributions.fitting import (
+    fit_weibull_mle,
+    fit_weibull_rank_regression,
+    kaplan_meier,
+    mean_cumulative_function,
+    median_ranks,
+    plotting_positions,
+    weibull_probability_plot,
+)
+from repro.distributions.fitting.probability_plot import weibull_plot_coordinates
+from repro.exceptions import FittingError
+
+
+class TestPlottingPositions:
+    def test_bernard_formula(self):
+        pos = plotting_positions(np.array([1, 2, 3]), n=3)
+        np.testing.assert_allclose(pos, [(1 - 0.3) / 3.4, (2 - 0.3) / 3.4, (3 - 0.3) / 3.4])
+
+    def test_mean_method(self):
+        pos = plotting_positions(np.array([1, 2]), n=2, method="mean")
+        np.testing.assert_allclose(pos, [1 / 3, 2 / 3])
+
+    def test_midpoint_method(self):
+        pos = plotting_positions(np.array([1]), n=1, method="midpoint")
+        np.testing.assert_allclose(pos, [0.5])
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(FittingError):
+            plotting_positions(np.array([1]), n=1, method="bogus")
+
+
+class TestMedianRanks:
+    def test_complete_data_ordering(self):
+        times, ranks = median_ranks([30.0, 10.0, 20.0])
+        np.testing.assert_array_equal(times, [10.0, 20.0, 30.0])
+        assert np.all(np.diff(ranks) > 0)
+
+    def test_complete_matches_bernard(self):
+        _, ranks = median_ranks([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(ranks, (np.arange(1, 5) - 0.3) / 4.4)
+
+    def test_johnson_textbook_example(self):
+        # N=4: F(100), S(150), F(200), F(300) gives mean order numbers
+        # 1, 2.333, 3.667 — a standard worked example for Johnson's method.
+        times, ranks = median_ranks([100.0, 200.0, 300.0], censor_times=[150.0])
+        expected_orders = np.array([1.0, 7.0 / 3.0, 11.0 / 3.0])
+        np.testing.assert_allclose(ranks, (expected_orders - 0.3) / 4.4, rtol=1e-12)
+
+    def test_censoring_after_all_failures_changes_nothing_but_n(self):
+        _, ranks_plain = median_ranks([1.0, 2.0])
+        _, ranks_cens = median_ranks([1.0, 2.0], censor_times=[10.0, 11.0])
+        # Same order numbers (1, 2) but larger population.
+        np.testing.assert_allclose(ranks_cens, (np.array([1.0, 2.0]) - 0.3) / 4.4)
+        np.testing.assert_allclose(ranks_plain, (np.array([1.0, 2.0]) - 0.3) / 2.4)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(FittingError):
+            median_ranks([-1.0, 2.0])
+
+    def test_tie_failure_before_suspension(self):
+        # A failure and suspension at the same time: failure first, so its
+        # order number is unaffected by the suspension.
+        _, ranks = median_ranks([5.0], censor_times=[5.0])
+        np.testing.assert_allclose(ranks, [(1.0 - 0.3) / 2.4])
+
+
+class TestWeibullPlotCoordinates:
+    def test_linearises_weibull(self):
+        dist = Weibull(shape=1.7, scale=500.0)
+        ts = np.array([50.0, 100.0, 400.0, 900.0])
+        x, y = weibull_plot_coordinates(ts, np.asarray(dist.cdf(ts)))
+        slopes = np.diff(y) / np.diff(x)
+        np.testing.assert_allclose(slopes, 1.7, rtol=1e-9)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(FittingError):
+            weibull_plot_coordinates(np.array([1.0]), np.array([1.0]))
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(FittingError):
+            weibull_plot_coordinates(np.array([0.0]), np.array([0.5]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FittingError):
+            weibull_plot_coordinates(np.array([1.0, 2.0]), np.array([0.5]))
+
+
+class TestRankRegression:
+    def test_recovers_parameters_complete_sample(self):
+        dist = Weibull(shape=1.4, scale=10_000.0)
+        rng = np.random.default_rng(0)
+        draws = np.asarray(dist.sample(rng, 3_000))
+        fit = weibull_probability_plot(draws)
+        assert fit.shape == pytest.approx(1.4, rel=0.05)
+        assert fit.scale == pytest.approx(10_000.0, rel=0.05)
+        assert fit.r_squared > 0.98
+
+    def test_straight_line_high_r_squared_pure_weibull(self):
+        # The paper's criterion: a single Weibull population plots straight.
+        dist = Weibull(shape=0.9, scale=200_000.0)
+        rng = np.random.default_rng(1)
+        draws = np.asarray(dist.sample(rng, 2_000))
+        fit = weibull_probability_plot(draws)
+        assert fit.r_squared > 0.98
+
+    def test_regress_on_y_variant(self):
+        dist = Weibull(shape=2.0, scale=100.0)
+        rng = np.random.default_rng(2)
+        draws = np.asarray(dist.sample(rng, 1_000))
+        fit_x = weibull_probability_plot(draws, regress_on="x")
+        fit_y = weibull_probability_plot(draws, regress_on="y")
+        assert fit_x.shape == pytest.approx(fit_y.shape, rel=0.05)
+
+    def test_rejects_single_failure(self):
+        with pytest.raises(FittingError):
+            weibull_probability_plot([5.0])
+
+    def test_invalid_regress_on(self):
+        with pytest.raises(FittingError):
+            fit_weibull_rank_regression(
+                np.array([1.0, 2.0]), np.array([0.2, 0.5]), 2, 0, regress_on="z"
+            )
+
+    def test_fit_line_passes_through_points(self):
+        dist = Weibull(shape=1.2, scale=50.0)
+        rng = np.random.default_rng(3)
+        draws = np.asarray(dist.sample(rng, 500))
+        fit = weibull_probability_plot(draws)
+        fitted = fit.line(fit.times)
+        # Fitted curve correlates strongly with the plotted ranks.
+        assert np.corrcoef(fitted, fit.unreliability)[0, 1] > 0.99
+
+    def test_metadata_counts(self):
+        fit = weibull_probability_plot([1.0, 2.0, 3.0], censor_times=[4.0, 5.0])
+        assert fit.n_failures == 3
+        assert fit.n_suspensions == 2
+
+    def test_distribution_property(self):
+        fit = weibull_probability_plot([1.0, 2.0, 3.0, 4.0])
+        assert isinstance(fit.distribution, Weibull)
+
+
+class TestWeibullMLE:
+    def test_recovers_parameters_complete(self):
+        dist = Weibull(shape=1.12, scale=461_386.0)
+        rng = np.random.default_rng(4)
+        draws = np.asarray(dist.sample(rng, 5_000))
+        fit = fit_weibull_mle(draws)
+        assert fit.shape == pytest.approx(1.12, rel=0.05)
+        assert fit.scale == pytest.approx(461_386.0, rel=0.05)
+
+    def test_recovers_parameters_heavily_censored(self):
+        # Fig. 2 style: observe a fleet for 6,000 h; most units survive.
+        dist = Weibull(shape=1.2, scale=125_660.0)
+        rng = np.random.default_rng(5)
+        draws = np.asarray(dist.sample(rng, 60_000))
+        window = 6_000.0
+        fails = draws[draws < window]
+        n_susp = int((draws >= window).sum())
+        fit = fit_weibull_mle(fails, np.full(n_susp, window))
+        assert fit.shape == pytest.approx(1.2, rel=0.1)
+        assert fit.scale == pytest.approx(125_660.0, rel=0.2)
+        assert fit.n_suspensions == n_susp
+
+    def test_exponential_data_shape_near_one(self):
+        rng = np.random.default_rng(6)
+        draws = rng.exponential(1_000.0, 4_000)
+        fit = fit_weibull_mle(draws)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)
+
+    def test_log_likelihood_beats_perturbed_parameters(self):
+        dist = Weibull(shape=1.5, scale=100.0)
+        rng = np.random.default_rng(7)
+        draws = np.asarray(dist.sample(rng, 500))
+        fit = fit_weibull_mle(draws)
+
+        def loglik(shape, scale):
+            d = Weibull(shape=shape, scale=scale)
+            return float(np.sum(np.log(d.pdf(draws))))
+
+        best = loglik(fit.shape, fit.scale)
+        assert best >= loglik(fit.shape * 1.1, fit.scale) - 1e-9
+        assert best >= loglik(fit.shape, fit.scale * 1.1) - 1e-9
+
+    def test_rejects_too_few_failures(self):
+        with pytest.raises(FittingError):
+            fit_weibull_mle([10.0])
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(FittingError):
+            fit_weibull_mle([0.0, 1.0])
+
+    def test_rejects_identical_times(self):
+        with pytest.raises(FittingError):
+            fit_weibull_mle([5.0, 5.0, 5.0])
+
+    def test_large_magnitude_times_do_not_overflow(self):
+        dist = Weibull(shape=1.1, scale=4.6e5)
+        rng = np.random.default_rng(8)
+        draws = np.asarray(dist.sample(rng, 2_000))
+        fit = fit_weibull_mle(draws)  # must not raise or warn
+        assert 0.9 < fit.shape < 1.3
+
+
+class TestKaplanMeier:
+    def test_complete_data_steps(self):
+        km = kaplan_meier([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(km.survival, [2 / 3, 1 / 3, 0.0])
+
+    def test_censoring_keeps_survival_up(self):
+        km = kaplan_meier([1.0, 3.0], censor_times=[2.0])
+        # After t=1: 2/3. At t=3 only 1 at risk: survival drops to 0.
+        np.testing.assert_allclose(km.survival, [2 / 3, 0.0])
+
+    def test_survival_at_interpolates(self):
+        km = kaplan_meier([1.0, 2.0])
+        assert km.survival_at(0.5) == 1.0
+        assert km.survival_at(1.5) == 0.5
+        assert km.cdf_at(1.5) == 0.5
+
+    def test_ties_handled(self):
+        km = kaplan_meier([1.0, 1.0, 2.0])
+        np.testing.assert_allclose(km.survival, [1 / 3, 0.0])
+        np.testing.assert_array_equal(km.events, [2, 1])
+
+    def test_matches_true_distribution(self):
+        dist = Weibull(shape=1.3, scale=100.0)
+        rng = np.random.default_rng(9)
+        draws = np.asarray(dist.sample(rng, 20_000))
+        cens = np.full(20_000, 150.0)
+        observed = np.minimum(draws, cens)
+        is_fail = draws < 150.0
+        km = kaplan_meier(observed[is_fail], observed[~is_fail])
+        assert km.survival_at(80.0) == pytest.approx(dist.sf(80.0), abs=0.01)
+
+    def test_greenwood_variance_positive(self):
+        km = kaplan_meier([1.0, 2.0, 3.0], censor_times=[2.5])
+        assert np.all(km.variance[:-1] > 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FittingError):
+            kaplan_meier([-1.0])
+
+
+class TestMCF:
+    def test_simple_average_when_fully_observed(self):
+        est = mean_cumulative_function([[1.0, 5.0], [2.0], []], [10.0, 10.0, 10.0])
+        np.testing.assert_array_equal(est.times, [1.0, 2.0, 5.0])
+        np.testing.assert_allclose(est.mcf, [1 / 3, 2 / 3, 1.0])
+
+    def test_staggered_observation(self):
+        # Second system observed only to t=3; event at t=5 averages over 1.
+        est = mean_cumulative_function([[1.0, 5.0], [2.0]], [10.0, 3.0])
+        np.testing.assert_allclose(est.mcf, [0.5, 1.0, 2.0])
+
+    def test_event_after_window_rejected(self):
+        with pytest.raises(FittingError):
+            mean_cumulative_function([[5.0]], [3.0])
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(FittingError):
+            mean_cumulative_function([], [])
+
+    def test_no_events_gives_empty_estimate(self):
+        est = mean_cumulative_function([[], []], [10.0, 10.0])
+        assert est.times.size == 0
+        assert est.mcf_at(5.0) == 0.0
+
+    def test_mcf_at_steps(self):
+        est = mean_cumulative_function([[1.0], [2.0]], [10.0, 10.0])
+        assert est.mcf_at(0.5) == 0.0
+        assert est.mcf_at(1.0) == pytest.approx(0.5)
+        assert est.mcf_at(9.0) == pytest.approx(1.0)
+
+    def test_rocof_binning(self):
+        est = mean_cumulative_function([[1.0, 2.0, 9.0]], [10.0])
+        centres, rates = est.rocof(bin_width=5.0)
+        assert centres.size == rates.size == 2
+        # Two events in [0,5): rate 0.4/h... actually 2 events / 5 h = 0.4.
+        assert rates[0] == pytest.approx(2.0 / 5.0)
+        assert rates[1] == pytest.approx(1.0 / 5.0)
+
+    def test_rocof_rejects_bad_bin(self):
+        est = mean_cumulative_function([[1.0]], [10.0])
+        with pytest.raises(FittingError):
+            est.rocof(0.0)
+
+    def test_poisson_process_mcf_linear(self):
+        # For an HPP the MCF is lambda * t; check the estimator recovers it.
+        rng = np.random.default_rng(10)
+        rate, horizon = 0.01, 1_000.0
+        fleets = []
+        for _ in range(400):
+            t, events = 0.0, []
+            while True:
+                t += rng.exponential(1.0 / rate)
+                if t > horizon:
+                    break
+                events.append(t)
+            fleets.append(events)
+        est = mean_cumulative_function(fleets, [horizon] * 400)
+        assert est.mcf_at(500.0) == pytest.approx(5.0, rel=0.1)
+        assert est.mcf_at(1_000.0) == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,144 @@
+"""Unit tests for Mixture and CompetingRisks distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import CompetingRisks, Exponential, Mixture, Weibull
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def contaminated_population():
+    """A weak 5 % subpopulation inside a robust fleet (Fig. 1, HDD #3 style)."""
+    return Mixture(
+        [Weibull(shape=0.7, scale=20_000.0), Weibull(shape=1.3, scale=500_000.0)],
+        weights=[0.05, 0.95],
+    )
+
+
+class TestMixtureConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            Mixture([], [])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ParameterError):
+            Mixture([Weibull(1.0, 1.0)], [0.5, 0.5])
+
+    def test_rejects_unnormalised_weights(self):
+        with pytest.raises(ParameterError):
+            Mixture([Weibull(1.0, 1.0), Weibull(2.0, 1.0)], [0.5, 0.2])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ParameterError):
+            Mixture([Weibull(1.0, 1.0), Weibull(2.0, 1.0)], [1.5, -0.5])
+
+    def test_accepts_float_rounding(self):
+        Mixture(
+            [Weibull(1.0, 1.0)] * 3, [1.0 / 3.0] * 3
+        )  # sums to 0.9999... within tolerance
+
+
+class TestMixtureBehaviour:
+    def test_cdf_is_weighted_sum(self, contaminated_population):
+        t = 30_000.0
+        expected = 0.05 * Weibull(0.7, 20_000.0).cdf(t) + 0.95 * Weibull(
+            1.3, 500_000.0
+        ).cdf(t)
+        assert contaminated_population.cdf(t) == pytest.approx(expected)
+
+    def test_mixture_hazard_can_decrease_with_increasing_components(self):
+        # The paper's core statistical point: a mixture of two increasing-
+        # hazard populations can have a decreasing overall hazard once the
+        # weak subpopulation burns off.
+        mix = Mixture(
+            [Weibull(shape=1.5, scale=1_000.0), Weibull(shape=1.5, scale=100_000.0)],
+            weights=[0.1, 0.9],
+        )
+        h = np.asarray(mix.hazard(np.array([500.0, 3_000.0, 8_000.0])))
+        assert h[0] > h[2]
+
+    def test_sampling_proportions(self, contaminated_population):
+        rng = np.random.default_rng(0)
+        draws = contaminated_population.sample(rng, 100_000)
+        # Empirical CDF matches mixture CDF at a probe point.
+        probe = 10_000.0
+        assert (draws <= probe).mean() == pytest.approx(
+            contaminated_population.cdf(probe), abs=0.01
+        )
+
+    def test_mean_total_expectation(self):
+        mix = Mixture([Exponential(10.0), Exponential(100.0)], [0.25, 0.75])
+        assert mix.mean() == pytest.approx(0.25 * 10 + 0.75 * 100)
+
+    def test_var_total_variance(self):
+        mix = Mixture([Exponential(10.0), Exponential(100.0)], [0.5, 0.5])
+        # E[T^2] = 0.5*2*100 + 0.5*2*10000 ; Var = E[T^2] - mean^2
+        assert mix.var() == pytest.approx(0.5 * 200 + 0.5 * 20000 - 55.0**2)
+
+    def test_scalar_sample(self, contaminated_population):
+        value = contaminated_population.sample(np.random.default_rng(0))
+        assert isinstance(value, float)
+
+    def test_single_component_degenerates(self):
+        mix = Mixture([Weibull(1.2, 50.0)], [1.0])
+        ts = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(mix.cdf(ts), Weibull(1.2, 50.0).cdf(ts))
+
+    def test_location_is_min_of_components(self):
+        mix = Mixture(
+            [Weibull(1.0, 1.0, location=4.0), Weibull(1.0, 1.0, location=2.0)],
+            [0.5, 0.5],
+        )
+        assert mix.location == 2.0
+
+
+class TestCompetingRisks:
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            CompetingRisks([])
+
+    def test_sf_is_product(self):
+        risks = [Weibull(0.9, 461_386.0), Weibull(3.0, 120_000.0)]
+        cr = CompetingRisks(risks)
+        t = 80_000.0
+        assert cr.sf(t) == pytest.approx(risks[0].sf(t) * risks[1].sf(t))
+
+    def test_hazards_add(self):
+        risks = [Exponential(100.0), Exponential(50.0)]
+        cr = CompetingRisks(risks)
+        assert cr.hazard(10.0) == pytest.approx(1 / 100 + 1 / 50)
+
+    def test_exponential_competing_is_exponential(self):
+        # min of independent exponentials is exponential with summed rates.
+        cr = CompetingRisks([Exponential(100.0), Exponential(50.0)])
+        combined = Exponential.from_rate(1 / 100 + 1 / 50)
+        ts = np.array([1.0, 20.0, 200.0])
+        np.testing.assert_allclose(cr.cdf(ts), combined.cdf(ts))
+
+    def test_sampling_is_minimum(self):
+        cr = CompetingRisks([Exponential(100.0), Exponential(50.0)])
+        draws = cr.sample(np.random.default_rng(1), 100_000)
+        assert draws.mean() == pytest.approx(100 / 3, rel=0.02)
+
+    def test_pdf_matches_numeric_derivative(self):
+        cr = CompetingRisks([Weibull(1.5, 100.0), Weibull(0.8, 300.0)])
+        t = 80.0
+        dt = 1e-4
+        numeric = (cr.cdf(t + dt) - cr.cdf(t - dt)) / (2 * dt)
+        assert cr.pdf(t) == pytest.approx(numeric, rel=1e-4)
+
+    def test_upturn_in_weibull_plot(self):
+        # Competing wear-out risk bends the probability plot upward late in
+        # life (Fig. 1, HDD #3 second inflection): the late-life slope on
+        # Weibull paper exceeds the early-life slope.
+        cr = CompetingRisks([Weibull(0.9, 400_000.0), Weibull(4.0, 60_000.0)])
+        early = np.log(-np.log(np.asarray(cr.sf(np.array([1_000.0, 2_000.0])))))
+        late = np.log(-np.log(np.asarray(cr.sf(np.array([50_000.0, 70_000.0])))))
+        slope_early = (early[1] - early[0]) / (np.log(2_000.0) - np.log(1_000.0))
+        slope_late = (late[1] - late[0]) / (np.log(70_000.0) - np.log(50_000.0))
+        assert slope_late > slope_early
+
+    def test_scalar_sample(self):
+        value = CompetingRisks([Exponential(5.0)]).sample(np.random.default_rng(0))
+        assert isinstance(value, float)

@@ -1,0 +1,73 @@
+"""Tests for Weibull MLE confidence intervals (observed Fisher information)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.distributions.fitting import fit_weibull_mle
+
+
+@pytest.fixture(scope="module")
+def fit():
+    rng = np.random.default_rng(0)
+    draws = np.asarray(Weibull(shape=1.3, scale=1_000.0).sample(rng, 2_000))
+    return fit_weibull_mle(draws)
+
+
+class TestStandardErrors:
+    def test_covariance_available(self, fit):
+        assert fit.covariance is not None
+        assert fit.covariance.shape == (2, 2)
+
+    def test_shape_se_matches_asymptotic_theory(self, fit):
+        # For complete Weibull samples, se(beta) ~ 0.78 * beta / sqrt(n).
+        expected = 0.78 * 1.3 / np.sqrt(2_000)
+        assert fit.shape_se == pytest.approx(expected, rel=0.1)
+
+    def test_scale_se_positive_and_small(self, fit):
+        assert 0 < fit.scale_se < 0.05 * fit.scale
+
+    def test_covariance_symmetric(self, fit):
+        assert fit.covariance[0, 1] == pytest.approx(fit.covariance[1, 0])
+
+
+class TestConfidenceIntervals:
+    def test_intervals_bracket_estimates(self, fit):
+        lo, hi = fit.shape_ci()
+        assert lo < fit.shape < hi
+        lo, hi = fit.scale_ci()
+        assert lo < fit.scale < hi
+
+    def test_intervals_contain_truth_here(self, fit):
+        lo, hi = fit.shape_ci(0.99)
+        assert lo <= 1.3 <= hi
+        lo, hi = fit.scale_ci(0.99)
+        assert lo <= 1_000.0 <= hi
+
+    def test_wider_confidence_wider_interval(self, fit):
+        lo95, hi95 = fit.shape_ci(0.95)
+        lo99, hi99 = fit.shape_ci(0.99)
+        assert lo99 < lo95 and hi99 > hi95
+
+    def test_coverage_statistical(self):
+        # ~95% of 40 replicated fits should cover the true shape; allow
+        # binomial slack (P(<31 hits) is ~1e-4).
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(40):
+            draws = np.asarray(Weibull(1.5, 500.0).sample(rng, 300))
+            result = fit_weibull_mle(draws)
+            lo, hi = result.shape_ci()
+            hits += lo <= 1.5 <= hi
+        assert hits >= 31
+
+    def test_censored_fit_has_wider_intervals(self):
+        rng = np.random.default_rng(2)
+        draws = np.asarray(Weibull(1.2, 10_000.0).sample(rng, 5_000))
+        complete = fit_weibull_mle(draws)
+        window = 3_000.0
+        censored = fit_weibull_mle(
+            draws[draws < window], np.full(int((draws >= window).sum()), window)
+        )
+        # Less information (fewer observed failures) -> larger SE.
+        assert censored.shape_se > complete.shape_se

@@ -1,0 +1,126 @@
+"""Unit tests for LogNormal, Gamma and Deterministic distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential, Gamma, LogNormal
+from repro.exceptions import ParameterError
+
+
+class TestLogNormal:
+    def test_median_is_exp_mu(self):
+        dist = LogNormal(mu=2.0, sigma=0.5)
+        assert dist.median() == pytest.approx(math.exp(2.0))
+
+    def test_from_median(self):
+        dist = LogNormal.from_median_and_sigma(median=20.0, sigma=0.4, location=2.0)
+        assert dist.median() == pytest.approx(20.0)
+
+    def test_from_median_rejects_below_location(self):
+        with pytest.raises(ValueError):
+            LogNormal.from_median_and_sigma(median=1.0, sigma=0.4, location=2.0)
+
+    def test_cdf_zero_at_location(self):
+        dist = LogNormal(mu=1.0, sigma=1.0, location=5.0)
+        assert dist.cdf(5.0) == 0.0
+        assert dist.cdf(4.0) == 0.0
+
+    def test_cdf_at_median_is_half(self):
+        dist = LogNormal(mu=3.0, sigma=0.7)
+        assert dist.cdf(dist.median()) == pytest.approx(0.5)
+
+    def test_ppf_inverts_cdf(self):
+        dist = LogNormal(mu=2.0, sigma=0.5, location=1.0)
+        for q in (0.05, 0.5, 0.95):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q)
+
+    def test_mean_formula(self):
+        dist = LogNormal(mu=2.0, sigma=0.5)
+        assert dist.mean() == pytest.approx(math.exp(2.0 + 0.125))
+
+    def test_sampling_matches_moments(self):
+        dist = LogNormal(mu=2.0, sigma=0.3, location=4.0)
+        draws = np.asarray(dist.sample(np.random.default_rng(0), 200_000))
+        assert draws.mean() == pytest.approx(dist.mean(), rel=0.01)
+        assert np.all(draws >= 4.0)
+
+    def test_pdf_integrates_to_one(self):
+        from scipy import integrate
+
+        dist = LogNormal(mu=1.0, sigma=0.6)
+        val, _ = integrate.quad(dist.pdf, 0.0, dist.ppf(1 - 1e-10))
+        assert val == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ParameterError):
+            LogNormal(mu=0.0, sigma=0.0)
+
+
+class TestGamma:
+    def test_shape_one_is_exponential(self):
+        gam = Gamma(shape=1.0, scale=100.0)
+        exp_dist = Exponential(mean=100.0)
+        ts = np.array([0.0, 10.0, 100.0, 400.0])
+        np.testing.assert_allclose(gam.cdf(ts), exp_dist.cdf(ts), rtol=1e-10)
+        np.testing.assert_allclose(gam.pdf(ts), exp_dist.pdf(ts), rtol=1e-10)
+
+    def test_mean_var(self):
+        gam = Gamma(shape=3.0, scale=4.0, location=2.0)
+        assert gam.mean() == pytest.approx(14.0)
+        assert gam.var() == pytest.approx(48.0)
+
+    def test_ppf_inverts_cdf(self):
+        gam = Gamma(shape=2.5, scale=10.0)
+        for q in (0.01, 0.5, 0.99):
+            assert gam.cdf(gam.ppf(q)) == pytest.approx(q)
+
+    def test_sampling_mean(self):
+        gam = Gamma(shape=2.0, scale=6.0)
+        draws = np.asarray(gam.sample(np.random.default_rng(1), 100_000))
+        assert draws.mean() == pytest.approx(12.0, rel=0.02)
+
+    def test_pdf_at_zero_by_shape(self):
+        assert Gamma(shape=0.5, scale=1.0).pdf(0.0) == math.inf
+        assert Gamma(shape=1.0, scale=2.0).pdf(0.0) == pytest.approx(0.5)
+        assert Gamma(shape=2.0, scale=1.0).pdf(0.0) == 0.0
+
+    def test_sum_of_exponentials(self):
+        # Sum of two iid exponentials is Gamma(2, scale).
+        rng = np.random.default_rng(3)
+        sums = rng.exponential(5.0, (50_000, 2)).sum(axis=1)
+        gam = Gamma(shape=2.0, scale=5.0)
+        assert (sums <= 10.0).mean() == pytest.approx(gam.cdf(10.0), abs=0.01)
+
+
+class TestDeterministic:
+    def test_samples_are_constant(self):
+        dist = Deterministic(6.0)
+        draws = dist.sample(np.random.default_rng(0), 100)
+        np.testing.assert_array_equal(draws, 6.0)
+
+    def test_scalar_sample(self):
+        assert Deterministic(3.0).sample(np.random.default_rng(0)) == 3.0
+
+    def test_step_cdf(self):
+        dist = Deterministic(6.0)
+        np.testing.assert_array_equal(dist.cdf(np.array([5.9, 6.0, 6.1])), [0.0, 1.0, 1.0])
+
+    def test_zero_variance(self):
+        assert Deterministic(9.0).var() == 0.0
+        assert Deterministic(9.0).mean() == 9.0
+
+    def test_ppf_constant(self):
+        assert Deterministic(2.0).ppf(0.3) == 2.0
+
+    def test_conditional_counts_down(self):
+        assert Deterministic(10.0).sample_conditional(np.random.default_rng(0), 4.0) == 6.0
+
+    def test_conditional_past_atom_raises(self):
+        with pytest.raises(ValueError):
+            Deterministic(10.0).sample_conditional(np.random.default_rng(0), 11.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            Deterministic(-1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for piecewise-Weibull (change-point / bathtub) hazards."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PiecewiseWeibullHazard, Weibull, WeibullPhase
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def change_point():
+    """Fig. 1 HDD #2 style: mechanism change after 10,000 h."""
+    return PiecewiseWeibullHazard(
+        [
+            WeibullPhase(start=0.0, shape=0.9, scale=300_000.0),
+            WeibullPhase(start=10_000.0, shape=2.8, scale=80_000.0),
+        ]
+    )
+
+
+@pytest.fixture
+def bathtub():
+    return PiecewiseWeibullHazard(
+        [
+            WeibullPhase(start=0.0, shape=0.6, scale=200_000.0),
+            WeibullPhase(start=1_000.0, shape=1.0, scale=500_000.0),
+            WeibullPhase(start=40_000.0, shape=3.0, scale=90_000.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            PiecewiseWeibullHazard([])
+
+    def test_rejects_nonzero_first_start(self):
+        with pytest.raises(ParameterError):
+            PiecewiseWeibullHazard([WeibullPhase(start=5.0, shape=1.0, scale=10.0)])
+
+    def test_rejects_non_increasing_starts(self):
+        with pytest.raises(ParameterError):
+            PiecewiseWeibullHazard(
+                [
+                    WeibullPhase(start=0.0, shape=1.0, scale=10.0),
+                    WeibullPhase(start=0.0, shape=2.0, scale=10.0),
+                ]
+            )
+
+    def test_phase_validates_parameters(self):
+        with pytest.raises(ParameterError):
+            WeibullPhase(start=0.0, shape=-1.0, scale=10.0)
+
+    def test_single_phase_matches_weibull(self):
+        single = PiecewiseWeibullHazard([WeibullPhase(0.0, 1.3, 5_000.0)])
+        ref = Weibull(shape=1.3, scale=5_000.0)
+        ts = np.array([10.0, 100.0, 5_000.0, 20_000.0])
+        np.testing.assert_allclose(single.cdf(ts), ref.cdf(ts), rtol=1e-12)
+        np.testing.assert_allclose(single.hazard(ts), ref.hazard(ts), rtol=1e-12)
+
+
+class TestContinuity:
+    def test_cdf_continuous_at_change_point(self, change_point):
+        eps = 1e-6
+        below = change_point.cdf(10_000.0 - eps)
+        above = change_point.cdf(10_000.0 + eps)
+        assert above == pytest.approx(below, abs=1e-8)
+
+    def test_cumulative_hazard_monotone(self, bathtub):
+        ts = np.linspace(0.0, 100_000.0, 500)
+        ch = np.asarray(bathtub.cumulative_hazard(ts))
+        assert np.all(np.diff(ch) >= 0)
+
+    def test_hazard_jumps_at_change_point(self, change_point):
+        before = change_point.hazard(9_999.0)
+        after = change_point.hazard(10_001.0)
+        assert after != pytest.approx(before, rel=0.01)
+
+
+class TestInversion:
+    def test_inverse_cumhaz_roundtrip(self, bathtub):
+        for t in (50.0, 900.0, 5_000.0, 45_000.0, 120_000.0):
+            h = bathtub.cumulative_hazard(t)
+            assert bathtub.inverse_cumulative_hazard(h) == pytest.approx(t, rel=1e-9)
+
+    def test_ppf_inverts_cdf(self, change_point):
+        for q in (0.001, 0.05, 0.4, 0.9):
+            assert change_point.cdf(change_point.ppf(q)) == pytest.approx(q)
+
+    def test_ppf_rejects_out_of_range(self, change_point):
+        with pytest.raises(ParameterError):
+            change_point.ppf(-0.1)
+
+    def test_inverse_rejects_negative(self, change_point):
+        with pytest.raises(ParameterError):
+            change_point.inverse_cumulative_hazard(-1.0)
+
+
+class TestSampling:
+    def test_samples_match_cdf(self, change_point):
+        rng = np.random.default_rng(12)
+        draws = np.asarray(change_point.sample(rng, 100_000))
+        for probe in (5_000.0, 12_000.0, 60_000.0):
+            assert (draws <= probe).mean() == pytest.approx(
+                change_point.cdf(probe), abs=0.01
+            )
+
+    def test_scalar_sample(self, bathtub):
+        assert isinstance(bathtub.sample(np.random.default_rng(0)), float)
+
+
+class TestBathtubShape:
+    def test_hazard_has_bathtub_profile(self, bathtub):
+        h_infant = bathtub.hazard(100.0)
+        h_useful = bathtub.hazard(20_000.0)
+        h_wearout = bathtub.hazard(90_000.0)
+        assert h_infant > h_useful
+        assert h_wearout > h_useful
+
+    def test_weibull_plot_bends_upward(self, change_point):
+        # The probability plot of a change-point hazard is concave-up past
+        # the change point — the Fig. 1 HDD #2 signature.
+        ts = np.array([2_000.0, 9_000.0, 30_000.0, 60_000.0])
+        x = np.log(ts)
+        y = np.log(-np.log(np.asarray(change_point.sf(ts))))
+        slopes = np.diff(y) / np.diff(x)
+        assert slopes[-1] > slopes[0]

@@ -1,0 +1,214 @@
+"""Unit tests for the three-parameter Weibull distribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Weibull
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def base_ttop():
+    """The paper's base-case operational-failure distribution (Table 2)."""
+    return Weibull(shape=1.12, scale=461386.0)
+
+
+@pytest.fixture
+def ttr():
+    """The paper's base-case restore distribution: gamma=6, eta=12, beta=2."""
+    return Weibull(shape=2.0, scale=12.0, location=6.0)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(ParameterError):
+            Weibull(shape=0.0, scale=1.0)
+        with pytest.raises(ParameterError):
+            Weibull(shape=-1.0, scale=1.0)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ParameterError):
+            Weibull(shape=1.0, scale=0.0)
+
+    def test_rejects_negative_location(self):
+        with pytest.raises(ParameterError):
+            Weibull(shape=1.0, scale=1.0, location=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError):
+            Weibull(shape=float("nan"), scale=1.0)
+
+    def test_from_mean_round_trip(self):
+        dist = Weibull.from_mean(mean=1000.0, shape=1.7, location=50.0)
+        assert dist.mean() == pytest.approx(1000.0)
+        assert dist.shape == 1.7
+        assert dist.location == 50.0
+
+    def test_from_mean_rejects_mean_below_location(self):
+        with pytest.raises(ValueError):
+            Weibull.from_mean(mean=5.0, shape=1.0, location=10.0)
+
+    def test_equality_and_hash(self):
+        a = Weibull(1.12, 461386.0)
+        b = Weibull(1.12, 461386.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Weibull(1.2, 461386.0)
+
+
+class TestProbabilityFunctions:
+    def test_cdf_at_characteristic_life(self, base_ttop):
+        # By definition eta is the 63.2 % point.
+        assert base_ttop.cdf(461386.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_cdf_zero_below_location(self, ttr):
+        assert ttr.cdf(0.0) == 0.0
+        assert ttr.cdf(5.999) == 0.0
+        assert ttr.cdf(6.0) == 0.0
+
+    def test_pdf_zero_below_location(self, ttr):
+        assert ttr.pdf(3.0) == 0.0
+
+    def test_exponential_special_case_matches(self):
+        wei = Weibull(shape=1.0, scale=100.0)
+        ts = np.array([0.0, 10.0, 100.0, 500.0])
+        np.testing.assert_allclose(wei.cdf(ts), 1.0 - np.exp(-ts / 100.0))
+
+    def test_sf_plus_cdf_is_one(self, base_ttop):
+        ts = np.linspace(0.0, 2e6, 50)
+        np.testing.assert_allclose(base_ttop.cdf(ts) + base_ttop.sf(ts), 1.0)
+
+    def test_pdf_integrates_to_cdf(self, ttr):
+        from scipy import integrate
+
+        val, _ = integrate.quad(ttr.pdf, 0.0, 30.0)
+        assert val == pytest.approx(ttr.cdf(30.0), rel=1e-6)
+
+    def test_scalar_in_scalar_out(self, base_ttop):
+        assert isinstance(base_ttop.cdf(1000.0), float)
+        assert isinstance(base_ttop.pdf(1000.0), float)
+        assert isinstance(base_ttop.ppf(0.5), float)
+
+    def test_array_shape_preserved(self, base_ttop):
+        ts = np.zeros((7,))
+        assert base_ttop.cdf(ts).shape == (7,)
+
+
+class TestHazard:
+    def test_increasing_hazard_for_shape_above_one(self):
+        dist = Weibull(shape=1.4, scale=1000.0)
+        h = dist.hazard(np.array([10.0, 100.0, 1000.0]))
+        assert h[0] < h[1] < h[2]
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        dist = Weibull(shape=0.8, scale=1000.0)
+        h = dist.hazard(np.array([10.0, 100.0, 1000.0]))
+        assert h[0] > h[1] > h[2]
+
+    def test_constant_hazard_at_shape_one(self):
+        dist = Weibull(shape=1.0, scale=1000.0)
+        h = dist.hazard(np.array([10.0, 100.0, 1000.0]))
+        np.testing.assert_allclose(h, 1.0 / 1000.0)
+
+    def test_cumulative_hazard_consistent_with_sf(self, base_ttop):
+        ts = np.array([1e4, 1e5, 5e5])
+        np.testing.assert_allclose(
+            np.exp(-base_ttop.cumulative_hazard(ts)), base_ttop.sf(ts)
+        )
+
+    def test_hazard_zero_below_location(self, ttr):
+        assert ttr.hazard(2.0) == 0.0
+
+
+class TestQuantilesAndSampling:
+    def test_ppf_inverts_cdf(self, base_ttop):
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert base_ttop.cdf(base_ttop.ppf(q)) == pytest.approx(q)
+
+    def test_ppf_zero_is_location(self, ttr):
+        assert ttr.ppf(0.0) == 6.0
+
+    def test_ppf_one_is_inf(self, base_ttop):
+        assert base_ttop.ppf(1.0) == math.inf
+
+    def test_ppf_rejects_out_of_range(self, base_ttop):
+        with pytest.raises(ValueError):
+            base_ttop.ppf(1.5)
+
+    def test_samples_respect_location(self, ttr):
+        rng = np.random.default_rng(7)
+        draws = ttr.sample(rng, 1000)
+        assert np.all(draws >= 6.0)
+
+    def test_sample_reproducible(self, base_ttop):
+        a = base_ttop.sample(np.random.default_rng(3), 10)
+        b = base_ttop.sample(np.random.default_rng(3), 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_mean_close_to_analytic(self, ttr):
+        rng = np.random.default_rng(11)
+        draws = ttr.sample(rng, 100_000)
+        assert draws.mean() == pytest.approx(ttr.mean(), rel=0.01)
+
+    def test_sample_none_size_returns_float(self, base_ttop):
+        assert isinstance(base_ttop.sample(np.random.default_rng(0)), float)
+
+    def test_conditional_sample_exceeds_zero(self, base_ttop):
+        rng = np.random.default_rng(5)
+        rem = base_ttop.sample_conditional(rng, age=100_000.0, size=100)
+        assert np.all(rem >= 0.0)
+
+    def test_conditional_sampling_matches_conditional_cdf(self, base_ttop):
+        rng = np.random.default_rng(9)
+        age = 200_000.0
+        rem = np.asarray(base_ttop.sample_conditional(rng, age=age, size=50_000))
+        # Empirical P(T - age <= x | T > age) vs analytic.
+        x = 100_000.0
+        analytic = (base_ttop.cdf(age + x) - base_ttop.cdf(age)) / base_ttop.sf(age)
+        assert (rem <= x).mean() == pytest.approx(analytic, abs=0.01)
+
+
+class TestMoments:
+    def test_mean_closed_form(self):
+        dist = Weibull(shape=2.0, scale=12.0, location=6.0)
+        assert dist.mean() == pytest.approx(6.0 + 12.0 * math.gamma(1.5))
+
+    def test_var_closed_form(self):
+        dist = Weibull(shape=2.0, scale=12.0, location=6.0)
+        expected = 144.0 * (math.gamma(2.0) - math.gamma(1.5) ** 2)
+        assert dist.var() == pytest.approx(expected)
+
+    def test_median_matches_ppf(self, base_ttop):
+        assert base_ttop.median() == pytest.approx(base_ttop.ppf(0.5))
+
+    def test_mode_below_shape_one_is_location(self):
+        assert Weibull(shape=0.9, scale=10.0, location=2.0).mode() == 2.0
+
+    def test_mode_above_shape_one(self):
+        dist = Weibull(shape=2.0, scale=10.0)
+        # Density maximum found numerically should match.
+        ts = np.linspace(0.01, 30.0, 20000)
+        assert ts[np.argmax(dist.pdf(ts))] == pytest.approx(dist.mode(), abs=0.01)
+
+    def test_std_is_sqrt_var(self, ttr):
+        assert ttr.std() == pytest.approx(math.sqrt(ttr.var()))
+
+
+class TestPaperValues:
+    """Anchor the Table 2 distributions to values derivable from the paper."""
+
+    def test_ten_year_failure_fraction(self, base_ttop):
+        # eta = 461,386 h, beta = 1.12: ~14.4 % of drives fail in a 10-year
+        # mission — the order of magnitude behind ~1.24 operational failures
+        # per 8-drive group.
+        assert base_ttop.cdf(87_600.0) == pytest.approx(0.1441, abs=0.0005)
+
+    def test_restore_has_six_hour_minimum(self, ttr):
+        assert ttr.ppf(0.0) == 6.0
+        assert ttr.cdf(6.0) == 0.0
+
+    def test_restore_mean_reasonable(self, ttr):
+        # gamma=6 + 12*Gamma(1.5) ~ 16.6 h mean restore.
+        assert 16.0 < ttr.mean() < 17.5

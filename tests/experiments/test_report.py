@@ -1,0 +1,92 @@
+"""Tests for the EXPERIMENTS.md report generator (fast sections only)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.report import (
+    FULL_SIZES,
+    QUICK_SIZES,
+    Section,
+    render_markdown,
+)
+
+
+class TestSectionBuilders:
+    def test_tab1_section(self):
+        section = report._section_tab1()
+        assert section.experiment_id == "tab1"
+        assert "REPRODUCED" in section.verdict
+        assert "err/Byte" in section.table
+
+    def test_fig1_section(self):
+        section = report._section_fig1(seed=0)
+        assert "HDD #1" in section.table
+        assert "REPRODUCED" in section.verdict
+
+    def test_fig2_section(self):
+        section = report._section_fig2(seed=0)
+        assert "Vintage" in section.table
+        assert "ordering preserved" in section.verdict
+
+
+class TestRendering:
+    @pytest.fixture
+    def sections(self):
+        return [
+            Section(
+                experiment_id="x1",
+                title="Figure X — something",
+                paper_claim="the paper claims something",
+                table="a | b\n1 | 2",
+                verdict="REPRODUCED trivially",
+            )
+        ]
+
+    def test_render_contains_all_parts(self, sections):
+        text = render_markdown(sections, seed=7, sizes=QUICK_SIZES)
+        assert "# EXPERIMENTS" in text
+        assert "--seed 7" in text
+        assert "Figure X — something" in text
+        assert "the paper claims something" in text
+        assert "REPRODUCED trivially" in text
+        assert "RAID 6" in text  # the extension appendix
+
+    def test_sizes_distinct(self):
+        for key in QUICK_SIZES:
+            assert QUICK_SIZES[key] <= FULL_SIZES[key]
+
+    def test_generate_writes_file(self, tmp_path, monkeypatch):
+        # Patch build_sections so generate() is fast.
+        monkeypatch.setattr(
+            report,
+            "build_sections",
+            lambda sizes, seed=0: [
+                Section("t", "T", "claim", "table", "verdict")
+            ],
+        )
+        out = tmp_path / "EXP.md"
+        text = report.generate(str(out), quick=True, seed=1)
+        assert out.read_text() == text
+        assert "claim" in text
+
+
+class TestCommittedDocument:
+    def test_experiments_md_exists_and_covers_everything(self):
+        path = Path(__file__).parent.parent.parent / "EXPERIMENTS.md"
+        text = path.read_text()
+        for marker in (
+            "Figure 1",
+            "Figure 2",
+            "Table 1",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Table 3",
+            "RAID 6",
+        ):
+            assert marker in text, marker
+        assert text.count("REPRODUCED") >= 9

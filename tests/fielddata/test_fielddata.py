@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic field populations and their analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FittingError
+from repro.fielddata import (
+    HDD1_POPULATION,
+    HDD2_POPULATION,
+    HDD3_POPULATION,
+    analyze_population,
+    figure1_populations,
+    figure2_populations,
+    split_slope_diagnostic,
+)
+from repro.hdd.population import FieldPopulation
+from repro.distributions import Weibull
+
+
+class TestDatasets:
+    def test_three_products(self):
+        pops = figure1_populations()
+        assert [p.name for p in pops] == ["HDD #1", "HDD #2", "HDD #3"]
+
+    def test_figure2_sizes_match_published(self):
+        pops = figure2_populations()
+        assert [p.size for p in pops] == [10_631, 24_056, 23_834]
+
+    def test_populations_produce_failures(self):
+        rng = np.random.default_rng(0)
+        for pop in figure1_populations():
+            failures, suspensions = pop.sample_study(rng)
+            assert failures.size > 100
+            assert failures.size + suspensions.size == pop.size
+
+
+class TestSplitSlope:
+    def test_pure_weibull_equal_slopes(self):
+        rng = np.random.default_rng(1)
+        draws = np.asarray(Weibull(shape=1.3, scale=1_000.0).sample(rng, 4_000))
+        early, late = split_slope_diagnostic(draws)
+        assert late / early == pytest.approx(1.0, abs=0.15)
+
+    def test_requires_enough_failures(self):
+        with pytest.raises(FittingError):
+            split_slope_diagnostic(np.array([1.0, 2.0, 3.0]))
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def analyses(self):
+        rng = np.random.default_rng(5)
+        return {
+            pop.name: analyze_population(pop, rng) for pop in figure1_populations()
+        }
+
+    def test_hdd1_is_straight(self, analyses):
+        a = analyses["HDD #1"]
+        assert a.is_straight
+        assert a.fit.shape == pytest.approx(0.9, abs=0.12)
+        assert a.fit.r_squared > 0.98
+
+    def test_hdd2_bends_upward(self, analyses):
+        a = analyses["HDD #2"]
+        assert not a.is_straight
+        assert a.late_shape > 1.2 * a.early_shape
+
+    def test_hdd3_not_straight(self, analyses):
+        a = analyses["HDD #3"]
+        assert not a.is_straight
+        assert a.slope_ratio > 1.4
+
+    def test_mle_cross_check(self, analyses):
+        # Rank regression and MLE agree on the single-Weibull product.
+        a = analyses["HDD #1"]
+        assert a.mle_shape == pytest.approx(a.fit.shape, rel=0.15)
+
+    def test_analysis_metadata(self, analyses):
+        a = analyses["HDD #1"]
+        assert a.fit.n_failures + a.fit.n_suspensions == HDD1_POPULATION.size
+
+    def test_too_few_failures_rejected(self):
+        tiny = FieldPopulation(
+            name="tiny",
+            lifetime=Weibull(shape=1.0, scale=1e9),
+            size=10,
+            observation_hours=100.0,
+        )
+        with pytest.raises(FittingError):
+            analyze_population(tiny, np.random.default_rng(0))
+
+    def test_plot_thinning(self):
+        rng = np.random.default_rng(7)
+        analysis = analyze_population(HDD1_POPULATION, rng, max_plot_points=50)
+        assert analysis.fit.times.size <= 50

@@ -1,0 +1,117 @@
+"""Unit tests for the Fig. 3 taxonomy and Table 1 error-rate model."""
+
+import pytest
+
+from repro.distributions import Weibull
+from repro.exceptions import ParameterError
+from repro.hdd.error_rates import (
+    GRAY_BYTES_PER_DAY,
+    OBSERVED_BYTES_PER_DAY,
+    READ_ERROR_RATES,
+    WORKLOADS,
+    ReadErrorRate,
+    Workload,
+    constant_latent_defect_distribution,
+    latent_defect_distribution,
+    latent_defect_rate,
+    read_error_rate_table,
+)
+from repro.hdd.failure_modes import (
+    FAILURE_MODES,
+    FailureClass,
+    latent_defect_modes,
+    operational_failure_modes,
+)
+
+
+class TestFailureModes:
+    def test_every_mode_classified(self):
+        for mode in FAILURE_MODES:
+            assert mode.failure_class in (FailureClass.OPERATIONAL, FailureClass.LATENT_DEFECT)
+
+    def test_partition_is_complete(self):
+        ops = operational_failure_modes()
+        latents = latent_defect_modes()
+        assert len(ops) + len(latents) == len(FAILURE_MODES)
+        assert set(ops).isdisjoint(latents)
+
+    def test_paper_operational_modes_present(self):
+        names = {m.name for m in operational_failure_modes()}
+        assert {
+            "bad_servo_track",
+            "bad_electronics",
+            "cannot_stay_on_track",
+            "bad_read_head",
+            "smart_limit_exceeded",
+        } <= names
+
+    def test_paper_latent_modes_present(self):
+        names = {m.name for m in latent_defect_modes()}
+        assert {
+            "bad_media_write",
+            "inherent_bit_error_rate",
+            "high_fly_write",
+            "thermal_asperity_erasure",
+            "corrosion",
+            "scratch_smear_erasure",
+        } <= names
+
+    def test_write_errors_are_usage_dependent(self):
+        by_name = {m.name: m for m in FAILURE_MODES}
+        assert by_name["high_fly_write"].usage_dependent
+        assert by_name["inherent_bit_error_rate"].usage_dependent
+        assert not by_name["bad_electronics"].usage_dependent
+
+    def test_mode_names_unique(self):
+        names = [m.name for m in FAILURE_MODES]
+        assert len(names) == len(set(names))
+
+
+class TestErrorRates:
+    def test_paper_rer_values(self):
+        assert READ_ERROR_RATES["low"].errors_per_byte == 8.0e-15
+        assert READ_ERROR_RATES["medium"].errors_per_byte == 8.0e-14
+        assert READ_ERROR_RATES["high"].errors_per_byte == 3.2e-13
+
+    def test_paper_workloads(self):
+        assert WORKLOADS["low"].bytes_per_hour == 1.35e9
+        assert WORKLOADS["high"].bytes_per_hour == 1.35e10
+
+    def test_table1_grid_values(self):
+        table = read_error_rate_table()
+        assert table[("medium", "low")] == pytest.approx(1.08e-4)
+        assert table[("high", "high")] == pytest.approx(4.32e-3)
+        assert table[("low", "low")] == pytest.approx(1.08e-5)
+        assert len(table) == 6
+
+    def test_rate_product(self):
+        rate = latent_defect_rate(READ_ERROR_RATES["high"], WORKLOADS["low"])
+        assert rate == pytest.approx(3.2e-13 * 1.35e9)
+
+    def test_base_case_ttld_scale(self):
+        dist = latent_defect_distribution(READ_ERROR_RATES["medium"], WORKLOADS["low"])
+        assert isinstance(dist, Weibull)
+        assert dist.shape == 1.0
+        assert dist.scale == pytest.approx(9259.26, rel=1e-4)
+
+    def test_constant_distribution(self):
+        dist = constant_latent_defect_distribution(1.08e-4)
+        assert dist.mean() == pytest.approx(1 / 1.08e-4)
+
+    def test_constant_distribution_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            constant_latent_defect_distribution(0.0)
+
+    def test_workload_day_conversion(self):
+        assert WORKLOADS["low"].bytes_per_day == pytest.approx(1.35e9 * 24)
+
+    def test_observed_rate_below_gray(self):
+        # The fleet-measured read volume is far below Gray's assertion —
+        # the paper's point that real workloads bracket well below it.
+        assert OBSERVED_BYTES_PER_DAY < GRAY_BYTES_PER_DAY
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ReadErrorRate(label="x", errors_per_byte=0.0)
+        with pytest.raises(ParameterError):
+            Workload(label="x", bytes_per_hour=-1.0)

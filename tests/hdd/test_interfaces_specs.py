@@ -1,0 +1,65 @@
+"""Unit tests for bus interfaces and drive specs."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hdd.interfaces import FC_2G, FC_4G, SAS_3G, SATA_1_5G, SATA_3G, BusInterface
+from repro.hdd.specs import BYTES_PER_GB, FC_144GB, SATA_500GB, HddSpec
+
+
+class TestBusInterface:
+    def test_bytes_per_second(self):
+        # 2 Gb/s = 250 MB/s at unit efficiency.
+        assert FC_2G.bytes_per_second == pytest.approx(2.5e8)
+
+    def test_bytes_per_hour(self):
+        assert SATA_1_5G.bytes_per_hour == pytest.approx(1.5e9 / 8 * 3600)
+
+    def test_efficiency_scales_bandwidth(self):
+        bus = BusInterface(name="FC-2G-8b10b", line_rate_gbps=2.0, efficiency=0.8)
+        assert bus.bytes_per_second == pytest.approx(2e8)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            BusInterface(name="x", line_rate_gbps=1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            BusInterface(name="x", line_rate_gbps=1.0, efficiency=1.5)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            BusInterface(name="x", line_rate_gbps=0.0)
+
+    def test_transfer_hours(self):
+        # 900 GB over FC-2G: 900e9 / 9e11 per hour = 1 h.
+        assert FC_2G.transfer_hours(9e11) == pytest.approx(1.0)
+
+    def test_transfer_hours_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            FC_2G.transfer_hours(0.0)
+
+    def test_canned_interfaces_ordering(self):
+        assert FC_4G.bytes_per_second > FC_2G.bytes_per_second
+        assert SATA_3G.bytes_per_second > SATA_1_5G.bytes_per_second
+        assert SAS_3G.bytes_per_second == SATA_3G.bytes_per_second
+
+
+class TestHddSpec:
+    def test_capacity_bytes(self):
+        assert FC_144GB.capacity_bytes == pytest.approx(144 * BYTES_PER_GB)
+
+    def test_full_read_hours(self):
+        # 500 GB at 50 MB/s: 1e4 seconds = 2.78 h.
+        assert SATA_500GB.full_read_hours() == pytest.approx(500e9 / (5e7 * 3600))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            HddSpec(model="x", capacity_gb=0.0, interface=FC_2G)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            HddSpec(model="x", capacity_gb=1.0, interface=FC_2G, sustained_mb_per_s=-1.0)
+
+    def test_paper_specs(self):
+        assert FC_144GB.interface is FC_2G
+        assert SATA_500GB.interface is SATA_1_5G
+        assert FC_144GB.sustained_mb_per_s == 100.0

@@ -1,0 +1,129 @@
+"""Unit tests for vintages, populations, SMART and drive models."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.hdd.drive_model import DriveReliabilityModel
+from repro.hdd.population import FieldPopulation, sample_fleet_lifetimes
+from repro.hdd.smart import SmartTripModel
+from repro.hdd.specs import FC_144GB
+from repro.hdd.vintages import PAPER_VINTAGES, Vintage
+
+
+class TestVintage:
+    def test_paper_values(self):
+        v1, v2, v3 = PAPER_VINTAGES
+        assert (v1.shape, v1.scale) == (1.0987, 4.5444e5)
+        assert (v2.shape, v2.scale) == (1.2162, 1.2566e5)
+        assert (v3.shape, v3.scale) == (1.4873, 7.5012e4)
+        assert (v1.n_failures, v1.n_suspensions) == (198, 10433)
+        assert (v2.n_failures, v2.n_suspensions) == (992, 23064)
+        assert (v3.n_failures, v3.n_suspensions) == (921, 22913)
+
+    def test_population_size(self):
+        assert PAPER_VINTAGES[0].population_size == 198 + 10433
+
+    def test_hazard_trends(self):
+        assert PAPER_VINTAGES[0].hazard_trend() == "approximately constant"
+        assert PAPER_VINTAGES[1].hazard_trend() == "increasing"
+        assert PAPER_VINTAGES[2].hazard_trend() == "increasing"
+        assert Vintage("x", 0.8, 1e5, 1, 1).hazard_trend() == "decreasing"
+
+    def test_observation_window_matches_failure_fraction(self):
+        v = PAPER_VINTAGES[1]
+        window = v.observation_window_hours()
+        expected_failures = v.population_size * v.distribution.cdf(window)
+        assert expected_failures == pytest.approx(v.n_failures, rel=1e-6)
+
+    def test_sample_field_study_counts(self):
+        v = PAPER_VINTAGES[2]
+        failures, suspensions = v.sample_field_study(np.random.default_rng(0))
+        assert failures.size + suspensions.size == v.population_size
+        # Observed failures within ~4 sigma of the published count.
+        sigma = np.sqrt(v.n_failures)
+        assert abs(failures.size - v.n_failures) < 4 * sigma
+
+    def test_distribution_property(self):
+        dist = PAPER_VINTAGES[0].distribution
+        assert isinstance(dist, Weibull)
+        assert dist.shape == 1.0987
+
+
+class TestFieldPopulation:
+    def test_sample_study_censors(self):
+        pop = FieldPopulation(
+            name="t", lifetime=Exponential(1000.0), size=500, observation_hours=800.0
+        )
+        failures, suspensions = pop.sample_study(np.random.default_rng(1))
+        assert np.all(failures <= 800.0)
+        assert np.all(suspensions == 800.0)
+        assert failures.size + suspensions.size == 500
+
+    def test_expected_failures(self):
+        pop = FieldPopulation(
+            name="t", lifetime=Exponential(1000.0), size=1000, observation_hours=693.0
+        )
+        # F(693) ~ 0.5 for exp(1000)... exactly 1 - e^-0.693 ~ 0.4999.
+        assert pop.expected_failures() == pytest.approx(500.0, rel=0.01)
+
+    def test_sample_fleet_lifetimes(self):
+        out = sample_fleet_lifetimes(Exponential(10.0), 100, np.random.default_rng(0))
+        assert out.shape == (100,)
+        assert np.all(out >= 0)
+
+
+class TestSmartTripModel:
+    @pytest.fixture
+    def model(self):
+        return SmartTripModel(
+            threshold=5,
+            window_hours=24.0,
+            base_rate_per_hour=0.01,
+            burst_rate_per_hour=2.0,
+        )
+
+    def test_healthy_drive_rarely_trips(self, model):
+        rng = np.random.default_rng(2)
+        p = model.trip_probability(
+            rng, burst_onset_hours=1e9, horizon_hours=8760.0, n_trials=200
+        )
+        assert p < 0.05
+
+    def test_burst_drive_trips(self, model):
+        rng = np.random.default_rng(3)
+        p = model.trip_probability(
+            rng, burst_onset_hours=100.0, horizon_hours=1000.0, n_trials=200
+        )
+        assert p > 0.95
+
+    def test_trip_time_after_onset(self, model):
+        rng = np.random.default_rng(4)
+        trip = model.simulate_trip_time(rng, burst_onset_hours=500.0, horizon_hours=5000.0)
+        assert trip > 500.0
+
+    def test_expected_window_count(self, model):
+        assert model.expected_window_count(2.0) == pytest.approx(48.0)
+
+    def test_rejects_negative_onset(self, model):
+        with pytest.raises(ValueError):
+            model.simulate_trip_time(np.random.default_rng(0), -1.0, 100.0)
+
+
+class TestDriveReliabilityModel:
+    def test_paper_base_case(self):
+        model = DriveReliabilityModel.paper_base_case()
+        assert model.spec is FC_144GB
+        assert model.time_to_op == Weibull(shape=1.12, scale=461_386.0)
+        assert model.models_latent_defects
+        assert model.time_to_latent.scale == pytest.approx(9259.26, rel=1e-4)
+
+    def test_ten_year_fraction(self):
+        model = DriveReliabilityModel.paper_base_case()
+        assert model.ten_year_failure_fraction() == pytest.approx(0.1441, abs=0.001)
+
+    def test_from_vintage(self):
+        model = DriveReliabilityModel.from_vintage(PAPER_VINTAGES[2])
+        assert model.vintage is PAPER_VINTAGES[2]
+        assert model.time_to_op.shape == 1.4873
+        assert not model.models_latent_defects

@@ -1,0 +1,139 @@
+"""Unit tests for workload profiles and usage-dependent latent defects."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PiecewiseWeibullHazard
+from repro.exceptions import ParameterError
+from repro.hdd.error_rates import READ_ERROR_RATES
+from repro.hdd.workload import WorkloadPhase, WorkloadProfile, seasonal_profile
+
+
+class TestWorkloadProfile:
+    def test_constant_profile(self):
+        profile = WorkloadProfile.constant(1.35e9)
+        assert profile.bytes_per_hour_at(0.0) == 1.35e9
+        assert profile.bytes_per_hour_at(1e6) == 1.35e9
+        assert profile.mean_bytes_per_hour(87_600.0) == pytest.approx(1.35e9)
+
+    def test_phase_lookup(self):
+        profile = WorkloadProfile(
+            phases=(
+                WorkloadPhase(0.0, 1.0e10),
+                WorkloadPhase(8_760.0, 1.0e9),
+            )
+        )
+        assert profile.bytes_per_hour_at(100.0) == 1.0e10
+        assert profile.bytes_per_hour_at(8_760.0) == 1.0e9
+        assert profile.bytes_per_hour_at(50_000.0) == 1.0e9
+
+    def test_mean_weights_by_duration(self):
+        profile = WorkloadProfile(
+            phases=(WorkloadPhase(0.0, 10.0), WorkloadPhase(100.0, 2.0))
+        )
+        # Over 200 h: 100 h at 10, 100 h at 2 -> mean 6.
+        assert profile.mean_bytes_per_hour(200.0) == pytest.approx(6.0)
+
+    def test_duty_cycle_collapses_to_mean(self):
+        profile = WorkloadProfile.duty_cycle(
+            busy_bytes_per_hour=1e10, idle_bytes_per_hour=1e9, busy_fraction=0.25
+        )
+        assert profile.bytes_per_hour_at(0.0) == pytest.approx(0.25e10 + 0.75e9)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WorkloadProfile(phases=())
+        with pytest.raises(ParameterError):
+            WorkloadProfile(phases=(WorkloadPhase(5.0, 1.0),))
+        with pytest.raises(ParameterError):
+            WorkloadProfile(
+                phases=(WorkloadPhase(0.0, 1.0), WorkloadPhase(0.0, 2.0))
+            )
+        with pytest.raises(ParameterError):
+            WorkloadPhase(0.0, 0.0)
+        with pytest.raises(ParameterError):
+            WorkloadProfile.constant(1.0).bytes_per_hour_at(-1.0)
+
+
+class TestUsageDependentLatentDefects:
+    def test_constant_profile_recovers_paper_rate(self):
+        # The flat profile with the medium RER must reproduce the Table 2
+        # TTLd (eta = 9,259 h, exponential).
+        profile = WorkloadProfile.constant(1.35e9)
+        dist = profile.latent_defect_distribution(READ_ERROR_RATES["medium"])
+        assert isinstance(dist, PiecewiseWeibullHazard)
+        rate = 8.0e-14 * 1.35e9
+        assert dist.hazard(5_000.0) == pytest.approx(rate)
+        assert dist.cdf(9_259.26) == pytest.approx(1 - np.exp(-1), rel=1e-4)
+
+    def test_hot_then_cold_profile(self):
+        profile = WorkloadProfile(
+            phases=(WorkloadPhase(0.0, 1.35e10), WorkloadPhase(8_760.0, 1.35e9))
+        )
+        dist = profile.latent_defect_distribution(READ_ERROR_RATES["medium"])
+        # Hazard drops by 10x at the tier change.
+        assert dist.hazard(100.0) == pytest.approx(10 * dist.hazard(10_000.0))
+
+    def test_sampling_respects_phases(self):
+        profile = WorkloadProfile(
+            phases=(WorkloadPhase(0.0, 1.35e10), WorkloadPhase(8_760.0, 1.35e9))
+        )
+        dist = profile.latent_defect_distribution(READ_ERROR_RATES["medium"])
+        rng = np.random.default_rng(0)
+        draws = np.asarray(dist.sample(rng, 50_000))
+        # Empirical CDF at the phase boundary matches the analytic one.
+        assert (draws <= 8_760.0).mean() == pytest.approx(
+            dist.cdf(8_760.0), abs=0.01
+        )
+
+    def test_higher_usage_more_defects(self):
+        hot = WorkloadProfile.constant(1.35e10).latent_defect_distribution(
+            READ_ERROR_RATES["medium"]
+        )
+        cold = WorkloadProfile.constant(1.35e9).latent_defect_distribution(
+            READ_ERROR_RATES["medium"]
+        )
+        assert hot.cdf(5_000.0) > cold.cdf(5_000.0)
+
+
+class TestSeasonalProfile:
+    def test_layout(self):
+        profile = seasonal_profile(
+            base_bytes_per_hour=1e9,
+            peak_bytes_per_hour=5e9,
+            period_hours=8_760.0,
+            peak_fraction=0.25,
+            n_periods=2,
+        )
+        assert len(profile.phases) == 4
+        assert profile.bytes_per_hour_at(100.0) == 1e9
+        assert profile.bytes_per_hour_at(7_000.0) == 5e9
+        assert profile.bytes_per_hour_at(9_000.0) == 1e9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            seasonal_profile(1e9, 5e9, 8_760.0, 1.5, 2)
+        with pytest.raises(ParameterError):
+            seasonal_profile(1e9, 5e9, 8_760.0, 0.5, 0)
+
+    def test_simulator_accepts_usage_dependent_ttld(self):
+        # End-to-end: a usage-dependent TTLd drives the full simulator.
+        from repro.distributions import Weibull
+        from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+        profile = WorkloadProfile(
+            phases=(WorkloadPhase(0.0, 1.35e10), WorkloadPhase(8_760.0, 1.35e9))
+        )
+        config = RaidGroupConfig(
+            n_data=7,
+            time_to_op=Weibull(shape=1.12, scale=461_386.0),
+            time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+            time_to_latent=profile.latent_defect_distribution(
+                READ_ERROR_RATES["medium"]
+            ),
+            time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+        )
+        result = simulate_raid_groups(config, n_groups=100, seed=0)
+        assert result.total_ddfs >= 0  # runs to completion
+        latents = sum(c.n_latent_defects for c in result.chronologies)
+        assert latents > 0

@@ -1,0 +1,192 @@
+"""Tests for the data-level RAID array: corruption, scrub, rebuild.
+
+These pin the byte-level meaning of the reliability model's events: a
+latent defect is silent until read/scrubbed; scrubbing repairs it from
+parity; a rebuild over a corrupted survivor loses exactly the affected
+stripes (the data-level latent-then-op DDF).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReconstructionError
+from repro.raid import BlockArray, RaidGeometry, RaidLevel
+from repro.raid.stripe import StripeMap
+
+
+def make_array(n_data=3, level=RaidLevel.RAID5, n_stripes=6, block_size=64):
+    return BlockArray(
+        StripeMap(RaidGeometry.n_plus_one(n_data, level)),
+        n_stripes=n_stripes,
+        block_size=block_size,
+    )
+
+
+def fill(array, rng, n_blocks=12):
+    payloads = {}
+    for block in range(n_blocks):
+        payload = rng.integers(0, 256, array.block_size, dtype=np.uint8).tobytes()
+        array.write(block, payload)
+        payloads[block] = payload
+    return payloads
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self):
+        array = make_array()
+        rng = np.random.default_rng(0)
+        payloads = fill(array, rng)
+        for block, payload in payloads.items():
+            assert array.read(block).tobytes() == payload
+
+    def test_short_payload_zero_padded(self):
+        array = make_array()
+        array.write(0, b"hi")
+        data = array.read(0)
+        assert bytes(data[:2]) == b"hi"
+        assert np.all(data[2:] == 0)
+
+    def test_oversize_payload_rejected(self):
+        array = make_array(block_size=16)
+        with pytest.raises(ReconstructionError):
+            array.write(0, b"x" * 17)
+
+    def test_writes_keep_parity_consistent(self):
+        array = make_array()
+        rng = np.random.default_rng(1)
+        fill(array, rng)
+        status = array.verify_all()
+        assert status == {"checksum_violations": 0, "parity_violations": 0}
+
+    def test_out_of_range_block(self):
+        array = make_array(n_stripes=2)
+        with pytest.raises(ReconstructionError):
+            array.write(100, b"x")
+
+
+class TestLatentDefects:
+    def test_corruption_is_silent(self):
+        array = make_array()
+        rng = np.random.default_rng(2)
+        fill(array, rng)
+        array.corrupt(0, 0, rng)
+        status = array.verify_all()
+        assert status["checksum_violations"] == 1
+        assert status["parity_violations"] == 1
+
+    def test_read_repairs_on_the_fly(self):
+        # Section 4: inconsistent data "is corrected on-the-fly".
+        array = make_array(level=RaidLevel.RAID4)
+        rng = np.random.default_rng(3)
+        payloads = fill(array, rng)
+        disk, stripe, _ = array.stripe_map.locate(0)
+        array.corrupt(disk, stripe, rng)
+        assert array.read(0).tobytes() == payloads[0]  # repaired
+        assert array.verify_all()["checksum_violations"] == 0
+
+    def test_scrub_repairs_single_defects(self):
+        array = make_array()
+        rng = np.random.default_rng(4)
+        fill(array, rng)
+        array.corrupt(1, 2, rng)
+        array.corrupt(3, 4, rng)
+        report = array.scrub()
+        assert sorted(report.repaired) == [(1, 2), (3, 4)]
+        assert report.unrecoverable == []
+        assert array.verify_all() == {
+            "checksum_violations": 0,
+            "parity_violations": 0,
+        }
+
+    def test_scrub_reports_double_corruption_in_one_stripe(self):
+        array = make_array()
+        rng = np.random.default_rng(5)
+        fill(array, rng)
+        array.corrupt(0, 1, rng)
+        array.corrupt(2, 1, rng)  # same stripe: beyond single parity
+        report = array.scrub()
+        assert len(report.unrecoverable) == 2
+        assert report.repaired == []
+
+    def test_scrub_checks_every_live_block(self):
+        array = make_array(n_data=3, n_stripes=6)
+        report = array.scrub()
+        assert report.blocks_checked == 4 * 6
+
+
+class TestRebuild:
+    def test_clean_rebuild_restores_everything(self):
+        array = make_array()
+        rng = np.random.default_rng(6)
+        payloads = fill(array, rng)
+        array.fail_disk(2)
+        lost = array.rebuild(2)
+        assert lost == []
+        for block, payload in payloads.items():
+            assert array.read(block).tobytes() == payload
+
+    def test_degraded_read_serves_data(self):
+        array = make_array()
+        rng = np.random.default_rng(7)
+        payloads = fill(array, rng)
+        disk, _, _ = array.stripe_map.locate(3)
+        array.fail_disk(disk)
+        assert array.read(3).tobytes() == payloads[3]
+
+    def test_latent_defect_plus_failure_loses_the_stripe(self):
+        # The byte-level latent-then-op DDF: a corrupt survivor makes the
+        # affected stripe unreconstructable; other stripes rebuild fine.
+        array = make_array()
+        rng = np.random.default_rng(8)
+        fill(array, rng)
+        array.corrupt(0, 2, rng)  # latent defect on disk 0, stripe 2
+        victim = 1 if 0 != 1 else 3
+        array.fail_disk(victim)  # operational failure on another disk
+        lost = array.rebuild(victim)
+        assert lost == [2]
+
+    def test_scrub_before_failure_prevents_loss(self):
+        # The paper's remedy, end to end: scrub first, then the rebuild
+        # succeeds completely.
+        array = make_array()
+        rng = np.random.default_rng(9)
+        fill(array, rng)
+        array.corrupt(0, 2, rng)
+        assert len(array.scrub().repaired) == 1
+        array.fail_disk(1)
+        assert array.rebuild(1) == []
+
+    def test_double_disk_failure_loses_all_stripes(self):
+        array = make_array()
+        rng = np.random.default_rng(10)
+        fill(array, rng)
+        array.fail_disk(0)
+        array.fail_disk(1)
+        lost = array.rebuild(0)
+        assert len(lost) == array.n_stripes
+
+    def test_rebuild_requires_failed_disk(self):
+        array = make_array()
+        with pytest.raises(ReconstructionError):
+            array.rebuild(0)
+
+    def test_write_to_failed_disk_rejected(self):
+        array = make_array(level=RaidLevel.RAID4)
+        disk, _, _ = array.stripe_map.locate(0)
+        array.fail_disk(disk)
+        with pytest.raises(ReconstructionError):
+            array.write(0, b"x")
+
+
+class TestRaid4VsRaid5Layouts:
+    @pytest.mark.parametrize("level", [RaidLevel.RAID4, RaidLevel.RAID5])
+    def test_full_cycle_per_layout(self, level):
+        array = make_array(level=level)
+        rng = np.random.default_rng(11)
+        payloads = fill(array, rng)
+        array.corrupt(0, 0, rng)
+        array.scrub()
+        array.fail_disk(2)
+        assert array.rebuild(2) == []
+        for block, payload in payloads.items():
+            assert array.read(block).tobytes() == payload

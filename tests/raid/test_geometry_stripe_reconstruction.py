@@ -1,0 +1,159 @@
+"""Unit tests for RAID geometry, stripe mapping and rebuild-time physics."""
+
+import pytest
+
+from repro.distributions import Weibull
+from repro.exceptions import RaidConfigurationError
+from repro.hdd.specs import FC_144GB, SATA_500GB
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.raid.reconstruction import (
+    RebuildTimeModel,
+    minimum_rebuild_hours,
+    rebuild_time_distribution,
+)
+from repro.raid.stripe import StripeMap
+
+
+class TestRaidGeometry:
+    def test_n_plus_one_shape(self):
+        g = RaidGeometry.n_plus_one(7)
+        assert g.group_size == 8
+        assert g.n_parity == 1
+        assert g.fault_tolerance == 1
+        assert g.data_loss_failure_count() == 2
+
+    def test_n_plus_two_shape(self):
+        g = RaidGeometry.n_plus_two(7)
+        assert g.group_size == 9
+        assert g.fault_tolerance == 2
+        assert g.data_loss_failure_count() == 3
+
+    def test_raid0_no_tolerance(self):
+        g = RaidGeometry(RaidLevel.RAID0, n_data=4)
+        assert g.fault_tolerance == 0
+        assert g.n_parity == 0
+        assert g.storage_efficiency == 1.0
+
+    def test_raid1_mirror(self):
+        g = RaidGeometry(RaidLevel.RAID1, n_data=1)
+        assert g.group_size == 2
+        assert g.storage_efficiency == 0.5
+
+    def test_raid1_rejects_multiple_data(self):
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry(RaidLevel.RAID1, n_data=2)
+
+    def test_raid10(self):
+        g = RaidGeometry(RaidLevel.RAID10, n_data=4)
+        assert g.group_size == 8
+        assert g.storage_efficiency == 0.5
+
+    def test_n_plus_one_rejects_raid6(self):
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.n_plus_one(4, RaidLevel.RAID6)
+
+    def test_storage_efficiency(self):
+        assert RaidGeometry.n_plus_one(7).storage_efficiency == pytest.approx(7 / 8)
+        assert RaidGeometry.n_plus_two(8).storage_efficiency == pytest.approx(0.8)
+
+    def test_usable_capacity(self):
+        assert RaidGeometry.n_plus_one(7).usable_capacity_gb(144.0) == pytest.approx(1008.0)
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.n_plus_one(7).usable_capacity_gb(0.0)
+
+
+class TestStripeMap:
+    def test_raid4_dedicated_parity(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(7, RaidLevel.RAID4))
+        assert all(sm.parity_disk(s) == 7 for s in range(20))
+
+    def test_raid5_rotates_parity(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(7, RaidLevel.RAID5))
+        assert [sm.parity_disk(s) for s in range(8)] == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_locate_never_hits_parity_disk(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(4, RaidLevel.RAID5))
+        for block in range(200):
+            disk, stripe, _ = sm.locate(block)
+            assert disk != sm.parity_disk(stripe)
+
+    def test_locate_covers_all_data_disks(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(4, RaidLevel.RAID5))
+        seen = {sm.locate(b)[0] for b in range(100)}
+        assert seen == set(range(5))
+
+    def test_stripe_unit_offsets(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(3, RaidLevel.RAID4), stripe_unit_blocks=4)
+        disk0, stripe0, off0 = sm.locate(0)
+        disk3, stripe3, off3 = sm.locate(3)
+        assert (disk0, stripe0) == (disk3, stripe3)  # same unit
+        assert (off0, off3) == (0, 3)
+
+    def test_rebuild_reads_everyone_else(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(7, RaidLevel.RAID5))
+        assert sm.rebuild_reads(3, stripe=0) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_rebuild_reads_rejects_bad_disk(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(3, RaidLevel.RAID5))
+        with pytest.raises(RaidConfigurationError):
+            sm.rebuild_reads(9, stripe=0)
+
+    def test_stripes_for_blocks(self):
+        sm = StripeMap(RaidGeometry.n_plus_one(4, RaidLevel.RAID5), stripe_unit_blocks=2)
+        assert sm.stripes_for_blocks(0) == 0
+        assert sm.stripes_for_blocks(1) == 1
+        assert sm.stripes_for_blocks(8) == 1  # 4 units of 2 blocks
+        assert sm.stripes_for_blocks(9) == 2
+
+    def test_rejects_raid6_map(self):
+        with pytest.raises(RaidConfigurationError):
+            StripeMap(RaidGeometry.n_plus_two(4))
+
+
+class TestReconstructionTimes:
+    def test_paper_sata_example(self):
+        # 500 GB SATA on a 1.5 Gb/s bus, group of 14: the paper's 10.4 h.
+        assert minimum_rebuild_hours(SATA_500GB, group_size=14) == pytest.approx(
+            10.37, abs=0.05
+        )
+
+    def test_paper_fc_example_band(self):
+        # 144 GB FC on 2 Gb/s, group of 14: paper says "three hours"; raw
+        # line rate gives 2.24 h, 75% effective utilisation gives 2.99 h.
+        raw = minimum_rebuild_hours(FC_144GB, group_size=14)
+        assert raw == pytest.approx(2.24, abs=0.05)
+        framed = minimum_rebuild_hours(FC_144GB, group_size=14, bus_efficiency=0.75)
+        assert framed == pytest.approx(2.99, abs=0.05)
+
+    def test_foreground_io_lengthens(self):
+        base = minimum_rebuild_hours(SATA_500GB, 14)
+        loaded = minimum_rebuild_hours(SATA_500GB, 14, foreground_io_fraction=0.5)
+        assert loaded == pytest.approx(2 * base)
+
+    def test_drive_rate_floor(self):
+        # A tiny group on a fast bus is limited by the replacement drive.
+        hours = minimum_rebuild_hours(SATA_500GB, group_size=2)
+        assert hours == pytest.approx(SATA_500GB.full_read_hours())
+
+    def test_full_bus_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_rebuild_hours(SATA_500GB, 14, foreground_io_fraction=1.0)
+
+    def test_model_minimum_includes_insertion(self):
+        model = RebuildTimeModel(spec=SATA_500GB, group_size=14, spare_insertion_hours=2.0)
+        assert model.minimum_hours == pytest.approx(12.37, abs=0.05)
+
+    def test_model_distribution_location(self):
+        model = RebuildTimeModel(spec=SATA_500GB, group_size=14)
+        dist = model.distribution(characteristic_hours=12.0)
+        assert isinstance(dist, Weibull)
+        assert dist.location == pytest.approx(10.37, abs=0.05)
+        assert dist.cdf(dist.location) == 0.0
+
+    def test_paper_base_restore_distribution(self):
+        dist = rebuild_time_distribution(6.0, 12.0)
+        assert dist == Weibull(shape=2.0, scale=12.0, location=6.0)
+
+    def test_rebuild_distribution_validation(self):
+        with pytest.raises(ValueError):
+            rebuild_time_distribution(-1.0, 12.0)

@@ -1,0 +1,111 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.raid.gf256 import GENERATOR, GF256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestBasics:
+    def test_add_is_xor(self):
+        assert GF256.add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_add_self_is_zero(self):
+        assert GF256.add(77, 77) == 0
+
+    def test_known_product(self):
+        # 2 * 0x8e = 0x11c, which reduces to 1 mod 0x11d: they are inverses.
+        assert GF256.multiply(2, 0x8E) == 1
+
+    def test_multiply_by_zero(self):
+        assert GF256.multiply(0, 123) == 0
+        assert GF256.multiply(123, 0) == 0
+
+    def test_multiply_by_one(self):
+        for a in (1, 7, 200, 255):
+            assert GF256.multiply(a, 1) == a
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ParameterError):
+            GF256.inverse(0)
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ParameterError):
+            GF256.divide(5, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            GF256.multiply(256, 1)
+        with pytest.raises(ParameterError):
+            GF256.add(-1, 1)
+
+    def test_generator_powers_cycle(self):
+        assert GF256.generator_power(0) == 1
+        assert GF256.generator_power(1) == GENERATOR
+        assert GF256.generator_power(255) == 1  # order divides 255
+
+    def test_generator_powers_distinct(self):
+        powers = {GF256.generator_power(i) for i in range(255)}
+        assert len(powers) == 255  # 2 is primitive under 0x11d
+
+    def test_power_special_cases(self):
+        assert GF256.power(0, 0) == 1
+        assert GF256.power(0, 5) == 0
+        with pytest.raises(ParameterError):
+            GF256.power(0, -1)
+
+    def test_power_negative_exponent(self):
+        a = 37
+        assert GF256.multiply(GF256.power(a, -1), a) == 1
+
+    def test_vectorised_ops(self):
+        a = np.arange(256, dtype=np.uint8)
+        b = np.full(256, 3, dtype=np.uint8)
+        prod = GF256.multiply(a, b)
+        assert prod.shape == (256,)
+        assert prod[0] == 0
+        assert prod[1] == 3
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert GF256.multiply(a, b) == GF256.multiply(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_associates(self, a, b, c):
+        left = GF256.multiply(GF256.multiply(a, b), c)
+        right = GF256.multiply(a, GF256.multiply(b, c))
+        assert left == right
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_distributivity(self, a, b, c):
+        left = GF256.multiply(a, GF256.add(b, c))
+        right = GF256.add(GF256.multiply(a, b), GF256.multiply(a, c))
+        assert left == right
+
+    @given(a=nonzero)
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_roundtrip(self, a):
+        assert GF256.multiply(a, GF256.inverse(a)) == 1
+
+    @given(a=elements, b=nonzero)
+    @settings(max_examples=200, deadline=None)
+    def test_divide_multiply_roundtrip(self, a, b):
+        assert GF256.multiply(GF256.divide(a, b), b) == a
+
+    @given(a=nonzero, e1=st.integers(0, 300), e2=st.integers(0, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_power_adds_exponents(self, a, e1, e2):
+        assert GF256.power(a, e1 + e2) == GF256.multiply(
+            GF256.power(a, e1), GF256.power(a, e2)
+        )

@@ -1,0 +1,247 @@
+"""Unit and property tests for XOR parity, RAID 6 P+Q, and RDP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReconstructionError
+from repro.raid.parity import reconstruct_single, verify_stripe, xor_parity
+from repro.raid.rdp import RdpArray
+from repro.raid.reed_solomon import P_INDEX, Q_INDEX, RaidSixCodec
+
+
+def _blocks(rng, n, size=32):
+    return [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(n)]
+
+
+class TestXorParity:
+    def test_parity_of_identical_blocks_is_zero(self):
+        block = np.full(16, 0xAB, dtype=np.uint8)
+        assert np.all(xor_parity([block, block]) == 0)
+
+    def test_reconstruct_each_position(self):
+        rng = np.random.default_rng(0)
+        data = _blocks(rng, 7)
+        parity = xor_parity(data)
+        for missing in range(7):
+            survivors = [b for i, b in enumerate(data) if i != missing]
+            rebuilt = reconstruct_single(survivors, parity)
+            np.testing.assert_array_equal(rebuilt, data[missing])
+
+    def test_verify_stripe(self):
+        rng = np.random.default_rng(1)
+        data = _blocks(rng, 4)
+        parity = xor_parity(data)
+        assert verify_stripe(data, parity)
+        corrupted = parity.copy()
+        corrupted[0] ^= 1
+        assert not verify_stripe(data, corrupted)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReconstructionError):
+            xor_parity([])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ReconstructionError):
+            xor_parity([np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8)])
+
+    @given(
+        seed=st.integers(0, 2**31),
+        n=st.integers(min_value=2, max_value=12),
+        missing=st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_single_erasure_recovery(self, seed, n, missing):
+        missing = missing % n
+        rng = np.random.default_rng(seed)
+        data = _blocks(rng, n, size=8)
+        parity = xor_parity(data)
+        survivors = [b for i, b in enumerate(data) if i != missing]
+        np.testing.assert_array_equal(reconstruct_single(survivors, parity), data[missing])
+
+
+class TestRaidSixCodec:
+    @pytest.fixture
+    def codec(self):
+        return RaidSixCodec(n_data=6)
+
+    @pytest.fixture
+    def stripe(self, codec):
+        rng = np.random.default_rng(2)
+        data = _blocks(rng, 6)
+        p, q = codec.encode(data)
+        return data, p, q
+
+    def test_verify_clean_stripe(self, codec, stripe):
+        data, p, q = stripe
+        assert codec.verify(data, p, q)
+
+    def test_verify_detects_corruption(self, codec, stripe):
+        data, p, q = stripe
+        corrupted = [b.copy() for b in data]
+        corrupted[3][5] ^= 0x40
+        assert not codec.verify(corrupted, p, q)
+
+    def test_all_double_data_erasures(self, codec, stripe):
+        data, p, q = stripe
+        for x in range(6):
+            for y in range(x + 1, 6):
+                present = {i: b for i, b in enumerate(data) if i not in (x, y)}
+                out = codec.recover(present, p, q, erased=(x, y))
+                np.testing.assert_array_equal(out[x], data[x])
+                np.testing.assert_array_equal(out[y], data[y])
+
+    def test_data_plus_p(self, codec, stripe):
+        data, p, q = stripe
+        for x in range(6):
+            present = {i: b for i, b in enumerate(data) if i != x}
+            out = codec.recover(present, None, q, erased=(x, P_INDEX))
+            np.testing.assert_array_equal(out[x], data[x])
+            np.testing.assert_array_equal(out[P_INDEX], p)
+
+    def test_data_plus_q(self, codec, stripe):
+        data, p, q = stripe
+        for x in range(6):
+            present = {i: b for i, b in enumerate(data) if i != x}
+            out = codec.recover(present, p, None, erased=(x, Q_INDEX))
+            np.testing.assert_array_equal(out[x], data[x])
+            np.testing.assert_array_equal(out[Q_INDEX], q)
+
+    def test_p_plus_q(self, codec, stripe):
+        data, p, q = stripe
+        present = dict(enumerate(data))
+        out = codec.recover(present, None, None, erased=(P_INDEX, Q_INDEX))
+        np.testing.assert_array_equal(out[P_INDEX], p)
+        np.testing.assert_array_equal(out[Q_INDEX], q)
+
+    def test_single_data_via_p(self, codec, stripe):
+        data, p, q = stripe
+        present = {i: b for i, b in enumerate(data) if i != 2}
+        out = codec.recover(present, p, q, erased=(2,))
+        np.testing.assert_array_equal(out[2], data[2])
+
+    def test_three_erasures_rejected(self, codec, stripe):
+        data, p, q = stripe
+        with pytest.raises(ReconstructionError):
+            codec.recover({}, p, q, erased=(0, 1, 2))
+
+    def test_double_data_without_q_rejected(self, codec, stripe):
+        data, p, _ = stripe
+        present = {i: b for i, b in enumerate(data) if i not in (0, 1)}
+        with pytest.raises(ReconstructionError):
+            codec.recover(present, p, None, erased=(0, 1))
+
+    def test_bad_index_rejected(self, codec, stripe):
+        data, p, q = stripe
+        with pytest.raises(ReconstructionError):
+            codec.recover(dict(enumerate(data)), p, q, erased=(17,))
+
+    def test_duplicate_erasures_rejected(self, codec, stripe):
+        data, p, q = stripe
+        with pytest.raises(ReconstructionError):
+            codec.recover(dict(enumerate(data)), p, q, erased=(1, 1))
+
+    def test_too_small_group_rejected(self):
+        with pytest.raises(ReconstructionError):
+            RaidSixCodec(n_data=1)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        n=st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_double_erasure(self, seed, n):
+        rng = np.random.default_rng(seed)
+        codec = RaidSixCodec(n_data=n)
+        data = _blocks(rng, n, size=8)
+        p, q = codec.encode(data)
+        x, y = sorted(rng.choice(n, size=2, replace=False).tolist())
+        present = {i: b for i, b in enumerate(data) if i not in (x, y)}
+        out = codec.recover(present, p, q, erased=(x, y))
+        np.testing.assert_array_equal(out[x], data[x])
+        np.testing.assert_array_equal(out[y], data[y])
+
+
+class TestRdp:
+    def test_rejects_non_prime(self):
+        with pytest.raises(ReconstructionError):
+            RdpArray(prime=6)
+
+    def test_rejects_bad_n_data(self):
+        with pytest.raises(ReconstructionError):
+            RdpArray(prime=5, n_data=5)
+
+    def test_verify_clean(self):
+        rdp = RdpArray(prime=5)
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, (4, 4, 8), dtype=np.uint8)
+        assert rdp.verify(rdp.encode(data))
+
+    def test_all_single_and_double_losses(self):
+        rdp = RdpArray(prime=7)
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 256, (6, 6, 4), dtype=np.uint8)
+        full = rdp.encode(data)
+        columns = rdp.n_columns
+        # Singles.
+        for a in range(columns):
+            broken = full.copy()
+            broken[:, a, :] = 0xFF
+            np.testing.assert_array_equal(rdp.recover(broken, (a,)), full)
+        # All pairs.
+        for a in range(columns):
+            for b in range(a + 1, columns):
+                broken = full.copy()
+                broken[:, a, :] = 0x55
+                broken[:, b, :] = 0xAA
+                np.testing.assert_array_equal(rdp.recover(broken, (a, b)), full)
+
+    def test_virtual_disks_smaller_n_data(self):
+        rdp = RdpArray(prime=7, n_data=3)
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, (6, 3, 4), dtype=np.uint8)
+        full = rdp.encode(data)
+        # Virtual columns are zero.
+        assert np.all(full[:, 3:5, :] == 0)
+        broken = full.copy()
+        broken[:, 0, :] = 1
+        broken[:, rdp.row_parity_column, :] = 2
+        np.testing.assert_array_equal(
+            rdp.recover(broken, (0, rdp.row_parity_column)), full
+        )
+
+    def test_three_losses_rejected(self):
+        rdp = RdpArray(prime=5)
+        full = rdp.encode(np.zeros((4, 4, 2), dtype=np.uint8))
+        with pytest.raises(ReconstructionError):
+            rdp.recover(full, (0, 1, 2))
+
+    def test_no_loss_is_identity(self):
+        rdp = RdpArray(prime=5)
+        rng = np.random.default_rng(6)
+        full = rdp.encode(rng.integers(0, 256, (4, 4, 2), dtype=np.uint8))
+        np.testing.assert_array_equal(rdp.recover(full, ()), full)
+
+    def test_diagonal_structure(self):
+        rdp = RdpArray(prime=5)
+        assert rdp.diagonal_of(0, 0) == 0
+        assert rdp.diagonal_of(3, 4) == (3 + 4) % 5
+        with pytest.raises(ReconstructionError):
+            rdp.diagonal_of(0, rdp.diag_parity_column)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        prime=st.sampled_from([3, 5, 7, 11, 13]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_double_loss(self, seed, prime):
+        rng = np.random.default_rng(seed)
+        rdp = RdpArray(prime=prime)
+        data = rng.integers(0, 256, (prime - 1, prime - 1, 4), dtype=np.uint8)
+        full = rdp.encode(data)
+        a, b = sorted(rng.choice(prime + 1, size=2, replace=False).tolist())
+        broken = full.copy()
+        broken[:, a, :] = rng.integers(0, 256, broken[:, a, :].shape, dtype=np.uint8)
+        broken[:, b, :] = rng.integers(0, 256, broken[:, b, :].shape, dtype=np.uint8)
+        np.testing.assert_array_equal(rdp.recover(broken, (a, b)), full)

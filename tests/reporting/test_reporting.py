@@ -1,0 +1,88 @@
+"""Unit tests for tables, ASCII plots and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.reporting import ascii_line_plot, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5" in out
+        assert "x" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_format(self):
+        out = format_table(["v"], [[0.000123456]], float_format=".2e")
+        assert "1.23e-04" in out
+
+    def test_alignment(self):
+        out = format_table(["col", "value"], [["long-ish", 1], ["x", 22]])
+        lines = out.splitlines()
+        # All data rows have the separator at the same column.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiPlot:
+    def test_renders_all_series(self):
+        xs = np.linspace(0, 10, 20)
+        out = ascii_line_plot(
+            {"one": (xs, xs), "two": (xs, 2 * xs)}, width=40, height=10
+        )
+        assert "one" in out and "two" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_annotations(self):
+        out = ascii_line_plot({"s": ([0, 10], [0, 5])}, x_label="hours", y_label="ddfs")
+        assert "hours" in out
+        assert "ddfs" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_line_plot({})
+
+    def test_flat_series_ok(self):
+        out = ascii_line_plot({"flat": ([0, 1], [3, 3])})
+        assert "flat" in out
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_mismatched_row_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_csv(tmp_path / "x.csv", [], [])

@@ -1,0 +1,139 @@
+"""Unit tests for scrub policies, schedule physics, and the optimizer."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ParameterError
+from repro.hdd.specs import FC_144GB, SATA_500GB
+from repro.scrub import (
+    AdaptiveScrubPolicy,
+    BackgroundScrubPolicy,
+    NoScrubPolicy,
+    PeriodicScrubPolicy,
+    minimum_scrub_pass_hours,
+    recommend_scrub_interval,
+    scrub_distribution_for_drive,
+)
+from repro.simulation import RaidGroupConfig
+
+
+class TestPolicies:
+    def test_no_scrub_policy(self):
+        policy = NoScrubPolicy()
+        assert policy.residence_distribution() is None
+        assert policy.mean_residence_hours() == float("inf")
+
+    def test_background_policy_matches_paper_base(self):
+        policy = BackgroundScrubPolicy(characteristic_hours=168.0)
+        dist = policy.residence_distribution()
+        assert dist == Weibull(shape=3.0, scale=168.0, location=6.0)
+
+    def test_background_mean(self):
+        policy = BackgroundScrubPolicy(characteristic_hours=168.0)
+        expected = 6.0 + 168.0 * math.gamma(1 + 1 / 3)
+        assert policy.mean_residence_hours() == pytest.approx(expected)
+
+    def test_background_validation(self):
+        with pytest.raises(ParameterError):
+            BackgroundScrubPolicy(characteristic_hours=0.0)
+
+    def test_periodic_policy_bounds(self):
+        policy = PeriodicScrubPolicy(interval_hours=168.0, pass_duration_hours=10.0)
+        dist = policy.residence_distribution()
+        assert dist.ppf(0.0) == pytest.approx(5.0)
+        assert dist.ppf(1.0) == pytest.approx(173.0)
+        assert policy.mean_residence_hours() == pytest.approx(89.0)
+
+    def test_adaptive_policy_mixes(self):
+        fast = BackgroundScrubPolicy(characteristic_hours=12.0)
+        slow = BackgroundScrubPolicy(characteristic_hours=336.0)
+        adaptive = AdaptiveScrubPolicy(fast=fast, slow=slow, idle_fraction=0.5)
+        mean = adaptive.mean_residence_hours()
+        assert fast.mean_residence_hours() < mean < slow.mean_residence_hours()
+
+    def test_adaptive_validation(self):
+        fast = BackgroundScrubPolicy(characteristic_hours=12.0)
+        with pytest.raises(ValueError):
+            AdaptiveScrubPolicy(fast=fast, slow=fast, idle_fraction=1.0)
+
+
+class TestSchedule:
+    def test_minimum_pass_fc(self):
+        # 144 GB at 100 MB/s = 0.4 h.
+        assert minimum_scrub_pass_hours(FC_144GB) == pytest.approx(0.4)
+
+    def test_minimum_pass_sata(self):
+        # 500 GB at 50 MB/s = 2.78 h.
+        assert minimum_scrub_pass_hours(SATA_500GB) == pytest.approx(2.78, abs=0.01)
+
+    def test_foreground_io_slows_pass(self):
+        free = minimum_scrub_pass_hours(SATA_500GB)
+        busy = minimum_scrub_pass_hours(SATA_500GB, foreground_io_fraction=0.75)
+        assert busy == pytest.approx(4 * free)
+
+    def test_full_load_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_scrub_pass_hours(SATA_500GB, foreground_io_fraction=1.0)
+
+    def test_distribution_location_is_minimum(self):
+        dist = scrub_distribution_for_drive(SATA_500GB, foreground_io_fraction=0.5)
+        assert dist.location == pytest.approx(
+            minimum_scrub_pass_hours(SATA_500GB, 0.5)
+        )
+
+    def test_max_hours_pins_quantile(self):
+        dist = scrub_distribution_for_drive(
+            SATA_500GB, foreground_io_fraction=0.5, max_hours=168.0, max_quantile=0.95
+        )
+        assert dist.cdf(168.0) == pytest.approx(0.95, abs=1e-9)
+
+    def test_max_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            scrub_distribution_for_drive(SATA_500GB, 0.5, max_hours=1.0)
+
+
+class TestOptimizer:
+    @pytest.fixture
+    def config(self):
+        return RaidGroupConfig.paper_base_case()
+
+    def test_tight_target_picks_fast_scrub(self, config):
+        rec = recommend_scrub_interval(config, target_ddfs_per_thousand=50.0)
+        assert rec.target_met
+        assert rec.characteristic_hours <= 48.0
+
+    def test_loose_target_picks_slow_scrub(self, config):
+        rec = recommend_scrub_interval(config, target_ddfs_per_thousand=400.0)
+        assert rec.target_met
+        assert rec.characteristic_hours == 336.0
+
+    def test_impossible_target(self, config):
+        rec = recommend_scrub_interval(config, target_ddfs_per_thousand=0.001)
+        assert not rec.target_met
+        assert rec.characteristic_hours is None
+        assert len(rec.candidates_evaluated) == 6  # all defaults inspected
+
+    def test_verification_runs_simulation(self, config):
+        rec = recommend_scrub_interval(
+            config, target_ddfs_per_thousand=400.0, verify_groups=100, seed=1
+        )
+        assert rec.simulated_ddfs_per_thousand is not None
+        assert rec.simulated_ddfs_per_thousand >= 0
+
+    def test_requires_latent_defects(self, config):
+        with pytest.raises(ParameterError):
+            recommend_scrub_interval(
+                config.without_latent_defects(), target_ddfs_per_thousand=10.0
+            )
+
+    def test_candidates_recorded_in_order(self, config):
+        rec = recommend_scrub_interval(config, target_ddfs_per_thousand=50.0)
+        hours = [h for h, _ in rec.candidates_evaluated]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_predictions_monotone(self, config):
+        rec = recommend_scrub_interval(config, target_ddfs_per_thousand=0.001)
+        predictions = [p for _, p in rec.candidates_evaluated]
+        assert predictions == sorted(predictions, reverse=True)

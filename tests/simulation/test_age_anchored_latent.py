@@ -1,0 +1,104 @@
+"""Tests for age-anchored latent-defect renewal and its numerics.
+
+Covers the underflow regression: conditioning on survival to ages where
+``sf(age)`` underflows double precision must still produce correct
+arrivals (the fix samples in cumulative-hazard space).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PiecewiseWeibullHazard, Weibull, WeibullPhase
+from repro.hdd.error_rates import READ_ERROR_RATES
+from repro.hdd.workload import WorkloadPhase, WorkloadProfile
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+
+class TestConditionalSamplingAtExtremeAges:
+    def test_weibull_conditional_past_sf_underflow(self):
+        # sf(age) ~ exp(-40) ~ 4e-18 is fine; push to exp(-800) ~ 0.0.
+        dist = Weibull(shape=1.0, scale=100.0)
+        age = 80_000.0  # H(age) = 800; sf underflows to exactly 0.0
+        assert dist.sf(age) == 0.0
+        rng = np.random.default_rng(0)
+        remaining = np.asarray(dist.sample_conditional(rng, age, size=50_000))
+        # Memorylessness: remaining life is still Exp(100).
+        assert remaining.mean() == pytest.approx(100.0, rel=0.02)
+
+    def test_piecewise_conditional_past_sf_underflow(self):
+        dist = PiecewiseWeibullHazard([WeibullPhase(0.0, 1.0, 926.0)])
+        age = 740_800.0  # H = 800
+        rng = np.random.default_rng(1)
+        remaining = np.asarray(dist.sample_conditional(rng, age, size=50_000))
+        assert remaining.mean() == pytest.approx(926.0, rel=0.02)
+
+    def test_weibull_conditional_matches_analytic_distribution(self):
+        dist = Weibull(shape=2.0, scale=1_000.0)
+        age = 1_500.0
+        rng = np.random.default_rng(2)
+        remaining = np.asarray(dist.sample_conditional(rng, age, size=100_000))
+        probe = 400.0
+        analytic = (dist.cdf(age + probe) - dist.cdf(age)) / dist.sf(age)
+        assert (remaining <= probe).mean() == pytest.approx(analytic, abs=0.005)
+
+    def test_conditional_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            Weibull(1.0, 10.0).sample_conditional(np.random.default_rng(0), -1.0)
+
+
+class TestAgeAnchoredSimulation:
+    def _config(self, profile, anchored):
+        return RaidGroupConfig(
+            n_data=7,
+            time_to_op=Weibull(shape=1.12, scale=461_386.0),
+            time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+            time_to_latent=profile.latent_defect_distribution(
+                READ_ERROR_RATES["medium"]
+            ),
+            time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+            latent_age_anchored=anchored,
+        )
+
+    def test_constant_profile_anchoring_is_equivalent(self):
+        # For a constant-rate TTLd (exponential), fresh renewal and
+        # age-anchored renewal are the same process; fleet totals must
+        # agree statistically.
+        profile = WorkloadProfile.constant(1.35e10)
+        fresh = simulate_raid_groups(self._config(profile, False), n_groups=400, seed=3)
+        anchored = simulate_raid_groups(self._config(profile, True), n_groups=400, seed=3)
+        assert anchored.total_ddfs == pytest.approx(fresh.total_ddfs, rel=0.15)
+
+    def test_tiered_profile_between_extremes_only_when_anchored(self):
+        tiered = WorkloadProfile(
+            phases=(
+                WorkloadPhase(0.0, 1.35e10),
+                WorkloadPhase(8_760.0, 1.35e9),
+            )
+        )
+        hot = WorkloadProfile.constant(1.35e10)
+        cold = WorkloadProfile.constant(1.35e9)
+        results = {
+            name: simulate_raid_groups(self._config(p, True), n_groups=400, seed=4)
+            for name, p in (("hot", hot), ("tiered", tiered), ("cold", cold))
+        }
+        assert (
+            results["cold"].total_ddfs
+            < results["tiered"].total_ddfs
+            < results["hot"].total_ddfs
+        )
+        # And the tiered fleet sits near the cold one (9 of 10 years cold).
+        assert results["tiered"].total_ddfs < 0.5 * results["hot"].total_ddfs
+
+    def test_unanchored_tiered_profile_overcounts(self):
+        # The failure mode the flag exists for: without anchoring, every
+        # scrub restarts the drive in the hot phase, so the tiered fleet
+        # wrongly tracks the hot fleet.
+        tiered = WorkloadProfile(
+            phases=(
+                WorkloadPhase(0.0, 1.35e10),
+                WorkloadPhase(8_760.0, 1.35e9),
+            )
+        )
+        anchored = simulate_raid_groups(self._config(tiered, True), n_groups=400, seed=5)
+        fresh = simulate_raid_groups(self._config(tiered, False), n_groups=400, seed=5)
+        assert fresh.total_ddfs > 2 * anchored.total_ddfs

@@ -1,0 +1,102 @@
+"""Tests for interval-based availability accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.simulation import (
+    AvailabilityReport,
+    RaidGroupConfig,
+    RaidGroupSimulator,
+    TimelineRecorder,
+)
+from repro.simulation.availability import _merge, _overlap_at_least, _total
+
+
+class TestIntervalHelpers:
+    def test_merge_disjoint(self):
+        assert _merge([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_merge_overlapping(self):
+        assert _merge([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_touching(self):
+        assert _merge([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_total(self):
+        assert _total([(0, 2), (5, 6)]) == 3.0
+
+    def test_overlap_at_least_two(self):
+        intervals = [(0, 10), (5, 15), (8, 9)]
+        # Depth >= 2 on [5, 10]; depth 3 on [8, 9] doesn't add extra.
+        assert _overlap_at_least(intervals, 2) == pytest.approx(5.0)
+
+    def test_overlap_at_least_one_equals_union(self):
+        intervals = [(0, 4), (2, 6), (10, 11)]
+        assert _overlap_at_least(intervals, 1) == pytest.approx(
+            _total(_merge(intervals))
+        )
+
+
+class TestFromRecorder:
+    def test_hand_built_timeline(self):
+        recorder = TimelineRecorder()
+        # Slot 0 down 100-150; slot 1 down 120-180 (overlap 120-150).
+        recorder.record_op_fail(0, 100.0)
+        recorder.record_restore(0, 150.0)
+        recorder.record_op_fail(1, 120.0)
+        recorder.record_restore(1, 180.0)
+        # Slot 0 exposed 300-400.
+        recorder.record_latent(0, 300.0)
+        recorder.record_scrub(0, 400.0)
+
+        report = AvailabilityReport.from_recorder(recorder, n_slots=2, mission_hours=1_000.0)
+        assert report.slot_down_hours == [50.0, 60.0]
+        assert report.degraded_hours == pytest.approx(80.0)  # union 100-180
+        assert report.double_degraded_hours == pytest.approx(30.0)  # 120-150
+        assert report.exposure_hours == pytest.approx(100.0)
+        assert report.group_availability == pytest.approx(0.92)
+        assert report.mean_slot_availability == pytest.approx(1 - 55.0 / 1_000.0)
+        assert report.exposure_fraction == pytest.approx(100.0 / 2_000.0)
+
+    def test_open_interval_clipped_to_mission(self):
+        recorder = TimelineRecorder()
+        recorder.record_op_fail(0, 900.0)  # never restored
+        report = AvailabilityReport.from_recorder(recorder, n_slots=1, mission_hours=1_000.0)
+        assert report.slot_down_hours == [100.0]
+
+    def test_from_real_simulation(self):
+        config = RaidGroupConfig(
+            n_data=7,
+            time_to_op=Exponential(3_000.0),
+            time_to_restore=Exponential(50.0),
+            time_to_latent=Exponential(1_000.0),
+            time_to_scrub=Exponential(160.0),
+            mission_hours=8_760.0,
+        )
+        recorder = TimelineRecorder()
+        RaidGroupSimulator(config).run(np.random.default_rng(0), recorder=recorder)
+        report = AvailabilityReport.from_recorder(
+            recorder, n_slots=8, mission_hours=8_760.0
+        )
+        assert 0.0 < report.degraded_hours < 8_760.0
+        assert report.double_degraded_hours <= report.degraded_hours
+        assert 0.0 < report.group_availability < 1.0
+        # Exposure fraction near the alternating-renewal value 160/1160.
+        assert report.exposure_fraction == pytest.approx(160.0 / 1_160.0, rel=0.5)
+
+    def test_downtime_matches_rate_theory(self):
+        # Per-slot unavailability ~ MTTR / (MTBF + MTTR).
+        config = RaidGroupConfig(
+            n_data=3,
+            time_to_op=Exponential(1_000.0),
+            time_to_restore=Exponential(100.0),
+            mission_hours=87_600.0,
+        )
+        recorder = TimelineRecorder()
+        RaidGroupSimulator(config).run(np.random.default_rng(1), recorder=recorder)
+        report = AvailabilityReport.from_recorder(
+            recorder, n_slots=4, mission_hours=87_600.0
+        )
+        expected = 100.0 / 1_100.0
+        assert 1 - report.mean_slot_availability == pytest.approx(expected, rel=0.3)

@@ -1,0 +1,162 @@
+"""Unit tests for the event queue, RNG streams and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ParameterError, SimulationError
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.rng import (
+    SampleBuffer,
+    iter_replication_generators,
+    make_seed_sequence,
+    replication_generators,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.OP_FAIL, 0)
+        q.push(1.0, EventKind.LD_ARRIVE, 1)
+        q.push(3.0, EventKind.SCRUB_DONE, 2)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion(self):
+        q = EventQueue()
+        first = q.push(2.0, EventKind.OP_FAIL, 0)
+        second = q.push(2.0, EventKind.OP_FAIL, 1)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventKind.OP_FAIL, 0)
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek() is None
+        assert not q
+        q.push(1.0, EventKind.OP_FAIL, 0)
+        assert q.peek().time == 1.0
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_event_carries_metadata(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.LD_ARRIVE, 3, generation=7)
+        assert isinstance(ev, Event)
+        assert (ev.kind, ev.slot, ev.generation) == (EventKind.LD_ARRIVE, 3, 7)
+
+
+class TestRngStreams:
+    def test_same_seed_same_streams(self):
+        a = replication_generators(42, 5)
+        b = replication_generators(42, 5)
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+
+    def test_different_replications_differ(self):
+        gens = replication_generators(0, 3)
+        values = {g.random() for g in gens}
+        assert len(values) == 3
+
+    def test_prefix_stability(self):
+        # Growing the fleet must not change earlier replications' streams.
+        small = replication_generators(7, 3)
+        large = replication_generators(7, 10)
+        for gs, gl in zip(small, large):
+            assert gs.random() == gl.random()
+
+    def test_iter_matches_list(self):
+        listed = replication_generators(1, 4)
+        lazy = list(iter_replication_generators(1, 4))
+        for a, b in zip(listed, lazy):
+            assert a.random() == b.random()
+
+    def test_seed_sequence_passthrough(self):
+        seq = np.random.SeedSequence(5)
+        assert make_seed_sequence(seq) is seq
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            replication_generators(0, 0)
+
+
+class TestSampleBuffer:
+    def test_matches_direct_sampling(self):
+        dist = Weibull(shape=1.5, scale=100.0)
+        buffered = SampleBuffer(dist, np.random.default_rng(3), block=8)
+        direct = np.atleast_1d(dist.sample(np.random.default_rng(3), 8))
+        got = [buffered.draw() for _ in range(8)]
+        np.testing.assert_allclose(got, direct)
+
+    def test_refills_across_blocks(self):
+        dist = Exponential(10.0)
+        buffer = SampleBuffer(dist, np.random.default_rng(0), block=4)
+        draws = [buffer.draw() for _ in range(10)]
+        assert len(set(draws)) == 10  # all distinct continuous draws
+
+
+class TestRaidGroupConfig:
+    def test_paper_base_case_values(self):
+        cfg = RaidGroupConfig.paper_base_case()
+        assert cfg.n_data == 7
+        assert cfg.n_drives == 8
+        assert cfg.mission_hours == 87_600.0
+        assert cfg.time_to_op == Weibull(shape=1.12, scale=461_386.0)
+        assert cfg.time_to_restore == Weibull(shape=2.0, scale=12.0, location=6.0)
+        assert cfg.time_to_latent == Weibull(shape=1.0, scale=9_259.0)
+        assert cfg.time_to_scrub == Weibull(shape=3.0, scale=168.0, location=6.0)
+
+    def test_no_scrub_variant(self):
+        cfg = RaidGroupConfig.paper_base_case(scrub_characteristic_hours=None)
+        assert cfg.models_latent_defects
+        assert not cfg.scrubbing_enabled
+
+    def test_without_latent_defects(self):
+        cfg = RaidGroupConfig.paper_base_case().without_latent_defects()
+        assert not cfg.models_latent_defects
+        assert not cfg.scrubbing_enabled
+        assert cfg.time_to_op == Weibull(shape=1.12, scale=461_386.0)
+
+    def test_with_scrub_replacement(self):
+        new_scrub = Weibull(shape=3.0, scale=12.0, location=6.0)
+        cfg = RaidGroupConfig.paper_base_case().with_scrub(new_scrub)
+        assert cfg.time_to_scrub is new_scrub
+
+    def test_scrub_without_latent_rejected(self):
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=7,
+                time_to_op=Exponential(1e5),
+                time_to_restore=Exponential(12.0),
+                time_to_scrub=Exponential(168.0),
+            )
+
+    def test_describe_mentions_scrub_state(self):
+        assert "no scrub" in RaidGroupConfig.paper_base_case(None).describe()
+        assert "no latent defects" in (
+            RaidGroupConfig.paper_base_case().without_latent_defects().describe()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=0,
+                time_to_op=Exponential(1e5),
+                time_to_restore=Exponential(12.0),
+            )
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=7,
+                time_to_op=Exponential(1e5),
+                time_to_restore=Exponential(12.0),
+                mission_hours=0.0,
+            )

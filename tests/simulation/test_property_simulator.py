@@ -1,0 +1,103 @@
+"""Property-based tests: simulator invariants over random configurations.
+
+Whatever the distributions, group size or redundancy, a chronology must
+satisfy conservation laws: DDF times sorted and within the mission,
+restores never exceed failures, unrestored failures bounded by slots,
+scrub repairs bounded by defects, and DDFs bounded by operational
+failures (every DDF is triggered by one).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Weibull
+from repro.simulation import DDFType, RaidGroupConfig, RaidGroupSimulator
+
+
+@st.composite
+def configs(draw):
+    n_data = draw(st.integers(min_value=1, max_value=10))
+    n_parity = draw(st.integers(min_value=1, max_value=2))
+    mission = draw(st.floats(min_value=1_000.0, max_value=50_000.0))
+    op_scale = draw(st.floats(min_value=500.0, max_value=50_000.0))
+    op_shape = draw(st.floats(min_value=0.6, max_value=2.5))
+    restore_mean = draw(st.floats(min_value=5.0, max_value=500.0))
+    with_latent = draw(st.booleans())
+    ttld = None
+    ttscrub = None
+    if with_latent:
+        ttld = Exponential(draw(st.floats(min_value=200.0, max_value=20_000.0)))
+        if draw(st.booleans()):
+            ttscrub = Weibull(
+                shape=draw(st.floats(min_value=1.0, max_value=4.0)),
+                scale=draw(st.floats(min_value=10.0, max_value=500.0)),
+            )
+    return RaidGroupConfig(
+        n_data=n_data,
+        n_parity=n_parity,
+        time_to_op=Weibull(shape=op_shape, scale=op_scale),
+        time_to_restore=Exponential(restore_mean),
+        time_to_latent=ttld,
+        time_to_scrub=ttscrub,
+        mission_hours=mission,
+    )
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_chronology_invariants(config, seed):
+    chrono = RaidGroupSimulator(config).run(np.random.default_rng(seed))
+
+    # DDF times sorted, within the mission, one type per event.
+    assert chrono.ddf_times == sorted(chrono.ddf_times)
+    assert all(0.0 <= t <= config.mission_hours for t in chrono.ddf_times)
+    assert len(chrono.ddf_times) == len(chrono.ddf_types)
+
+    # Conservation: restores never exceed failures; at most one
+    # unrestored failure per slot at mission end.
+    assert 0 <= chrono.n_restores <= chrono.n_op_failures
+    assert chrono.n_op_failures - chrono.n_restores <= config.n_drives
+
+    # Every DDF is triggered by an operational failure.
+    assert chrono.n_ddfs <= chrono.n_op_failures
+
+    # Latent bookkeeping.
+    assert chrono.n_scrub_repairs <= chrono.n_latent_defects
+    if config.time_to_latent is None:
+        assert chrono.n_latent_defects == 0
+        assert all(k is DDFType.DOUBLE_OP for k in chrono.ddf_types)
+    if config.time_to_scrub is None:
+        assert chrono.n_scrub_repairs == 0
+
+    # No latent pathway without latent defects having occurred.
+    if any(k is DDFType.LATENT_THEN_OP for k in chrono.ddf_types):
+        assert chrono.n_latent_defects > 0
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_determinism(config, seed):
+    a = RaidGroupSimulator(config).run(np.random.default_rng(seed))
+    b = RaidGroupSimulator(config).run(np.random.default_rng(seed))
+    assert a.ddf_times == b.ddf_times
+    assert a.n_op_failures == b.n_op_failures
+    assert a.n_latent_defects == b.n_latent_defects
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_raid6_never_worse_than_raid5(config, seed):
+    import dataclasses
+
+    r5 = dataclasses.replace(config, n_parity=1)
+    r6 = dataclasses.replace(config, n_parity=2)
+    # Not a per-seed coupling guarantee (stream alignment differs), so run
+    # a small coupled fleet and compare totals only loosely: RAID 6 DDFs
+    # must not exceed RAID 5 DDFs by more than noise.
+    from repro.simulation import simulate_raid_groups
+
+    ddf5 = simulate_raid_groups(r5, n_groups=20, seed=seed % 1000).total_ddfs
+    ddf6 = simulate_raid_groups(r6, n_groups=20, seed=seed % 1000).total_ddfs
+    assert ddf6 <= ddf5 + 3

@@ -1,0 +1,106 @@
+"""Deterministic tests for the generalized (RAID 6) redundancy rule.
+
+With ``n_parity = 2`` data loss requires three coincident problems: three
+overlapping operational failures, or two overlapping operational failures
+plus a latent defect on a survivor.  One dead drive plus one latent defect
+is recoverable (the stripe has two erasures and the code corrects two).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simulation import DDFType, RaidGroupConfig, RaidGroupSimulator
+
+from .test_simulator_semantics import BIG, Scripted
+
+
+def run_raid6(ttop, ttr, ttld=None, ttscrub=None, n_data=2, mission=1_000.0):
+    config = RaidGroupConfig(
+        n_data=n_data,
+        n_parity=2,
+        time_to_op=Scripted(ttop),
+        time_to_restore=Scripted(ttr, default=100.0),
+        time_to_latent=Scripted(ttld) if ttld is not None else None,
+        time_to_scrub=Scripted(ttscrub) if ttscrub is not None else None,
+        mission_hours=mission,
+    )
+    return RaidGroupSimulator(config).run(np.random.default_rng(0))
+
+
+class TestRaidSixRules:
+    def test_double_failure_survivable(self):
+        # Two overlapping op failures: RAID 6 absorbs them.
+        chrono = run_raid6(ttop=[100.0, 150.0, BIG, BIG], ttr=[100.0, 100.0])
+        assert chrono.n_ddfs == 0
+        assert chrono.n_op_failures == 2
+
+    def test_triple_failure_is_data_loss(self):
+        # Three overlapping failures (100, 150, 180 with 100 h restores).
+        chrono = run_raid6(
+            ttop=[100.0, 150.0, 180.0, BIG], ttr=[100.0, 100.0, 100.0]
+        )
+        assert chrono.n_ddfs == 1
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.ddf_times == [180.0]
+
+    def test_one_dead_plus_latent_survivable(self):
+        # Latent at 100, single op failure at 200: two erasures on the
+        # defect's stripe; P+Q recovers both.
+        chrono = run_raid6(
+            ttop=[BIG, 200.0, BIG, BIG],
+            ttr=[50.0],
+            ttld=[100.0, BIG, BIG, BIG],
+        )
+        assert chrono.n_ddfs == 0
+
+    def test_two_dead_plus_latent_is_data_loss(self):
+        # Latent on slot 0 at 100; op failures at 150 and 180 (overlap):
+        # the second failure exhausts redundancy with a defect present.
+        chrono = run_raid6(
+            ttop=[BIG, 150.0, 180.0, BIG],
+            ttr=[100.0, 100.0],
+            ttld=[100.0, BIG, BIG, BIG],
+        )
+        assert chrono.n_ddfs == 1
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP]
+        assert chrono.ddf_times == [180.0]
+
+    def test_latent_cleared_with_ddf_restoration(self):
+        # After the triple-problem loss resolves, the defect is gone: a
+        # later double failure is again survivable.
+        chrono = run_raid6(
+            ttop=[BIG, 150.0, 180.0, 500.0, 520.0, BIG],
+            ttr=[100.0, 100.0, 50.0, 50.0],
+            ttld=[100.0, BIG, BIG, BIG, BIG, BIG],
+            mission=10_000.0,
+        )
+        assert chrono.n_ddfs == 1
+
+    def test_group_size_includes_both_parities(self):
+        config = RaidGroupConfig.paper_base_case().as_raid6()
+        assert config.n_drives == 9
+        assert config.fault_tolerance == 2
+        assert config.n_data == 7
+
+    def test_parity_validation(self):
+        from repro.distributions import Exponential
+
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=2,
+                n_parity=0,
+                time_to_op=Exponential(1e5),
+                time_to_restore=Exponential(12.0),
+            )
+
+
+class TestRaidSixStatistical:
+    def test_raid6_orders_of_magnitude_safer(self):
+        from repro.simulation import simulate_raid_groups
+
+        base = RaidGroupConfig.paper_base_case(scrub_characteristic_hours=None)
+        r5 = simulate_raid_groups(base, n_groups=400, seed=7)
+        r6 = simulate_raid_groups(base.as_raid6(), n_groups=400, seed=7)
+        assert r5.total_ddfs > 300  # ~1.2 per group
+        assert r6.total_ddfs <= 2  # the paper's "RAID 6 will be required"

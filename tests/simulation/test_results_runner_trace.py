@@ -1,0 +1,215 @@
+"""Unit tests for results aggregation, the fleet runner, traces and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    DDFType,
+    MonteCarloRunner,
+    RaidGroupConfig,
+    RaidGroupSimulator,
+    SimulationResult,
+    TimelineRecorder,
+    render_timing_diagram,
+    simulate_raid_groups,
+    sweep,
+)
+from repro.simulation.raid_simulator import GroupChronology
+
+
+def _chrono(ddf_times, mission=1_000.0, ops=0):
+    return GroupChronology(
+        ddf_times=list(ddf_times),
+        ddf_types=[DDFType.DOUBLE_OP] * len(ddf_times),
+        n_op_failures=ops,
+        n_latent_defects=0,
+        n_scrub_repairs=0,
+        n_restores=0,
+        mission_hours=mission,
+    )
+
+
+@pytest.fixture
+def hot_config():
+    """High failure rates so small fleets produce events quickly."""
+    return RaidGroupConfig(
+        n_data=3,
+        time_to_op=Exponential(2_000.0),
+        time_to_restore=Exponential(50.0),
+        mission_hours=8_760.0,
+    )
+
+
+class TestSimulationResult:
+    @pytest.fixture
+    def result(self):
+        chronologies = [
+            _chrono([100.0, 900.0]),
+            _chrono([500.0]),
+            _chrono([]),
+            _chrono([]),
+        ]
+        config = RaidGroupConfig(
+            n_data=3,
+            time_to_op=Exponential(2_000.0),
+            time_to_restore=Exponential(50.0),
+            mission_hours=1_000.0,
+        )
+        return SimulationResult(config=config, chronologies=chronologies)
+
+    def test_totals(self, result):
+        assert result.total_ddfs == 3
+        assert result.n_groups == 4
+
+    def test_ddfs_within(self, result):
+        assert result.ddfs_within(100.0) == 1
+        assert result.ddfs_within(500.0) == 2
+        assert result.ddfs_within(1_000.0) == 3
+
+    def test_per_thousand_scaling(self, result):
+        curve = result.ddfs_per_thousand([100.0, 1_000.0])
+        np.testing.assert_allclose(curve, [250.0, 750.0])
+
+    def test_events_sorted(self, result):
+        times = [e.time for e in result.ddf_events]
+        assert times == sorted(times)
+        assert {e.group for e in result.ddf_events} == {0, 1}
+
+    def test_rocof(self, result):
+        centres, rates = result.rocof(bin_width_hours=500.0)
+        assert centres.size == 2
+        # Bins are left-closed: [0,500) holds {100}, [500,1000] holds
+        # {500, 900}: rates 1/(4*500) and 2/(4*500).
+        np.testing.assert_allclose(rates, [1 / 2_000.0, 2 / 2_000.0])
+
+    def test_rocof_per_thousand_scaling(self, result):
+        _, scaled = result.rocof_per_thousand_per_interval(500.0)
+        np.testing.assert_allclose(scaled, [250.0, 500.0])
+
+    def test_mcf(self, result):
+        mcf = result.to_mcf()
+        assert mcf.mcf_at(1_000.0) == pytest.approx(0.75)
+
+    def test_confidence_interval_brackets_mean(self, result):
+        mean, lo, hi = result.ddf_count_confidence_interval()
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(750.0)
+
+    def test_confidence_validation(self, result):
+        with pytest.raises(SimulationError):
+            result.ddf_count_confidence_interval(confidence=1.5)
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["total_ddfs"] == 3.0
+        assert summary["ddfs_per_1000_mission"] == 750.0
+
+    def test_curve_shapes(self, result):
+        times, values = result.curve(n_points=4)
+        assert times.shape == values.shape == (4,)
+        assert values[-1] == 750.0
+
+    def test_empty_fleet_rejected(self, hot_config):
+        with pytest.raises(SimulationError):
+            SimulationResult(config=hot_config, chronologies=[])
+
+
+class TestMonteCarloRunner:
+    def test_reproducible(self, hot_config):
+        a = simulate_raid_groups(hot_config, n_groups=100, seed=5)
+        b = simulate_raid_groups(hot_config, n_groups=100, seed=5)
+        assert a.total_ddfs == b.total_ddfs
+        assert [c.ddf_times for c in a.chronologies] == [
+            c.ddf_times for c in b.chronologies
+        ]
+
+    def test_seeds_differ(self, hot_config):
+        a = simulate_raid_groups(hot_config, n_groups=200, seed=1)
+        b = simulate_raid_groups(hot_config, n_groups=200, seed=2)
+        assert [c.ddf_times for c in a.chronologies] != [
+            c.ddf_times for c in b.chronologies
+        ]
+
+    def test_parallel_matches_serial(self, hot_config):
+        serial = simulate_raid_groups(hot_config, n_groups=60, seed=9, n_jobs=1)
+        parallel = simulate_raid_groups(hot_config, n_groups=60, seed=9, n_jobs=2)
+        assert [c.ddf_times for c in serial.chronologies] == [
+            c.ddf_times for c in parallel.chronologies
+        ]
+
+    def test_runner_records_seed(self, hot_config):
+        result = MonteCarloRunner(config=hot_config, n_groups=10, seed=3).run()
+        assert result.seed == 3
+
+    def test_mission_metadata(self, hot_config):
+        result = simulate_raid_groups(hot_config, n_groups=10, seed=0)
+        assert result.mission_hours == 8_760.0
+
+
+class TestSweep:
+    def test_sweep_collects_all_values(self, hot_config):
+        out = sweep(
+            "mttr",
+            [25.0, 100.0],
+            lambda mttr: RaidGroupConfig(
+                n_data=3,
+                time_to_op=Exponential(2_000.0),
+                time_to_restore=Exponential(float(mttr)),
+                mission_hours=8_760.0,
+            ),
+            n_groups=300,
+            seed=4,
+        )
+        assert out.values == [25.0, 100.0]
+        totals = out.mission_ddfs_per_thousand()
+        # Longer restores -> more overlap -> more DDFs.
+        assert totals[100.0] > totals[25.0]
+
+    def test_sweep_curves_and_first_year(self, hot_config):
+        out = sweep(
+            "x",
+            [1],
+            lambda _v: hot_config,
+            n_groups=50,
+            seed=0,
+        )
+        curves = out.curves(n_points=5)
+        assert 1 in curves
+        assert curves[1][0].shape == (5,)
+        assert 1 in out.first_year_ddfs_per_thousand()
+
+
+class TestTimelineTrace:
+    def test_recorder_captures_events(self, hot_config):
+        recorder = TimelineRecorder()
+        sim = RaidGroupSimulator(
+            RaidGroupConfig.paper_base_case(scrub_characteristic_hours=12.0)
+        )
+        sim.run(np.random.default_rng(12), recorder=recorder)
+        kinds = {e.kind for e in recorder.entries}
+        assert "latent" in kinds  # latent defects are frequent
+        assert "scrub" in kinds
+
+    def test_render_diagram_structure(self):
+        recorder = TimelineRecorder()
+        recorder.record_op_fail(0, 100.0)
+        recorder.record_restore(0, 200.0)
+        recorder.record_latent(1, 300.0)
+        recorder.record_scrub(1, 400.0)
+        recorder.record_ddf(350.0, "latent_then_op")
+        art = render_timing_diagram(recorder, n_slots=2, horizon_hours=1_000.0, width=50)
+        assert "slot  0" in art
+        assert "#" in art  # op downtime drawn
+        assert "~" in art  # latent exposure drawn
+        assert "X" in art  # the DDF marker
+        assert "legend" in art
+
+    def test_slot_intervals(self):
+        recorder = TimelineRecorder()
+        recorder.record_op_fail(0, 100.0)
+        recorder.record_restore(0, 150.0)
+        recorder.record_op_fail(0, 700.0)
+        intervals = recorder.slot_intervals(0, "op_fail", "restore", horizon=1_000.0)
+        assert intervals == [(100.0, 150.0), (700.0, 1_000.0)]

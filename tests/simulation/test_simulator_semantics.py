@@ -1,0 +1,279 @@
+"""Deterministic scenario tests pinning the Fig. 4/5 DDF semantics.
+
+Each test scripts exact failure/repair times through a scripted
+distribution, so the simulator's ordering rules (latent-before-op is a
+DDF, op-before-latent is not, same-drive latent+op is not, DDF windows
+suppress double counting, replacement clears corruption) are asserted
+exactly — no randomness involved.
+"""
+
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import Distribution
+from repro.simulation import DDFType, RaidGroupConfig, RaidGroupSimulator
+
+BIG = 1e12  # effectively "never (within any mission)"
+
+
+class Scripted(Distribution):
+    """Returns scripted values in draw order, then a default forever.
+
+    All slots share one sample stream per process (TTOp, TTR, TTLd,
+    TTScrub), drawn in a deterministic order: initialisation draws one
+    value per slot in slot order, then events draw chronologically.
+    """
+
+    def __init__(self, values: List[float], default: float = BIG) -> None:
+        self._values = list(values)
+        self._default = default
+        self.location = 0.0
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        n = 1 if size is None else int(size)
+        out = [
+            self._values.pop(0) if self._values else self._default for _ in range(n)
+        ]
+        return np.asarray(out) if size is not None else out[0]
+
+    # The simulator samples only; the probability interface is unused.
+    def cdf(self, t):  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def pdf(self, t):  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+
+def run_scenario(
+    n_data: int,
+    ttop: List[float],
+    ttr: List[float],
+    ttld: Optional[List[float]] = None,
+    ttscrub: Optional[List[float]] = None,
+    mission: float = 1_000.0,
+):
+    config = RaidGroupConfig(
+        n_data=n_data,
+        time_to_op=Scripted(ttop),
+        time_to_restore=Scripted(ttr, default=100.0),
+        time_to_latent=Scripted(ttld) if ttld is not None else None,
+        time_to_scrub=Scripted(ttscrub) if ttscrub is not None else None,
+        mission_hours=mission,
+    )
+    return RaidGroupSimulator(config).run(np.random.default_rng(0))
+
+
+class TestDoubleOperational:
+    def test_overlapping_failures_are_a_ddf(self):
+        # Slot 0 fails at 100 (restore until 200); slot 1 fails at 150.
+        chrono = run_scenario(n_data=1, ttop=[100.0, 150.0], ttr=[100.0, 100.0])
+        assert chrono.n_ddfs == 1
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.ddf_times == [150.0]
+
+    def test_non_overlapping_failures_are_not(self):
+        # Slot 0 restored at 150, slot 1 fails at 300: no overlap.
+        chrono = run_scenario(n_data=1, ttop=[100.0, 300.0], ttr=[50.0, 50.0])
+        assert chrono.n_ddfs == 0
+        assert chrono.n_op_failures == 2
+
+    def test_boundary_restore_completion_is_not_overlap(self):
+        # Restoration completes exactly when the second failure strikes:
+        # the OP_RESTORED event (pushed first) processes first, so the
+        # group is whole again — not a DDF.
+        chrono = run_scenario(n_data=1, ttop=[100.0, 200.0], ttr=[100.0, 100.0])
+        assert chrono.n_ddfs == 0
+
+    def test_ddf_window_suppresses_third_failure(self):
+        # Slots fail at 100, 150 (DDF, window to 250), 180 (inside window).
+        chrono = run_scenario(
+            n_data=2, ttop=[100.0, 150.0, 180.0], ttr=[100.0, 100.0, 100.0]
+        )
+        assert chrono.n_ddfs == 1
+        assert chrono.n_op_failures == 3
+
+    def test_both_drives_return_at_later_completion(self):
+        # Fig. 5: "Shift restart time to coincide with restoration" — both
+        # failed drives' next failure clocks start at the window end (250),
+        # so a third overlapping op failure right after must see both up.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[100.0, 150.0, BIG, BIG],
+            ttr=[100.0, 100.0],
+            mission=10_000.0,
+        )
+        assert chrono.n_restores == 2
+        assert chrono.n_ddfs == 1
+
+
+class TestLatentThenOp:
+    def test_latent_before_op_is_a_ddf(self):
+        # Slot 0 develops a defect at 100; slot 1 op-fails at 200.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, 200.0],
+            ttr=[50.0],
+            ttld=[100.0, BIG],
+        )
+        assert chrono.n_ddfs == 1
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP]
+        assert chrono.ddf_times == [200.0]
+        assert chrono.n_latent_defects == 1
+
+    def test_op_before_latent_is_not_a_ddf(self):
+        # Slot 0 op-fails at 100 (restoring until 200); slot 1's defect
+        # arrives at 150, during the reconstruction: NOT a DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[100.0, BIG],
+            ttr=[100.0],
+            ttld=[BIG, 150.0],
+        )
+        assert chrono.n_ddfs == 0
+        assert chrono.n_latent_defects == 1
+
+    def test_latent_on_same_drive_is_not_a_ddf(self):
+        # The op failure must strike a *different* drive than the defect.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[200.0, BIG],
+            ttr=[50.0],
+            ttld=[100.0, BIG],
+        )
+        assert chrono.n_ddfs == 0
+
+    def test_replacement_clears_corruption(self):
+        # Slot 0: defect at 100, own op failure at 200 (replaced, clean by
+        # 250).  Slot 1 op-fails at 400: slot 0 carries no defect -> no DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[200.0, 400.0, BIG, BIG],
+            ttr=[50.0, 50.0],
+            ttld=[100.0, BIG, BIG, BIG],
+            mission=10_000.0,
+        )
+        assert chrono.n_ddfs == 0
+        assert chrono.n_op_failures == 2
+
+    def test_multiple_latent_defects_are_not_a_ddf(self):
+        # Both drives corrupt; nobody op-fails: never a DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, BIG],
+            ttr=[],
+            ttld=[100.0, 150.0],
+        )
+        assert chrono.n_ddfs == 0
+        assert chrono.n_latent_defects == 2
+
+    def test_ddf_restoration_repairs_the_latent_drive(self):
+        # After the latent+op DDF resolves at 250, slot 1 fails again at
+        # 400; slot 0's defect was repaired with the DDF restoration -> no
+        # second DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, 200.0, 400.0, BIG],
+            ttr=[50.0, 50.0],
+            ttld=[100.0, BIG, BIG, BIG],
+            mission=10_000.0,
+        )
+        assert chrono.n_ddfs == 1
+
+    def test_multiple_exposed_drives_single_ddf(self):
+        # Two drives corrupt (100, 120); a third op-fails at 200: exactly
+        # one DDF event is counted.
+        chrono = run_scenario(
+            n_data=2,
+            ttop=[BIG, BIG, 200.0],
+            ttr=[50.0],
+            ttld=[100.0, 120.0, BIG],
+        )
+        assert chrono.n_ddfs == 1
+
+
+class TestScrubbing:
+    def test_scrub_repairs_before_op_failure(self):
+        # Defect at 100, scrubbed at 150; op failure at 300: no DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, 300.0],
+            ttr=[50.0],
+            ttld=[100.0, BIG, BIG],
+            ttscrub=[50.0],
+        )
+        assert chrono.n_ddfs == 0
+        assert chrono.n_scrub_repairs == 1
+
+    def test_slow_scrub_loses_the_race(self):
+        # Defect at 100, scrub would finish at 600; op failure at 300: DDF.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, 300.0],
+            ttr=[50.0],
+            ttld=[100.0, BIG, BIG],
+            ttscrub=[500.0],
+        )
+        assert chrono.n_ddfs == 1
+        assert chrono.n_scrub_repairs == 0
+
+    def test_latent_process_renews_after_scrub(self):
+        # Defect at 100 scrubbed at 150; next defect at 150+200=350; op at
+        # 400 -> DDF through the *second* defect.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[BIG, 400.0],
+            ttr=[50.0],
+            ttld=[100.0, BIG, 200.0, BIG],
+            ttscrub=[50.0, BIG],
+        )
+        assert chrono.n_latent_defects == 2
+        assert chrono.n_ddfs == 1
+
+    def test_scrub_after_replacement_is_stale(self):
+        # Slot 0: defect at 100; slot 0 op-fails at 120 and is replaced by
+        # 170.  The pending scrub (due 100+200=300) must not count: the
+        # defective drive left the system.
+        chrono = run_scenario(
+            n_data=1,
+            ttop=[120.0, BIG, BIG],
+            ttr=[50.0],
+            ttld=[100.0, BIG, BIG],
+            ttscrub=[200.0],
+        )
+        assert chrono.n_scrub_repairs == 0
+
+
+class TestMissionBoundary:
+    def test_events_past_mission_ignored(self):
+        chrono = run_scenario(
+            n_data=1, ttop=[1_500.0, 2_000.0], ttr=[10.0], mission=1_000.0
+        )
+        assert chrono.n_op_failures == 0
+        assert chrono.n_ddfs == 0
+
+    def test_event_at_mission_counts(self):
+        chrono = run_scenario(n_data=1, ttop=[1_000.0, BIG], ttr=[10.0], mission=1_000.0)
+        assert chrono.n_op_failures == 1
+
+    def test_chronology_metadata(self):
+        chrono = run_scenario(n_data=1, ttop=[100.0, 150.0], ttr=[100.0, 100.0])
+        assert chrono.mission_hours == 1_000.0
+        assert chrono.ddfs_before(149.0) == 0
+        assert chrono.ddfs_before(150.0) == 1
+
+
+class TestCounters:
+    def test_restore_counts(self):
+        chrono = run_scenario(
+            n_data=1, ttop=[100.0, 300.0, BIG, BIG], ttr=[50.0, 50.0], mission=10_000.0
+        )
+        assert chrono.n_op_failures == 2
+        assert chrono.n_restores == 2
+
+    def test_unfinished_restore_not_counted(self):
+        # Failure at 900, restore would finish at 1,000+: mission ends.
+        chrono = run_scenario(n_data=1, ttop=[900.0, BIG], ttr=[200.0], mission=1_000.0)
+        assert chrono.n_op_failures == 1
+        assert chrono.n_restores == 0

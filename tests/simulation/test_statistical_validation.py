@@ -1,0 +1,160 @@
+"""Statistical validation of the simulator against independent references.
+
+These tests anchor the Monte Carlo engine to (a) the MTTDL closed form
+under HPP assumptions, (b) the closed-form latent-defect approximation,
+and (c) the paper's published result bands.  Fleets are sized so the
+asserted bands hold with overwhelming probability under fixed seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytical import expected_ddfs, mttdl_independent
+from repro.distributions import Exponential, Weibull
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+
+@pytest.fixture(scope="module")
+def base_result():
+    """Base case (168 h scrub), 1,000 groups — the paper's exact setup."""
+    return simulate_raid_groups(RaidGroupConfig.paper_base_case(), n_groups=1000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def no_scrub_result():
+    return simulate_raid_groups(
+        RaidGroupConfig.paper_base_case(scrub_characteristic_hours=None),
+        n_groups=1000,
+        seed=7,
+    )
+
+
+class TestHPPConsistency:
+    def test_constant_rates_track_mttdl(self):
+        # Fig. 6's "c-c" check: with exponential TTOp/TTR the simulator
+        # must land near eq. 3.  60k groups gives a CI of roughly +-35%.
+        config = RaidGroupConfig(
+            n_data=7,
+            time_to_op=Exponential(461_386.0),
+            time_to_restore=Exponential(12.0),
+        )
+        result = simulate_raid_groups(config, n_groups=60_000, seed=3)
+        simulated = result.total_ddfs * 1000.0 / result.n_groups
+        predicted = expected_ddfs(
+            mttdl_independent(7, 461_386.0, 12.0), 1000, 87_600.0
+        )
+        assert simulated == pytest.approx(predicted, rel=0.6)
+        assert simulated > 0
+
+    def test_high_rate_hpp_quantitative(self):
+        # Crank rates up so DDFs are plentiful and the MTTDL comparison is
+        # tight: MTBF 5,000 h, MTTR 50 h, N=7 over one year.
+        config = RaidGroupConfig(
+            n_data=7,
+            time_to_op=Exponential(5_000.0),
+            time_to_restore=Exponential(50.0),
+            mission_hours=8_760.0,
+        )
+        result = simulate_raid_groups(config, n_groups=3_000, seed=5)
+        simulated = result.total_ddfs / result.n_groups
+        predicted = 8_760.0 / mttdl_independent(7, 5_000.0, 50.0)
+        # The DDF-window suppression and busy-drive unavailability shave
+        # the count slightly; 15% agreement at these rates.
+        assert simulated == pytest.approx(predicted, rel=0.15)
+
+
+class TestPaperBands:
+    def test_no_scrub_mission_total(self, no_scrub_result):
+        # Paper: "over 1,200 DDFs in the 10-year mission" per 1,000 groups.
+        total = no_scrub_result.total_ddfs * 1000.0 / no_scrub_result.n_groups
+        assert 1_050 < total < 1_450
+
+    def test_scrubbed_mission_total(self, base_result):
+        # 168 h scrub: an order of magnitude below the unscrubbed case.
+        total = base_result.total_ddfs * 1000.0 / base_result.n_groups
+        assert 100 < total < 200
+
+    def test_first_year_ratio_no_scrub(self, no_scrub_result):
+        # Table 3: first-year ratio to MTTDL > 2,500 (allow noise floor).
+        mttdl_first_year = expected_ddfs(
+            mttdl_independent(7, 461_386.0, 12.0), 1000, 8_760.0
+        )
+        ratio = no_scrub_result.first_year_ddfs_per_thousand() / mttdl_first_year
+        assert ratio > 1_500
+
+    def test_first_year_ratio_168h(self, base_result):
+        # Table 3: "over 360 times" with a 168 h scrub.
+        mttdl_first_year = expected_ddfs(
+            mttdl_independent(7, 461_386.0, 12.0), 1000, 8_760.0
+        )
+        ratio = base_result.first_year_ddfs_per_thousand() / mttdl_first_year
+        assert 150 < ratio < 800
+
+    def test_latent_pathway_dominates(self, base_result):
+        from repro.simulation import DDFType
+
+        by_type = base_result.ddfs_by_type()
+        assert by_type[DDFType.LATENT_THEN_OP] > 10 * by_type[DDFType.DOUBLE_OP]
+
+    def test_rocof_increases(self, no_scrub_result):
+        # Fig. 8: the DDF rate grows with system age.
+        _, rates = no_scrub_result.rocof(bin_width_hours=8_760.0)
+        assert rates[-1] > rates[0]
+        # And the cumulative curve is convex (second half adds more).
+        half = no_scrub_result.ddfs_within(43_800.0)
+        full = no_scrub_result.total_ddfs
+        assert full - half > half
+
+    def test_op_failure_count_sane(self, base_result):
+        # ~14.4% per drive per decade, 8 drives, 1,000 groups: ~1,190
+        # (replacements renew, adding slightly).
+        ops = sum(c.n_op_failures for c in base_result.chronologies)
+        assert 1_000 < ops < 1_500
+
+    def test_latent_defect_count_sane(self, base_result):
+        # Mean cycle = TTLd (9,259 h) + scrub residence (~156 h): ~9.3
+        # defects per slot per decade, 8,000 slots -> ~74,000.
+        latents = sum(c.n_latent_defects for c in base_result.chronologies)
+        assert 65_000 < latents < 85_000
+
+
+class TestCrossCheckApproximation:
+    def test_no_scrub_against_closed_form(self, no_scrub_result):
+        from repro.analytical import expected_ddfs_approximation
+
+        approx = expected_ddfs_approximation(
+            7,
+            Weibull(shape=1.12, scale=461_386.0),
+            Weibull(shape=2.0, scale=12.0, location=6.0),
+            87_600.0,
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+        )
+        simulated = no_scrub_result.total_ddfs * 1000.0 / no_scrub_result.n_groups
+        assert simulated == pytest.approx(approx, rel=0.25)
+
+    def test_scrubbed_against_closed_form(self, base_result):
+        from repro.analytical import expected_ddfs_approximation
+
+        approx = expected_ddfs_approximation(
+            7,
+            Weibull(shape=1.12, scale=461_386.0),
+            Weibull(shape=2.0, scale=12.0, location=6.0),
+            87_600.0,
+            time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+            scrub_residence=Weibull(shape=3.0, scale=168.0, location=6.0),
+        )
+        simulated = base_result.total_ddfs * 1000.0 / base_result.n_groups
+        assert simulated == pytest.approx(approx, rel=0.35)
+
+
+class TestScrubMonotonicity:
+    def test_faster_scrub_fewer_ddfs(self):
+        totals = []
+        for scrub in (336.0, 48.0):
+            result = simulate_raid_groups(
+                RaidGroupConfig.paper_base_case(scrub_characteristic_hours=scrub),
+                n_groups=800,
+                seed=11,
+            )
+            totals.append(result.total_ddfs)
+        assert totals[0] > totals[1]

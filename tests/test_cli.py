@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.experiment == "fig7"
+        assert args.seed == 0
+        assert args.groups is None
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "tab3", "--groups", "500", "--seed", "9", "--jobs", "2"]
+        )
+        assert (args.groups, args.seed, args.jobs) == (500, 9, 2)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig1", "fig7", "tab1", "tab3"):
+            assert experiment_id in out
+
+    def test_run_tab1(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "8e-15" in out
+
+    def test_run_stochastic_small(self, capsys):
+        assert main(["run", "fig7", "--groups", "50", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no scrub" in out
+
+    def test_run_fig1_takes_seed_only(self, capsys):
+        assert main(["run", "fig1", "--seed", "2"]) == 0
+        assert "HDD #1" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "tab1.csv"
+        assert main(["run", "tab1", "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        content = csv_path.read_text()
+        assert content.splitlines()[0].startswith("RER")

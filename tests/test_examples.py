@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs cleanly and says what it should."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: script -> a string its output must contain.
+EXPECTED_MARKERS = {
+    "quickstart.py": "underestimate",
+    "scrub_policy_design.py": "Chosen policy",
+    "vintage_field_analysis.py": "vintage",
+    "raid6_vs_raid5.py": "recovered: True",
+    "usage_dependent_latent_defects.py": "DDFs/1000 groups",
+    "spare_pool_provisioning.py": "failures that waited",
+}
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr}"
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    output = _run(script)
+    assert EXPECTED_MARKERS[script] in output
+    assert len(output.splitlines()) > 5
