@@ -79,3 +79,24 @@ def test_micro_fleet_throughput(benchmark, n_groups):
         iterations=1,
     )
     assert result.n_groups == n_groups
+
+
+@pytest.mark.parametrize("engine", ["event", "batch"])
+def test_micro_fleet_engines(benchmark, engine):
+    """The paper's 1,000-group fleet on each engine (single process).
+
+    The batch engine's acceptance bar is a >= 5x speedup over the event
+    engine here; ``benchmarks/smoke_engines.py`` records the measured
+    ratio in ``benchmarks/results/``.
+    """
+    from repro.simulation import simulate_raid_groups
+
+    result = benchmark.pedantic(
+        simulate_raid_groups,
+        args=(RaidGroupConfig.paper_base_case(),),
+        kwargs={"n_groups": 1000, "seed": 0, "engine": engine},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_groups == 1000
+    assert result.engine == engine

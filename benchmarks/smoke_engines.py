@@ -1,0 +1,61 @@
+"""Smoke benchmark: event-vs-batch engine speedup on the base case.
+
+Runs the ``bench_micro_engine.py`` fleet workload (Table 2 base case,
+1,000 groups, single process) once per engine, checks the batch engine
+clears its >= 5x acceptance bar, and records the measurement in
+``benchmarks/results/engine_speedup.txt``.  Intended as a fast CI step::
+
+    PYTHONPATH=src python benchmarks/smoke_engines.py
+
+Exit status is non-zero when the speedup bar is missed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+RESULTS_DIR = Path(__file__).parent / "results"
+N_GROUPS = 1000
+SEED = 0
+MIN_SPEEDUP = 5.0
+
+
+def time_engine(engine: str, n_groups: int = N_GROUPS, seed: int = SEED) -> float:
+    """Best-of-three wall-clock seconds for one engine."""
+    config = RaidGroupConfig.paper_base_case()
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        result = simulate_raid_groups(config, n_groups=n_groups, seed=seed, engine=engine)
+        best = min(best, time.perf_counter() - start)
+        assert result.n_groups == n_groups
+    return best
+
+
+def main() -> int:
+    t_event = time_engine("event")
+    t_batch = time_engine("batch")
+    speedup = t_event / t_batch
+    lines = [
+        "Engine smoke benchmark: Table 2 base case, "
+        f"{N_GROUPS} groups, seed {SEED}, single process (best of 3)",
+        f"event engine : {t_event * 1000.0:8.1f} ms",
+        f"batch engine : {t_batch * 1000.0:8.1f} ms",
+        f"speedup      : {speedup:8.1f}x  (acceptance bar: >= {MIN_SPEEDUP:.0f}x)",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_speedup.txt").write_text(report + "\n")
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedup:.1f}x below the {MIN_SPEEDUP:.0f}x bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     run.add_argument("--jobs", type=int, default=1, help="worker processes")
+    run.add_argument(
+        "--engine",
+        choices=["event", "batch", "auto"],
+        default="event",
+        help=(
+            "simulation engine for stochastic experiments: the reference "
+            "per-group event loop, the vectorized batch engine, or auto "
+            "(batch when the config supports it)"
+        ),
+    )
     run.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
 
     report = sub.add_parser(
@@ -78,6 +88,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
             kwargs["n_groups"] = args.groups
         if args.jobs != 1:
             kwargs["n_jobs"] = args.jobs
+        if args.engine != "event":
+            kwargs["engine"] = args.engine
     result = info.runner(**kwargs)
     headers = _HEADERS[args.experiment]
     rows = result.rows()

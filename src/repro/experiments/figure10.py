@@ -67,7 +67,13 @@ class Figure10Result:
         return [[shape, totals[shape], ratios[shape]] for shape in SHAPES]
 
 
-def run(n_groups: int = 30_000, seed: int = 0, n_points: int = 10, n_jobs: int = 1) -> Figure10Result:
+def run(
+    n_groups: int = 30_000,
+    seed: int = 0,
+    n_points: int = 10,
+    n_jobs: int = 1,
+    engine: str = "event",
+) -> Figure10Result:
     """Sweep the TTOp shape under coupled seeds.
 
     Like Fig. 6, the no-latent-defect DDF rate is tiny, so large fleets
@@ -80,6 +86,7 @@ def run(n_groups: int = 30_000, seed: int = 0, n_points: int = 10, n_jobs: int =
         n_groups=n_groups,
         seed=seed,
         n_jobs=n_jobs,
+        engine=engine,
     )
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves = {

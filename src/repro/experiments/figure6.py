@@ -72,7 +72,13 @@ class Figure6Result:
         return out
 
 
-def run(n_groups: int = 30_000, seed: int = 0, n_points: int = 10, n_jobs: int = 1) -> Figure6Result:
+def run(
+    n_groups: int = 30_000,
+    seed: int = 0,
+    n_points: int = 10,
+    n_jobs: int = 1,
+    engine: str = "event",
+) -> Figure6Result:
     """Simulate all four variants.
 
     DDFs without latent defects are rare (~0.3 per 1,000 groups per
@@ -82,7 +88,7 @@ def run(n_groups: int = 30_000, seed: int = 0, n_points: int = 10, n_jobs: int =
     curves: Dict[str, np.ndarray] = {}
     for variant in VARIANTS:
         result = simulate_raid_groups(
-            variant_config(variant), n_groups=n_groups, seed=seed, n_jobs=n_jobs
+            variant_config(variant), n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
         )
         curves[variant] = result.ddfs_per_thousand(times)
     return Figure6Result(

@@ -63,14 +63,20 @@ class Figure7Result:
         return out
 
 
-def run(n_groups: int = 2_000, seed: int = 0, n_points: int = 10, n_jobs: int = 1) -> Figure7Result:
+def run(
+    n_groups: int = 2_000,
+    seed: int = 0,
+    n_points: int = 10,
+    n_jobs: int = 1,
+    engine: str = "event",
+) -> Figure7Result:
     """Simulate both scenarios under coupled seeds."""
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves: Dict[str, np.ndarray] = {}
     results: Dict[str, SimulationResult] = {}
     for scenario in SCENARIOS:
         result = simulate_raid_groups(
-            scenario_config(scenario), n_groups=n_groups, seed=seed, n_jobs=n_jobs
+            scenario_config(scenario), n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
         )
         results[scenario] = result
         curves[scenario] = result.ddfs_per_thousand(times)

@@ -51,9 +51,10 @@ def run(
     seed: int = 0,
     bin_width_hours: float = 8_760.0,
     n_jobs: int = 1,
+    engine: str = "event",
 ) -> Figure8Result:
     """Simulate the Fig. 7 scenarios and bin their DDFs (default: yearly)."""
-    fig7 = figure7.run(n_groups=n_groups, seed=seed, n_jobs=n_jobs)
+    fig7 = figure7.run(n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine)
     rocofs = {
         name: result.rocof_per_thousand_per_interval(bin_width_hours)
         for name, result in fig7.results.items()

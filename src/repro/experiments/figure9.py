@@ -46,7 +46,13 @@ class Figure9Result:
         ]
 
 
-def run(n_groups: int = 2_000, seed: int = 0, n_points: int = 10, n_jobs: int = 1) -> Figure9Result:
+def run(
+    n_groups: int = 2_000,
+    seed: int = 0,
+    n_points: int = 10,
+    n_jobs: int = 1,
+    engine: str = "event",
+) -> Figure9Result:
     """Sweep the scrub characteristic life under coupled seeds."""
     result = sweep(
         parameter_name="scrub_characteristic_hours",
@@ -57,6 +63,7 @@ def run(n_groups: int = 2_000, seed: int = 0, n_points: int = 10, n_jobs: int = 
         n_groups=n_groups,
         seed=seed,
         n_jobs=n_jobs,
+        engine=engine,
     )
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves = {

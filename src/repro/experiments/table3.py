@@ -57,7 +57,9 @@ class Table3Result:
         return out
 
 
-def run(n_groups: int = 5_000, seed: int = 0, n_jobs: int = 1) -> Table3Result:
+def run(
+    n_groups: int = 5_000, seed: int = 0, n_jobs: int = 1, engine: str = "event"
+) -> Table3Result:
     """Simulate every Table 3 scenario for the first-year window.
 
     Fleets are simulated for the first year only (the table's window),
@@ -75,7 +77,9 @@ def run(n_groups: int = 5_000, seed: int = 0, n_jobs: int = 1) -> Table3Result:
             scrub_characteristic_hours=scrub_hours,
             mission_hours=FIRST_YEAR_HOURS,
         )
-        result = simulate_raid_groups(config, n_groups=n_groups, seed=seed, n_jobs=n_jobs)
+        result = simulate_raid_groups(
+            config, n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
+        )
         first_year[name] = result.total_ddfs * 1000.0 / result.n_groups
     return Table3Result(
         mttdl_first_year=mttdl_first_year,

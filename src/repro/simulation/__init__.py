@@ -12,8 +12,10 @@ time-to-scrub distributions — none of which needs to be exponential.
   streams;
 * :mod:`~repro.simulation.raid_simulator` — the Fig. 4 state machine for
   one group over one mission;
+* :mod:`~repro.simulation.batch` — NumPy-vectorized lockstep engine
+  advancing whole fleets together (``engine="batch"``);
 * :mod:`~repro.simulation.monte_carlo` — fleet-level replication runner
-  (:func:`simulate_raid_groups`);
+  (:func:`simulate_raid_groups`, ``engine="event"|"batch"|"auto"``);
 * :mod:`~repro.simulation.results` — cumulative DDF curves (the
   "DDFs per 1000 RAID groups" axes of Figs 6-10), ROCOF estimation,
   confidence intervals;
@@ -22,8 +24,9 @@ time-to-scrub distributions — none of which needs to be exponential.
 """
 
 from .availability import AvailabilityReport
+from .batch import BATCH_SHARD_SIZE, simulate_groups_batch
 from .config import RaidGroupConfig
-from .monte_carlo import MonteCarloRunner, simulate_raid_groups
+from .monte_carlo import ENGINES, MonteCarloRunner, simulate_raid_groups
 from .raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
 from .results import DDFEvent, SimulationResult
 from .sensitivity import SweepResult, sweep
@@ -31,8 +34,11 @@ from .spares import SparePool, SparePoolConfig
 from .trace import TimelineRecorder, render_timing_diagram
 
 __all__ = [
+    "BATCH_SHARD_SIZE",
+    "ENGINES",
     "RaidGroupConfig",
     "RaidGroupSimulator",
+    "simulate_groups_batch",
     "GroupChronology",
     "DDFType",
     "DDFEvent",

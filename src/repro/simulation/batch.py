@@ -1,0 +1,322 @@
+"""NumPy-vectorized batch simulation engine.
+
+The event engine (:mod:`~repro.simulation.raid_simulator`) walks one
+Python event loop per RAID group; for fleet-scale studies (thousands of
+groups, sensitivity sweeps) the interpreter overhead of that loop
+dominates total runtime.  This module advances **all groups of a fleet
+in lockstep**: per-(group, slot) state lives in dense arrays, transition
+samples are drawn in blocks through the distributions' vectorized
+``sample(size=...)`` paths, and each iteration resolves exactly one
+event per still-active group with masked array operations.
+
+The two engines realise the same stochastic process — the Fig. 4/5 DDF
+semantics (overlapping restores, latent-then-op ordering, no DDF while a
+DDF restore is pending, renewal at replacement) are reproduced rule for
+rule — but they consume random streams in different orders, so their
+outputs agree *in distribution*, not sample for sample.  The
+cross-engine harness in ``tests/simulation/test_cross_engine_stats.py``
+asserts that equivalence with two-sample statistical tests.
+
+Determinism contract: for a fixed ``(config, n_groups, seed)`` the batch
+engine is byte-reproducible, independent of ``n_jobs`` — the fleet is
+partitioned into fixed-size shards (:data:`BATCH_SHARD_SIZE`), each
+seeded by one child of the root :class:`~numpy.random.SeedSequence`, and
+process fan-out only changes *which worker* computes a shard.
+
+Simultaneous events within a group (possible only with discrete-support
+distributions such as :class:`~repro.distributions.Deterministic`) are
+resolved in a fixed kind order — restore completions first, then
+DDF-restore defect clears, scrub completions, latent arrivals and
+operational failures last — matching the event engine's convention that
+a failure landing exactly at a restore completion is not simultaneous
+with it.
+
+Unsupported configurations (see :func:`batch_engine_unsupported_reason`):
+age-anchored latent processes need per-slot conditional draws, and spare
+pools serialise failures through shelf state; both fall back to the
+event engine under ``engine="auto"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .config import RaidGroupConfig
+from .raid_simulator import DDFType, GroupChronology
+
+#: Groups per vectorized kernel invocation.  Fixed (rather than derived
+#: from ``n_jobs``) so batch-engine results depend only on
+#: ``(config, n_groups, seed)``; multiprocessing distributes whole shards.
+#: 512 balances per-iteration numpy dispatch overhead against wasted
+#: lockstep work on groups that finish their missions early.
+BATCH_SHARD_SIZE = 512
+
+# Candidate-array stack order == tie-break priority at equal event times.
+_K_RESTORE = 0
+_K_CLEAR = 1
+_K_SCRUB = 2
+_K_LD = 3
+_K_OP = 4
+_N_KINDS = 5
+
+_INF = float("inf")
+
+
+def batch_engine_unsupported_reason(config: RaidGroupConfig) -> Optional[str]:
+    """Why this configuration cannot run on the batch engine (``None`` if it can)."""
+    return config.batch_engine_unsupported_reason
+
+
+class _BlockSampler:
+    """Array-valued sampling with block refills.
+
+    The kernel asks for ``k`` fresh samples per masked update; this buffer
+    amortises the per-call overhead of the distribution's
+    ``sample(size=...)`` path over large blocks — the vectorized analogue
+    of :class:`~repro.simulation.rng.SampleBuffer`.
+    """
+
+    def __init__(self, distribution, rng: np.random.Generator, block: int = 4096) -> None:
+        self._distribution = distribution
+        self._rng = rng
+        self._block = block
+        self._values = np.empty(0, dtype=float)
+        self._index = 0
+
+    def take(self, k: int) -> np.ndarray:
+        """The next ``k`` samples as a float array."""
+        if k == 0:
+            return np.empty(0, dtype=float)
+        if self._values.size - self._index < k:
+            fresh = np.atleast_1d(
+                np.asarray(
+                    self._distribution.sample(self._rng, max(self._block, k)),
+                    dtype=float,
+                )
+            )
+            self._values = np.concatenate([self._values[self._index :], fresh])
+            self._index = 0
+        out = self._values[self._index : self._index + k]
+        self._index += k
+        return out
+
+
+def simulate_groups_batch(
+    config: RaidGroupConfig,
+    n_groups: int,
+    rng: np.random.Generator,
+) -> List[GroupChronology]:
+    """Simulate ``n_groups`` missions in lockstep; one chronology per group.
+
+    Parameters
+    ----------
+    config:
+        The group design; must be batch-compatible
+        (:func:`batch_engine_unsupported_reason` returns ``None``).
+    n_groups:
+        Replications advanced together in this kernel invocation.
+    rng:
+        Single generator feeding every block draw of the shard.
+
+    Raises
+    ------
+    SimulationError:
+        If the configuration needs the event engine.
+    """
+    reason = batch_engine_unsupported_reason(config)
+    if reason is not None:
+        raise SimulationError(f"batch engine cannot simulate this config: {reason}")
+    if n_groups < 1:
+        raise SimulationError(f"n_groups must be >= 1, got {n_groups!r}")
+
+    n_slots = config.n_drives
+    mission = config.mission_hours
+    tolerance = config.fault_tolerance
+    shape = (n_groups, n_slots)
+
+    ttop = _BlockSampler(config.time_to_op, rng)
+    ttr = _BlockSampler(config.time_to_restore, rng)
+    ttld = (
+        _BlockSampler(config.time_to_latent, rng)
+        if config.models_latent_defects
+        else None
+    )
+    ttscrub = (
+        _BlockSampler(config.time_to_scrub, rng) if config.scrubbing_enabled else None
+    )
+
+    # Per-slot state.  Candidate arrays hold the absolute time of each
+    # slot's next event of that kind, inf when no such event is pending.
+    op_up = np.ones(shape, dtype=bool)
+    exposed = np.zeros(shape, dtype=bool)
+    t_op = ttop.take(n_groups * n_slots).reshape(shape).copy()
+    t_restore = np.full(shape, _INF)
+    t_ld = (
+        ttld.take(n_groups * n_slots).reshape(shape).copy()
+        if ttld is not None
+        else np.full(shape, _INF)
+    )
+    t_scrub = np.full(shape, _INF)
+    t_clear = np.full(shape, _INF)  # DDF-shared restores clearing defects
+
+    # Per-group state.
+    ddf_until = np.full(n_groups, -_INF)
+    active = np.ones(n_groups, dtype=bool)
+    n_op_failures = np.zeros(n_groups, dtype=np.int64)
+    n_latent_defects = np.zeros(n_groups, dtype=np.int64)
+    n_scrub_repairs = np.zeros(n_groups, dtype=np.int64)
+    n_restores = np.zeros(n_groups, dtype=np.int64)
+    ddf_times: List[List[float]] = [[] for _ in range(n_groups)]
+    ddf_types: List[List[DDFType]] = [[] for _ in range(n_groups)]
+
+    group_ix = np.arange(n_groups)
+    cand = np.empty((_N_KINDS, n_groups, n_slots))
+
+    while True:
+        cand[_K_RESTORE] = t_restore
+        cand[_K_CLEAR] = t_clear
+        cand[_K_SCRUB] = t_scrub
+        cand[_K_LD] = t_ld
+        cand[_K_OP] = t_op
+        # Per-group earliest event over every (kind, slot); argmin over the
+        # kind-major flattening makes the stack order the tie-breaker.
+        per_group = cand.transpose(1, 0, 2).reshape(n_groups, _N_KINDS * n_slots)
+        flat_ix = per_group.argmin(axis=1)
+        t_next = per_group[group_ix, flat_ix]
+        active &= t_next <= mission
+        if not active.any():
+            break
+        kind = flat_ix // n_slots
+        slot = flat_ix % n_slots
+
+        # ----------------------------------------------------- OP_FAIL
+        m = active & (kind == _K_OP)
+        if m.any():
+            g = np.nonzero(m)[0]
+            s = slot[g]
+            t = t_next[g]
+            k = g.size
+            n_op_failures[g] += 1
+            completion = t + ttr.take(k)
+
+            eligible = t >= ddf_until[g]
+            # Other drives still inside their restore window (the failing
+            # slot is up, so it never counts itself).
+            overlap = ~op_up[g] & (t_restore[g] > t[:, None])
+            n_failed_others = overlap.sum(axis=1)
+            exposed_others = exposed[g].copy()
+            exposed_others[np.arange(k), s] = False
+
+            is_double = eligible & (n_failed_others >= tolerance)
+            is_latent = (
+                eligible
+                & ~is_double
+                & (n_failed_others == tolerance - 1)
+                & exposed_others.any(axis=1)
+            )
+            is_ddf = is_double | is_latent
+            if is_ddf.any():
+                # The group returns to service when the *latest* involved
+                # restoration completes; every overlapping restore (and
+                # this failure's own) is extended to that instant.
+                other_max = np.where(overlap, t_restore[g], -_INF).max(axis=1)
+                window_end = np.maximum(completion, other_max)
+                completion = np.where(is_ddf, window_end, completion)
+                rows, cols = np.nonzero(overlap & is_ddf[:, None])
+                t_restore[g[rows], cols] = window_end[rows]
+                ddf_until[g[is_ddf]] = window_end[is_ddf]
+                # Latent pathway: the exposed drives' defects are repaired
+                # by the shared DDF restoration — cancel their scrubs and
+                # schedule the clear at the window end.
+                rows, cols = np.nonzero(exposed_others & is_latent[:, None])
+                t_clear[g[rows], cols] = window_end[rows]
+                t_scrub[g[rows], cols] = _INF
+                for r in np.nonzero(is_ddf)[0]:
+                    ddf_times[g[r]].append(float(t[r]))
+                    ddf_types[g[r]].append(
+                        DDFType.DOUBLE_OP if is_double[r] else DDFType.LATENT_THEN_OP
+                    )
+
+            # The failed drive leaves with its corruption; all its pending
+            # processes are invalidated until the replacement comes up.
+            op_up[g, s] = False
+            exposed[g, s] = False
+            t_op[g, s] = _INF
+            t_restore[g, s] = completion
+            t_ld[g, s] = _INF
+            t_scrub[g, s] = _INF
+            t_clear[g, s] = _INF
+
+        # ------------------------------------------------- OP_RESTORED
+        m = active & (kind == _K_RESTORE)
+        if m.any():
+            g = np.nonzero(m)[0]
+            s = slot[g]
+            t = t_next[g]
+            n_restores[g] += 1
+            op_up[g, s] = True
+            t_restore[g, s] = _INF
+            t_op[g, s] = t + ttop.take(g.size)
+            if ttld is not None:
+                # Fresh drive: fresh latent process.
+                t_ld[g, s] = t + ttld.take(g.size)
+
+        # --------------------------------------------------- LD_ARRIVE
+        m = active & (kind == _K_LD)
+        if m.any():
+            g = np.nonzero(m)[0]
+            s = slot[g]
+            exposed[g, s] = True
+            n_latent_defects[g] += 1
+            t_ld[g, s] = _INF
+            if ttscrub is not None:
+                t_scrub[g, s] = t_next[g] + ttscrub.take(g.size)
+            # NB: arriving during another drive's reconstruction is NOT a
+            # DDF (operational failure *before* latent defect).
+
+        # --------------------------------------------------- SCRUB_DONE
+        m = active & (kind == _K_SCRUB)
+        if m.any():
+            g = np.nonzero(m)[0]
+            s = slot[g]
+            exposed[g, s] = False
+            n_scrub_repairs[g] += 1
+            t_scrub[g, s] = _INF
+            if ttld is not None:
+                t_ld[g, s] = t_next[g] + ttld.take(g.size)
+
+        # --------------------------------------------------- LD_CLEARED
+        m = active & (kind == _K_CLEAR)
+        if m.any():
+            g = np.nonzero(m)[0]
+            s = slot[g]
+            exposed[g, s] = False
+            t_clear[g, s] = _INF
+            # An operational failure before the window end invalidates the
+            # clear (t_clear reset to inf above), so the slot is up here.
+            if ttld is not None:
+                t_ld[g, s] = t_next[g] + ttld.take(g.size)
+
+    return [
+        GroupChronology(
+            ddf_times=ddf_times[i],
+            ddf_types=ddf_types[i],
+            n_op_failures=int(n_op_failures[i]),
+            n_latent_defects=int(n_latent_defects[i]),
+            n_scrub_repairs=int(n_scrub_repairs[i]),
+            n_restores=int(n_restores[i]),
+            mission_hours=mission,
+        )
+        for i in range(n_groups)
+    ]
+
+
+def shard_sizes(n_groups: int, shard_size: int = BATCH_SHARD_SIZE) -> List[int]:
+    """Deterministic shard partition of a fleet (pure function of inputs)."""
+    if n_groups < 1:
+        raise SimulationError(f"n_groups must be >= 1, got {n_groups!r}")
+    full, rest = divmod(n_groups, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])

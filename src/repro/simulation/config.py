@@ -106,6 +106,31 @@ class RaidGroupConfig:
         """Whether latent defects get repaired by scrubbing."""
         return self.time_to_scrub is not None
 
+    @property
+    def batch_engine_unsupported_reason(self) -> Optional[str]:
+        """Why the vectorized batch engine cannot run this config (``None`` if it can).
+
+        The batch engine (:mod:`repro.simulation.batch`) covers the
+        paper's model space; the two extensions it does not vectorize
+        fall back to the event engine under ``engine="auto"``.
+        """
+        if self.latent_age_anchored:
+            return (
+                "latent_age_anchored=True draws age-conditional latent "
+                "arrivals per slot, which the batch engine does not vectorize"
+            )
+        if self.spare_pool is not None:
+            return (
+                "spare pools serialise failures through shelf state, which "
+                "the batch engine does not vectorize"
+            )
+        return None
+
+    @property
+    def supports_batch_engine(self) -> bool:
+        """Whether the vectorized batch engine can simulate this config."""
+        return self.batch_engine_unsupported_reason is None
+
     # ------------------------------------------------------------------
     @classmethod
     def paper_base_case(

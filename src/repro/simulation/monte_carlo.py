@@ -4,6 +4,26 @@ Simulating 1,000 RAID groups for 10 years, as the paper does, is 1,000
 independent replications of the group simulator.  The runner fans a single
 seed out to per-replication streams, optionally across processes, and
 aggregates chronologies into a :class:`~repro.simulation.results.SimulationResult`.
+
+Two engines realise the replication (see ``DESIGN.md`` §"Simulation
+engines"):
+
+``"event"``
+    The reference per-group Python event loop
+    (:class:`~repro.simulation.raid_simulator.RaidGroupSimulator`).  One
+    spawned seed per group; results are byte-identical for a fixed
+    ``(config, n_groups, seed)`` regardless of ``n_jobs``.
+``"batch"``
+    The NumPy-vectorized lockstep engine
+    (:mod:`~repro.simulation.batch`), advancing fixed-size shards of the
+    fleet together.  One spawned seed per shard; results are
+    byte-identical for a fixed ``(config, n_groups, seed)`` regardless of
+    ``n_jobs``, but the engines' random streams differ, so the two
+    engines agree in distribution rather than sample for sample.
+``"auto"``
+    ``"batch"`` whenever the configuration supports it
+    (:attr:`~repro.simulation.config.RaidGroupConfig.supports_batch_engine`),
+    else ``"event"``.
 """
 
 from __future__ import annotations
@@ -15,10 +35,15 @@ from typing import List, Optional
 import numpy as np
 
 from .._validation import require_int
+from ..exceptions import ParameterError
+from .batch import BATCH_SHARD_SIZE, shard_sizes, simulate_groups_batch
 from .config import RaidGroupConfig
 from .raid_simulator import GroupChronology, RaidGroupSimulator
 from .results import SimulationResult
 from .rng import make_seed_sequence
+
+#: Engine names accepted by :class:`MonteCarloRunner`.
+ENGINES = ("event", "batch", "auto")
 
 
 def _run_batch(args) -> List[GroupChronology]:
@@ -30,6 +55,13 @@ def _run_batch(args) -> List[GroupChronology]:
         rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(**state)))
         out.append(simulator.run(rng))
     return out
+
+
+def _run_shard(args) -> List[GroupChronology]:
+    """Worker: one vectorized shard (module-level for pickling)."""
+    config, seed_state, n = args
+    rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(**seed_state)))
+    return simulate_groups_batch(config, n, rng)
 
 
 def _seed_state(seq: np.random.SeedSequence) -> dict:
@@ -52,51 +84,111 @@ class MonteCarloRunner:
     n_groups:
         Fleet size (the paper uses 1,000; estimates scale accordingly).
     seed:
-        Root seed; identical (config, n_groups, seed) triples reproduce
-        byte-identical results.
+        Root seed; identical (config, n_groups, seed, engine) tuples
+        reproduce byte-identical results.
     n_jobs:
-        Worker processes; 1 (default) runs in-process.
+        Worker processes; 1 (default) runs in-process.  Never changes
+        numeric results, only wall-clock.
+    engine:
+        ``"event"`` (default, the reference per-group event loop),
+        ``"batch"`` (the vectorized lockstep engine), or ``"auto"``
+        (``"batch"`` when the config supports it, else ``"event"``).
     """
 
     config: RaidGroupConfig
     n_groups: int = 1000
     seed: Optional[int] = 0
     n_jobs: int = 1
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         require_int("n_groups", self.n_groups, minimum=1)
         require_int("n_jobs", self.n_jobs, minimum=1)
+        if self.engine not in ENGINES:
+            raise ParameterError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.engine == "batch":
+            reason = self.config.batch_engine_unsupported_reason
+            if reason is not None:
+                raise ParameterError(f"engine='batch' cannot run this config: {reason}")
+
+    # ------------------------------------------------------------------
+    def resolve_engine(self) -> str:
+        """The concrete engine a :meth:`run` call will use."""
+        if self.engine == "auto":
+            return "batch" if self.config.supports_batch_engine else "event"
+        return self.engine
 
     def run(self) -> SimulationResult:
         """Simulate the fleet and aggregate."""
+        engine = self.resolve_engine()
+        if engine == "batch":
+            chronologies = self._run_batch_engine()
+        else:
+            chronologies = self._run_event_engine()
+        return SimulationResult(
+            config=self.config,
+            chronologies=chronologies,
+            seed=self.seed if isinstance(self.seed, int) else None,
+            engine=engine,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_event_engine(self) -> List[GroupChronology]:
+        """Reference path: one seed-spawned event loop per group."""
         root = make_seed_sequence(self.seed)
         children = root.spawn(self.n_groups)
 
         if self.n_jobs == 1:
             simulator = RaidGroupSimulator(self.config)
-            chronologies = [
+            return [
                 simulator.run(np.random.Generator(np.random.PCG64(child)))
                 for child in children
             ]
-        else:
-            batches: List[List[dict]] = [[] for _ in range(self.n_jobs)]
-            for idx, child in enumerate(children):
-                batches[idx % self.n_jobs].append(_seed_state(child))
-            ctx = get_context("spawn")
-            with ctx.Pool(self.n_jobs) as pool:
-                results = pool.map(
-                    _run_batch, [(self.config, batch) for batch in batches if batch]
+        # Per-group seeds are independent of the partition, so clamping
+        # the job count to the fleet size changes nothing numerically.
+        jobs = min(self.n_jobs, self.n_groups)
+        batches: List[List[dict]] = [[] for _ in range(jobs)]
+        for idx, child in enumerate(children):
+            batches[idx % jobs].append(_seed_state(child))
+        ctx = get_context("spawn")
+        with ctx.Pool(jobs) as pool:
+            results = pool.map(_run_batch, [(self.config, batch) for batch in batches])
+        # Restore replication order: batch b holds indices b, b+J, ...
+        chronologies: List[GroupChronology] = [None] * self.n_groups  # type: ignore[list-item]
+        flat_iters = [iter(r) for r in results]
+        for idx in range(self.n_groups):
+            chronologies[idx] = next(flat_iters[idx % jobs])
+        return chronologies
+
+    def _run_batch_engine(self) -> List[GroupChronology]:
+        """Vectorized path: one seed-spawned kernel shard per ~256 groups.
+
+        The shard partition is a pure function of ``n_groups``
+        (:data:`~repro.simulation.batch.BATCH_SHARD_SIZE`), so results do
+        not depend on ``n_jobs``.
+        """
+        root = make_seed_sequence(self.seed)
+        sizes = shard_sizes(self.n_groups, BATCH_SHARD_SIZE)
+        children = root.spawn(len(sizes))
+        jobs = min(self.n_jobs, len(sizes))
+        if jobs == 1:
+            shards = [
+                simulate_groups_batch(
+                    self.config, n, np.random.Generator(np.random.PCG64(child))
                 )
-            # Restore replication order: batch b holds indices b, b+J, ...
-            chronologies = [None] * self.n_groups  # type: ignore[list-item]
-            flat_iters = [iter(r) for r in results]
-            for idx in range(self.n_groups):
-                chronologies[idx] = next(flat_iters[idx % self.n_jobs])
-        return SimulationResult(
-            config=self.config,
-            chronologies=list(chronologies),
-            seed=self.seed if isinstance(self.seed, int) else None,
-        )
+                for n, child in zip(sizes, children)
+            ]
+        else:
+            ctx = get_context("spawn")
+            tasks = [
+                (self.config, _seed_state(child), n)
+                for n, child in zip(sizes, children)
+            ]
+            with ctx.Pool(jobs) as pool:
+                shards = pool.map(_run_shard, tasks)
+        return [chrono for shard in shards for chrono in shard]
 
 
 def simulate_raid_groups(
@@ -104,6 +196,7 @@ def simulate_raid_groups(
     n_groups: int = 1000,
     seed: Optional[int] = 0,
     n_jobs: int = 1,
+    engine: str = "event",
 ) -> SimulationResult:
     """One-call fleet simulation.
 
@@ -116,5 +209,5 @@ def simulate_raid_groups(
     50
     """
     return MonteCarloRunner(
-        config=config, n_groups=n_groups, seed=seed, n_jobs=n_jobs
+        config=config, n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
     ).run()

@@ -44,11 +44,17 @@ class SimulationResult:
         group.
     seed:
         The user seed that reproduces this result.
+    engine:
+        Which simulation engine produced the chronologies (``"event"``,
+        the reference per-group event loop, or ``"batch"``, the
+        vectorized lockstep engine).  Results from the two engines agree
+        in distribution, not sample for sample.
     """
 
     config: RaidGroupConfig
     chronologies: List[GroupChronology]
     seed: "int | None" = None
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if not self.chronologies:

@@ -70,6 +70,7 @@ def sweep(
     n_groups: int = 1000,
     seed: Optional[int] = 0,
     n_jobs: int = 1,
+    engine: str = "event",
 ) -> SweepResult:
     """Run a family of configurations sharing a random seed.
 
@@ -81,7 +82,7 @@ def sweep(
         The values to sweep.
     config_builder:
         Maps a swept value to a full :class:`RaidGroupConfig`.
-    n_groups, seed, n_jobs:
+    n_groups, seed, n_jobs, engine:
         Passed to :func:`~repro.simulation.monte_carlo.simulate_raid_groups`;
         sharing the seed couples the random streams across configurations,
         tightening between-configuration comparisons.
@@ -90,7 +91,11 @@ def sweep(
     values = list(values)
     results = [
         simulate_raid_groups(
-            config_builder(value), n_groups=n_groups, seed=seed, n_jobs=n_jobs
+            config_builder(value),
+            n_groups=n_groups,
+            seed=seed,
+            n_jobs=n_jobs,
+            engine=engine,
         )
         for value in values
     ]

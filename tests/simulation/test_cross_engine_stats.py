@@ -1,0 +1,172 @@
+"""Cross-engine statistical equivalence: event vs batch over a scenario corpus.
+
+The two engines realise the same stochastic process through different
+random-stream orderings, so their outputs are compared *in distribution*
+at fixed seeds: a two-sample Kolmogorov-Smirnov test on time-to-first-DDF,
+a chi-square homogeneity test on per-group DDF counts, and chi-square
+tests on the per-group operational-failure and latent-defect counts (the
+chronology-level proxies for availability — every operational failure
+opens one restore window, every latent defect one exposure window).
+
+Scenarios are chosen hot enough that each fleet produces hundreds of
+DDFs, making the tests sharp; all seeds are fixed, so p-values are
+deterministic and the asserted floors cannot flake.  A vectorization bug
+that warps DDF timing, double-counts windows, or leaks exposure across
+renewals shifts these statistics by far more than the thresholds.
+
+These fleets are the slow tier: run them via ``pytest -m slow``; the
+fast tier (``pytest -m "not slow"``) skips them.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions import Exponential, Weibull
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+pytestmark = pytest.mark.slow
+
+#: Two-sided p-value floor for every two-sample test.  Seeds are fixed,
+#: so these are deterministic regression assertions, not flaky gambles.
+P_FLOOR = 0.02
+
+#: The shared scenario corpus (name -> (config, n_groups)).
+CORPUS = {
+    # The paper's Table 2 base case over the full 10-year mission.
+    "base-case": (RaidGroupConfig.paper_base_case(), 1200),
+    # Double parity under hot rates: exercises the tolerance-2 rules
+    # (overlapping restores, latent DDFs with a concurrent failed drive).
+    "raid6": (
+        RaidGroupConfig(
+            n_data=7,
+            n_parity=2,
+            time_to_op=Exponential(3_000.0),
+            time_to_restore=Weibull(shape=2.0, scale=100.0, location=6.0),
+            time_to_latent=Exponential(800.0),
+            time_to_scrub=Weibull(shape=3.0, scale=60.0, location=6.0),
+            mission_hours=8_760.0,
+        ),
+        800,
+    ),
+    # Latent defects arriving ~8x the base rate, base scrubbing.
+    "high-latent-rate": (
+        dataclasses.replace(
+            RaidGroupConfig.paper_base_case(),
+            time_to_op=Weibull(shape=1.12, scale=120_000.0),
+            time_to_latent=Exponential(1_200.0),
+            mission_hours=17_520.0,
+        ),
+        1000,
+    ),
+    # Scrubs racing the defects (12 h vs 168 h characteristic): the
+    # scrub-cancellation path dominates, so the latent rate is cranked
+    # further to keep DDFs plentiful.
+    "fast-scrub": (
+        dataclasses.replace(
+            RaidGroupConfig.paper_base_case(scrub_characteristic_hours=12.0),
+            time_to_op=Weibull(shape=1.12, scale=120_000.0),
+            time_to_latent=Exponential(600.0),
+            mission_hours=17_520.0,
+        ),
+        1200,
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CORPUS))
+def engine_pair(request):
+    """(name, event result, batch result) for one corpus scenario."""
+    name = request.param
+    config, n_groups = CORPUS[name]
+    event = simulate_raid_groups(config, n_groups=n_groups, seed=1234, engine="event")
+    batch = simulate_raid_groups(config, n_groups=n_groups, seed=1234, engine="batch")
+    return name, event, batch
+
+
+def _first_ddf_times(result):
+    return np.array([c.ddf_times[0] for c in result.chronologies if c.ddf_times])
+
+
+def _count_table(a, b, max_bin):
+    """2 x K contingency table of per-group counts, clipped at ``max_bin``."""
+    bins = np.arange(max_bin + 2)
+    rows = [np.bincount(np.minimum(x, max_bin), minlength=max_bin + 1) for x in (a, b)]
+    table = np.vstack(rows)
+    # Drop columns empty in both samples; merge the rest as-is.
+    return table[:, table.sum(axis=0) > 0], bins
+
+
+def _assert_count_homogeneity(event_counts, batch_counts, max_bin):
+    table, _ = _count_table(event_counts, batch_counts, max_bin)
+    if table.shape[1] < 2:  # identical degenerate distributions
+        return
+    _, p, _, _ = stats.chi2_contingency(table)
+    assert p > P_FLOOR, f"per-group count distributions differ (p={p:.4g})\n{table}"
+
+
+class TestCrossEngineEquivalence:
+    def test_fleets_produce_ddfs(self, engine_pair):
+        # The corpus is only a sharp instrument if DDFs are plentiful.
+        name, event, batch = engine_pair
+        assert event.total_ddfs >= 100, name
+        assert batch.total_ddfs >= 100, name
+
+    def test_time_to_first_ddf_ks(self, engine_pair):
+        name, event, batch = engine_pair
+        ev, ba = _first_ddf_times(event), _first_ddf_times(batch)
+        assert ev.size >= 50 and ba.size >= 50, name
+        stat, p = stats.ks_2samp(ev, ba)
+        assert p > P_FLOOR, f"{name}: first-DDF KS stat={stat:.4f}, p={p:.4g}"
+
+    def test_per_group_ddf_counts(self, engine_pair):
+        name, event, batch = engine_pair
+        ev = np.array([c.n_ddfs for c in event.chronologies])
+        ba = np.array([c.n_ddfs for c in batch.chronologies])
+        _assert_count_homogeneity(ev, ba, max_bin=3)
+
+    def test_per_group_op_failures(self, engine_pair):
+        name, event, batch = engine_pair
+        ev = np.array([c.n_op_failures for c in event.chronologies])
+        ba = np.array([c.n_op_failures for c in batch.chronologies])
+        _assert_count_homogeneity(ev, ba, max_bin=8)
+
+    def test_per_group_latent_defects(self, engine_pair):
+        # Latent arrival counts are large; compare distributions via KS on
+        # the counts themselves (exact ties are fine for two-sample KS
+        # used as a location/shape probe here).
+        name, event, batch = engine_pair
+        ev = np.array([float(c.n_latent_defects) for c in event.chronologies])
+        ba = np.array([float(c.n_latent_defects) for c in batch.chronologies])
+        if ev.max() == 0 and ba.max() == 0:
+            return
+        _, p = stats.ks_2samp(ev, ba)
+        assert p > P_FLOOR, f"{name}: latent-count KS p={p:.4g}"
+
+    def test_mission_rate_within_monte_carlo_error(self, engine_pair):
+        # Mean DDFs per group must agree within 4 combined standard errors.
+        name, event, batch = engine_pair
+        ev = np.array([c.n_ddfs for c in event.chronologies], dtype=float)
+        ba = np.array([c.n_ddfs for c in batch.chronologies], dtype=float)
+        se = np.hypot(ev.std(ddof=1) / np.sqrt(ev.size), ba.std(ddof=1) / np.sqrt(ba.size))
+        assert abs(ev.mean() - ba.mean()) < 4.0 * se, (
+            f"{name}: event {ev.mean():.4f} vs batch {ba.mean():.4f} (se {se:.4f})"
+        )
+
+    def test_ddf_pathway_mix(self, engine_pair):
+        # The double-op vs latent-then-op split is a sensitive probe of the
+        # ordering rules; compare it as a 2x2 homogeneity test.
+        name, event, batch = engine_pair
+        table = np.array(
+            [
+                [n for n in event.ddfs_by_type().values()],
+                [n for n in batch.ddfs_by_type().values()],
+            ]
+        )
+        table = table[:, table.sum(axis=0) > 0]
+        if table.shape[1] < 2:
+            return
+        _, p, _, _ = stats.chi2_contingency(table)
+        assert p > P_FLOOR, f"{name}: DDF pathway mix differs (p={p:.4g})\n{table}"

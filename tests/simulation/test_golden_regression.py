@@ -1,0 +1,88 @@
+"""Golden regression: the event engine's exact base-case output is pinned.
+
+``golden_base_case_fleet.json`` holds the complete per-group chronology of
+a small fixed-seed base-case fleet (Table 2 config, 50 groups, seed 2007)
+as produced by the reference event engine.  ``engine="event"`` must
+reproduce it bit for bit: the event engine is the semantic anchor the
+vectorized batch engine is statistically validated against, so silent
+drift here (a reordered event, a changed sampling discipline, a different
+seed fan-out) would invalidate every cross-engine guarantee downstream.
+
+If a deliberate semantic change to the reference path makes this fail,
+regenerate the fixture (see ``_regenerate`` below) in the same commit and
+say so in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+
+GOLDEN_PATH = Path(__file__).parent / "golden_base_case_fleet.json"
+
+
+def _current_payload():
+    result = simulate_raid_groups(
+        RaidGroupConfig.paper_base_case(), n_groups=50, seed=2007, engine="event"
+    )
+    return result, {
+        "config": "RaidGroupConfig.paper_base_case()",
+        "n_groups": 50,
+        "seed": 2007,
+        "engine": "event",
+        "summary": result.summary(),
+        "groups": [
+            {
+                "ddf_times": c.ddf_times,
+                "ddf_types": [k.value for k in c.ddf_types],
+                "n_op_failures": c.n_op_failures,
+                "n_latent_defects": c.n_latent_defects,
+                "n_scrub_repairs": c.n_scrub_repairs,
+                "n_restores": c.n_restores,
+            }
+            for c in result.chronologies
+        ],
+    }
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    _, payload = _current_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1))
+
+
+class TestGoldenBaseCase:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @pytest.fixture(scope="class")
+    def current(self):
+        return _current_payload()
+
+    def test_fixture_is_sane(self, golden):
+        assert golden["n_groups"] == 50
+        assert len(golden["groups"]) == 50
+        assert golden["summary"]["total_ddfs"] > 0
+
+    def test_summary_reproduced_exactly(self, golden, current):
+        _, payload = current
+        assert payload["summary"] == golden["summary"]
+
+    def test_every_group_reproduced_exactly(self, golden, current):
+        # Byte-identical chronologies: DDF instants compared as exact
+        # floats, no tolerance.
+        _, payload = current
+        assert payload["groups"] == golden["groups"]
+
+    def test_parallel_run_matches_golden(self, golden):
+        # n_jobs must never change the event engine's numbers.
+        result = simulate_raid_groups(
+            RaidGroupConfig.paper_base_case(),
+            n_groups=50,
+            seed=2007,
+            engine="event",
+            n_jobs=3,
+        )
+        assert result.summary() == golden["summary"]

@@ -101,3 +101,124 @@ def test_raid6_never_worse_than_raid5(config, seed):
     ddf5 = simulate_raid_groups(r5, n_groups=20, seed=seed % 1000).total_ddfs
     ddf6 = simulate_raid_groups(r6, n_groups=20, seed=seed % 1000).total_ddfs
     assert ddf6 <= ddf5 + 3
+
+
+# ----------------------------------------------------------------------
+# Trace-level invariants of the event engine (the reference semantics the
+# batch engine is validated against).  Each property replays the recorded
+# timeline through an independent little oracle built only from the trace
+# entries, so a regression in the simulator's state machine cannot hide
+# inside its own bookkeeping.
+
+
+def _run_traced(config, seed):
+    from repro.simulation import TimelineRecorder
+
+    recorder = TimelineRecorder()
+    chrono = RaidGroupSimulator(config).run(np.random.default_rng(seed), recorder)
+    return chrono, recorder
+
+
+def _slot_events(recorder, slot, kinds):
+    return sorted(e.time for e in recorder.entries if e.slot == slot and e.kind in kinds)
+
+
+def _exposed_before(recorder, slot, t):
+    """Whether ``slot`` carries an unscrubbed defect just before ``t``.
+
+    Exposure starts at a ``latent`` entry and ends at the next ``scrub``
+    entry (scrub pass or DDF cleanup) or at the slot's own operational
+    failure (the corruption leaves with the drive).
+    """
+    last = None
+    for e in recorder.entries:
+        if e.slot == slot and e.time < t and e.kind in ("latent", "scrub", "op_fail"):
+            if last is None or e.time >= last.time:
+                last = e
+    return last is not None and last.kind == "latent"
+
+
+def _down_before(recorder, slot, t):
+    """Whether ``slot`` is mid-reconstruction just before ``t``."""
+    last = None
+    for e in recorder.entries:
+        if e.slot == slot and e.time < t and e.kind in ("op_fail", "restore"):
+            if last is None or e.time >= last.time:
+                last = e
+    return last is not None and last.kind == "op_fail"
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_no_ddf_while_ddf_restore_pending(config, seed):
+    # After a DDF, no further DDF may be counted until the triggering
+    # failure's (shared) restoration completes.  The trigger is the slot
+    # that op-failed at the DDF instant; its next restore entry is the
+    # window end.
+    chrono, recorder = _run_traced(config, seed)
+    for i, t in enumerate(chrono.ddf_times):
+        triggers = [
+            e.slot for e in recorder.entries if e.kind == "op_fail" and e.time == t
+        ]
+        assert triggers, f"DDF at {t} has no coincident operational failure"
+        completions = [
+            e.time
+            for e in recorder.entries
+            if e.kind == "restore" and e.slot == triggers[0] and e.time > t
+        ]
+        later_ddfs = [u for u in chrono.ddf_times[i + 1 :]]
+        if not completions:
+            # Window extends past the mission: nothing further may count.
+            assert not later_ddfs
+        elif later_ddfs:
+            assert later_ddfs[0] >= min(completions)
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_ddfs_only_triggered_by_op_failures(config, seed):
+    # A latent defect arriving mid-reconstruction (or any other time) is
+    # never itself a DDF: every DDF instant coincides with an operational
+    # failure, and for single-parity groups the pathway recorded matches
+    # the trace state just before the failure.
+    chrono, recorder = _run_traced(config, seed)
+    op_fail_times = {e.time for e in recorder.entries if e.kind == "op_fail"}
+    for t, kind in zip(chrono.ddf_times, chrono.ddf_types):
+        assert t in op_fail_times
+        if config.n_parity != 1:
+            continue
+        trigger = next(
+            e.slot for e in recorder.entries if e.kind == "op_fail" and e.time == t
+        )
+        others = [s for s in range(config.n_drives) if s != trigger]
+        if kind is DDFType.DOUBLE_OP:
+            assert any(_down_before(recorder, s, t) for s in others)
+        else:
+            assert any(
+                _exposed_before(recorder, s, t) and not _down_before(recorder, s, t)
+                for s in others
+            )
+
+
+@given(config=configs(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_renewal_resets_slot_processes(config, seed):
+    # Drive replacement renews both processes: a slot never op-fails while
+    # already down (failures/restores strictly alternate), and no latent
+    # defect ever arrives on a slot that is mid-reconstruction (pending
+    # arrivals are invalidated with the replaced drive).
+    chrono, recorder = _run_traced(config, seed)
+    for slot in range(config.n_drives):
+        merged = sorted(
+            (e.time, e.kind)
+            for e in recorder.entries
+            if e.slot == slot and e.kind in ("op_fail", "restore")
+        )
+        kinds = [k for _, k in merged]
+        assert kinds == ["op_fail", "restore"] * (len(kinds) // 2) + (
+            ["op_fail"] if len(kinds) % 2 else []
+        )
+        for t in _slot_events(recorder, slot, ("latent",)):
+            assert not _down_before(recorder, slot, t), (
+                f"latent defect arrived on slot {slot} at {t} while down"
+            )

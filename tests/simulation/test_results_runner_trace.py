@@ -139,6 +139,20 @@ class TestMonteCarloRunner:
             c.ddf_times for c in parallel.chronologies
         ]
 
+    def test_more_jobs_than_groups(self, hot_config):
+        # n_jobs=8, n_groups=3: the order-restoring interleave used to
+        # index the empty-filtered worker outputs modulo the *requested*
+        # job count — only safe while empty batches happen to form a
+        # suffix — and spawned more workers than groups.  The job count
+        # is now clamped to the fleet size, which never changes
+        # per-group seed streams.
+        serial = simulate_raid_groups(hot_config, n_groups=3, seed=9, n_jobs=1)
+        parallel = simulate_raid_groups(hot_config, n_groups=3, seed=9, n_jobs=8)
+        assert parallel.n_groups == 3
+        assert [c.ddf_times for c in serial.chronologies] == [
+            c.ddf_times for c in parallel.chronologies
+        ]
+
     def test_runner_records_seed(self, hot_config):
         result = MonteCarloRunner(config=hot_config, n_groups=10, seed=3).run()
         assert result.seed == 3
