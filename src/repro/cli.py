@@ -2,7 +2,10 @@
 
 ``python -m repro list`` enumerates the reproduced tables/figures;
 ``python -m repro run fig7 --groups 2000 --seed 0`` regenerates one and
-prints its rows (optionally as CSV).
+prints its rows (optionally as CSV);
+``python -m repro simulate --until-precision 0.1 --checkpoint run.ckpt``
+streams one fleet until its DDF-rate CI converges, checkpointing as it
+goes (``--resume run.ckpt`` continues an interrupted run bit-identically).
 """
 
 from __future__ import annotations
@@ -13,6 +16,9 @@ from typing import List, Optional, Sequence
 
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .reporting import format_table, write_csv
+from .simulation.config import RaidGroupConfig
+from .simulation.monte_carlo import MonteCarloRunner
+from .simulation.streaming import Precision, StderrProgressReporter
 
 #: Column headers per experiment, matching each result's ``rows()``.
 _HEADERS = {
@@ -66,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
+    run.add_argument(
+        "--until-precision",
+        type=float,
+        default=None,
+        metavar="REL_WIDTH",
+        help=(
+            "grow each fleet until the DDF-rate CI is narrower than this "
+            "fraction of the estimate (--groups becomes the cap)"
+        ),
+    )
+    run.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for --until-precision (default 0.95)",
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -75,6 +97,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced fleet sizes (noisier, faster)"
     )
     report.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    report.add_argument("--jobs", type=int, default=1, help="worker processes")
+    report.add_argument(
+        "--engine",
+        choices=["event", "batch", "auto"],
+        default="event",
+        help="simulation engine for the fleet-driven sections",
+    )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help=(
+            "stream one fleet with incremental statistics, convergence-based "
+            "stopping, and checkpoint/resume"
+        ),
+    )
+    simulate.add_argument(
+        "--scrub",
+        type=str,
+        default="168",
+        help=(
+            "scrub characteristic life in hours, or 'none' to disable "
+            "scrubbing (default 168, the paper's base case)"
+        ),
+    )
+    simulate.add_argument(
+        "--mission-hours",
+        type=float,
+        default=87_600.0,
+        help="mission length per group (default 87,600 h = 10 years)",
+    )
+    simulate.add_argument(
+        "--groups",
+        type=int,
+        default=1000,
+        help="fleet size; with --until-precision, the fleet-size cap",
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    simulate.add_argument("--jobs", type=int, default=1, help="worker processes")
+    simulate.add_argument(
+        "--engine",
+        choices=["event", "batch", "auto"],
+        default="auto",
+        help="simulation engine (default auto)",
+    )
+    simulate.add_argument(
+        "--until-precision",
+        type=float,
+        default=None,
+        metavar="REL_WIDTH",
+        help="stop once the DDF-rate CI is narrower than this fraction of the estimate",
+    )
+    simulate.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for --until-precision (default 0.95)",
+    )
+    simulate.add_argument(
+        "--min-groups",
+        type=int,
+        default=256,
+        help="groups to simulate before consulting the stopping rule",
+    )
+    simulate.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a resumable JSON checkpoint after every shard",
+    )
+    simulate.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="resume bit-identically from a checkpoint written by --checkpoint",
+    )
+    simulate.add_argument(
+        "--manifest",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable run manifest (JSON) when done",
+    )
+    simulate.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr (groups/s, estimate ± CI)",
+    )
     return parser
 
 
@@ -90,6 +201,10 @@ def _run_experiment(args: argparse.Namespace) -> str:
             kwargs["n_jobs"] = args.jobs
         if args.engine != "event":
             kwargs["engine"] = args.engine
+        if args.until_precision is not None:
+            kwargs["until"] = Precision(
+                rel_ci_width=args.until_precision, confidence=args.confidence
+            )
     result = info.runner(**kwargs)
     headers = _HEADERS[args.experiment]
     rows = result.rows()
@@ -97,6 +212,61 @@ def _run_experiment(args: argparse.Namespace) -> str:
         write_csv(args.csv, headers, rows)
     title = f"{info.paper_reference}: {info.title}"
     return format_table(headers, rows, title=title)
+
+
+def _run_simulate(args: argparse.Namespace) -> str:
+    scrub_hours: Optional[float]
+    if args.scrub.lower() in ("none", "off", "0"):
+        scrub_hours = None
+    else:
+        scrub_hours = float(args.scrub)
+    config = RaidGroupConfig.paper_base_case(
+        scrub_characteristic_hours=scrub_hours,
+        mission_hours=args.mission_hours,
+    )
+    runner = MonteCarloRunner(
+        config,
+        n_groups=args.groups,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        engine=args.engine,
+    )
+    until = None
+    if args.until_precision is not None:
+        until = Precision(
+            rel_ci_width=args.until_precision,
+            confidence=args.confidence,
+            max_groups=args.groups,
+            min_groups=args.min_groups,
+        )
+    observers = (StderrProgressReporter(),) if args.progress else ()
+    streaming = runner.run_streaming(
+        until=until,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
+        observers=observers,
+    )
+    if args.manifest:
+        from .reporting import write_run_manifest
+
+        write_run_manifest(args.manifest, streaming)
+    summary = streaming.summary()
+    _, lo, hi = streaming.ddfs_per_thousand_ci()
+    scrub_label = "none" if scrub_hours is None else f"{scrub_hours:g} h"
+    rows: List[List[object]] = [
+        ["scrub", scrub_label],
+        ["mission (h)", args.mission_hours],
+        ["groups simulated", streaming.groups],
+        ["stop reason", streaming.stop_reason],
+        ["DDFs / 1000 groups", summary["ddfs_per_1000_mission"]],
+        [
+            f"{100 * (until.confidence if until else 0.95):g}% CI",
+            f"[{lo:.4g}, {hi:.4g}]",
+        ],
+        ["first-year DDFs / 1000", summary["ddfs_per_1000_first_year"]],
+        ["elapsed (s)", round(streaming.elapsed_seconds, 2)],
+    ]
+    return format_table(["quantity", "value"], rows, title="Streaming fleet simulation")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -113,8 +283,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "report":
         from .experiments import report as report_module
 
-        report_module.generate(args.out, quick=args.quick, seed=args.seed)
+        report_module.generate(
+            args.out,
+            quick=args.quick,
+            seed=args.seed,
+            engine=args.engine,
+            n_jobs=args.jobs,
+        )
         print(f"wrote {args.out}")
+        return 0
+    if args.command == "simulate":
+        print(_run_simulate(args))
         return 0
     print(_run_experiment(args))
     return 0

@@ -116,11 +116,15 @@ class NHPPLatentDefectModel:
         return expected_ddfs(self.mttdl_hours(), n_groups=n_groups, mission_hours=horizon)
 
     def simulate(
-        self, n_groups: int = 1000, seed: Optional[int] = 0, n_jobs: int = 1
+        self,
+        n_groups: int = 1000,
+        seed: Optional[int] = 0,
+        n_jobs: int = 1,
+        engine: str = "event",
     ) -> SimulationResult:
         """Run the sequential Monte Carlo fleet simulation."""
         return simulate_raid_groups(
-            self.config, n_groups=n_groups, seed=seed, n_jobs=n_jobs
+            self.config, n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
         )
 
     def compare_to_mttdl(
@@ -130,6 +134,7 @@ class NHPPLatentDefectModel:
         horizon_hours: Optional[float] = None,
         n_jobs: int = 1,
         result: Optional[SimulationResult] = None,
+        engine: str = "event",
     ) -> MTTDLComparison:
         """Simulate (or reuse a result) and compare against eq. 3.
 
@@ -141,6 +146,9 @@ class NHPPLatentDefectModel:
         result:
             Reuse an existing simulation of this configuration instead of
             re-running.
+        engine:
+            Simulation engine for the fresh run (ignored when ``result``
+            is supplied).
         """
         require_int("n_groups", n_groups, minimum=1)
         horizon = self.config.mission_hours if horizon_hours is None else horizon_hours
@@ -150,7 +158,9 @@ class NHPPLatentDefectModel:
                 f"{self.config.mission_hours}"
             )
         if result is None:
-            result = self.simulate(n_groups=n_groups, seed=seed, n_jobs=n_jobs)
+            result = self.simulate(
+                n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
+            )
         simulated = result.ddfs_within(horizon) * 1000.0 / result.n_groups
         predicted = self.mttdl_prediction(n_groups=1000, horizon_hours=horizon)
         return MTTDLComparison(

@@ -16,13 +16,14 @@ reproduce, quoting the paper:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
 from ..distributions import Weibull
 from ..simulation.config import RaidGroupConfig
 from ..simulation.sensitivity import SweepResult, sweep
+from ..simulation.streaming import Precision
 from . import base_case
 
 #: The swept TTOp shapes, paper order.
@@ -73,11 +74,14 @@ def run(
     n_points: int = 10,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> Figure10Result:
     """Sweep the TTOp shape under coupled seeds.
 
     Like Fig. 6, the no-latent-defect DDF rate is tiny, so large fleets
-    are needed for stable ratios.
+    are needed for stable ratios.  With ``until`` (a precision target),
+    each swept fleet grows until its DDF-rate CI is tight enough, capped
+    at ``n_groups``.
     """
     result = sweep(
         parameter_name="ttop_shape",
@@ -87,10 +91,12 @@ def run(
         seed=seed,
         n_jobs=n_jobs,
         engine=engine,
+        until=until,
     )
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves = {
         shape: fleet.ddfs_per_thousand(times)
         for shape, fleet in result.as_dict().items()
     }
-    return Figure10Result(times=times, curves=curves, sweep_result=result, n_groups=n_groups)
+    max_fleet = max(fleet.n_groups for fleet in result.results)
+    return Figure10Result(times=times, curves=curves, sweep_result=result, n_groups=max_fleet)

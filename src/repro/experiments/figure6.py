@@ -12,12 +12,13 @@ this experiment must reproduce:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..simulation.config import RaidGroupConfig
 from ..simulation.monte_carlo import simulate_raid_groups
+from ..simulation.streaming import Precision
 from . import base_case
 
 #: Variant labels in paper order.
@@ -78,22 +79,32 @@ def run(
     n_points: int = 10,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> Figure6Result:
     """Simulate all four variants.
 
     DDFs without latent defects are rare (~0.3 per 1,000 groups per
     decade), so resolving the curves needs tens of thousands of groups.
+    With ``until`` (a precision target), each variant's fleet instead
+    grows until its DDF-rate CI is tight enough, capped at ``n_groups``.
     """
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves: Dict[str, np.ndarray] = {}
+    max_fleet = 0
     for variant in VARIANTS:
         result = simulate_raid_groups(
-            variant_config(variant), n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
+            variant_config(variant),
+            n_groups=n_groups,
+            seed=seed,
+            n_jobs=n_jobs,
+            engine=engine,
+            until=until,
         )
+        max_fleet = max(max_fleet, result.n_groups)
         curves[variant] = result.ddfs_per_thousand(times)
     return Figure6Result(
         times=times,
         curves=curves,
         mttdl=base_case.mttdl_line(times),
-        n_groups=n_groups,
+        n_groups=max_fleet,
     )

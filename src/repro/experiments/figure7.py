@@ -12,13 +12,14 @@ Base case plus latent defects: one fleet never scrubs, one scrubs with a
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
 from ..simulation.config import RaidGroupConfig
 from ..simulation.monte_carlo import simulate_raid_groups
 from ..simulation.results import SimulationResult
+from ..simulation.streaming import Precision
 from . import base_case
 
 #: Scenario labels.
@@ -69,15 +70,27 @@ def run(
     n_points: int = 10,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> Figure7Result:
-    """Simulate both scenarios under coupled seeds."""
+    """Simulate both scenarios under coupled seeds.
+
+    With ``until`` (a precision target), each scenario's fleet grows
+    until its DDF-rate CI is tight enough, capped at ``n_groups``.
+    """
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves: Dict[str, np.ndarray] = {}
     results: Dict[str, SimulationResult] = {}
+    max_fleet = 0
     for scenario in SCENARIOS:
         result = simulate_raid_groups(
-            scenario_config(scenario), n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
+            scenario_config(scenario),
+            n_groups=n_groups,
+            seed=seed,
+            n_jobs=n_jobs,
+            engine=engine,
+            until=until,
         )
+        max_fleet = max(max_fleet, result.n_groups)
         results[scenario] = result
         curves[scenario] = result.ddfs_per_thousand(times)
-    return Figure7Result(times=times, curves=curves, results=results, n_groups=n_groups)
+    return Figure7Result(times=times, curves=curves, results=results, n_groups=max_fleet)

@@ -11,10 +11,11 @@ Weibull operational hazard rises.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
+from ..simulation.streaming import Precision
 from . import figure7
 
 
@@ -52,13 +53,16 @@ def run(
     bin_width_hours: float = 8_760.0,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> Figure8Result:
     """Simulate the Fig. 7 scenarios and bin their DDFs (default: yearly)."""
-    fig7 = figure7.run(n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine)
+    fig7 = figure7.run(
+        n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine, until=until
+    )
     rocofs = {
         name: result.rocof_per_thousand_per_interval(bin_width_hours)
         for name, result in fig7.results.items()
     }
     return Figure8Result(
-        bin_width_hours=bin_width_hours, rocofs=rocofs, n_groups=n_groups
+        bin_width_hours=bin_width_hours, rocofs=rocofs, n_groups=fig7.n_groups
     )

@@ -12,12 +12,13 @@ Findings to reproduce:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
 from ..simulation.config import RaidGroupConfig
 from ..simulation.sensitivity import SweepResult, sweep
+from ..simulation.streaming import Precision
 from . import base_case
 
 #: The paper's swept scrub characteristic lives, hours (slow to fast).
@@ -52,8 +53,13 @@ def run(
     n_points: int = 10,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> Figure9Result:
-    """Sweep the scrub characteristic life under coupled seeds."""
+    """Sweep the scrub characteristic life under coupled seeds.
+
+    With ``until`` (a precision target), each swept fleet grows until its
+    DDF-rate CI is tight enough, capped at ``n_groups``.
+    """
     result = sweep(
         parameter_name="scrub_characteristic_hours",
         values=list(SCRUB_HOURS),
@@ -64,10 +70,12 @@ def run(
         seed=seed,
         n_jobs=n_jobs,
         engine=engine,
+        until=until,
     )
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves = {
         hours: fleet.ddfs_per_thousand(times)
         for hours, fleet in result.as_dict().items()
     }
-    return Figure9Result(times=times, curves=curves, sweep_result=result, n_groups=n_groups)
+    max_fleet = max(fleet.n_groups for fleet in result.results)
+    return Figure9Result(times=times, curves=curves, sweep_result=result, n_groups=max_fleet)

@@ -113,8 +113,8 @@ def _section_fig2(seed: int) -> Section:
     )
 
 
-def _section_fig6(n_groups: int, seed: int) -> Section:
-    result = figure6.run(n_groups=n_groups, seed=seed)
+def _section_fig6(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = figure6.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     totals = result.mission_totals()
     mttdl_total = float(result.mttdl[-1])
     verdict = (
@@ -135,8 +135,8 @@ def _section_fig6(n_groups: int, seed: int) -> Section:
     )
 
 
-def _section_fig7(n_groups: int, seed: int) -> Section:
-    result = figure7.run(n_groups=n_groups, seed=seed)
+def _section_fig7(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = figure7.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     totals = result.mission_totals()
     verdict = (
         f"REPRODUCED: no scrub = {totals['no scrub']:.0f} DDFs/1000/10 y "
@@ -155,8 +155,8 @@ def _section_fig7(n_groups: int, seed: int) -> Section:
     )
 
 
-def _section_fig8(n_groups: int, seed: int) -> Section:
-    result = figure8.run(n_groups=n_groups, seed=seed)
+def _section_fig8(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = figure8.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     inc = {name: result.is_increasing(name) for name in result.rocofs}
     verdict = (
         f"REPRODUCED: ROCOF trend upward for both scenarios ({inc}); the "
@@ -175,8 +175,8 @@ def _section_fig8(n_groups: int, seed: int) -> Section:
     )
 
 
-def _section_fig9(n_groups: int, seed: int) -> Section:
-    result = figure9.run(n_groups=n_groups, seed=seed)
+def _section_fig9(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = figure9.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     totals = result.mission_totals()
     ordered = [totals[h] for h in figure9.SCRUB_HOURS]
     verdict = (
@@ -194,8 +194,8 @@ def _section_fig9(n_groups: int, seed: int) -> Section:
     )
 
 
-def _section_fig10(n_groups: int, seed: int) -> Section:
-    result = figure10.run(n_groups=n_groups, seed=seed)
+def _section_fig10(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = figure10.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     ratios = result.ratios_to_constant()
     verdict = (
         f"REPRODUCED in shape: beta=0.8 gives {ratios[0.8]:.2f}x the "
@@ -216,8 +216,8 @@ def _section_fig10(n_groups: int, seed: int) -> Section:
     )
 
 
-def _section_tab3(n_groups: int, seed: int) -> Section:
-    result = table3.run(n_groups=n_groups, seed=seed)
+def _section_tab3(n_groups: int, seed: int, engine: str, n_jobs: int) -> Section:
+    result = table3.run(n_groups=n_groups, seed=seed, engine=engine, n_jobs=n_jobs)
     ratios = result.ratios()
     verdict = (
         f"REPRODUCED: no-scrub first-year ratio = "
@@ -241,18 +241,24 @@ def _section_tab3(n_groups: int, seed: int) -> Section:
     )
 
 
-def build_sections(sizes: dict, seed: int = 0) -> List[Section]:
-    """Run every experiment and collect report sections (paper order)."""
+def build_sections(
+    sizes: dict, seed: int = 0, engine: str = "event", n_jobs: int = 1
+) -> List[Section]:
+    """Run every experiment and collect report sections (paper order).
+
+    ``engine`` and ``n_jobs`` reach every fleet-driven section; the
+    field-data sections (fig1/fig2/tab1) involve no fleet simulation.
+    """
     return [
         _section_fig1(seed),
         _section_fig2(seed),
         _section_tab1(),
-        _section_fig6(sizes["fig6"], seed),
-        _section_fig7(sizes["fig7"], seed),
-        _section_fig8(sizes["fig8"], seed),
-        _section_fig9(sizes["fig9"], seed),
-        _section_fig10(sizes["fig10"], seed),
-        _section_tab3(sizes["tab3"], seed),
+        _section_fig6(sizes["fig6"], seed, engine, n_jobs),
+        _section_fig7(sizes["fig7"], seed, engine, n_jobs),
+        _section_fig8(sizes["fig8"], seed, engine, n_jobs),
+        _section_fig9(sizes["fig9"], seed, engine, n_jobs),
+        _section_fig10(sizes["fig10"], seed, engine, n_jobs),
+        _section_tab3(sizes["tab3"], seed, engine, n_jobs),
     ]
 
 
@@ -313,10 +319,16 @@ def render_markdown(sections: List[Section], seed: int, sizes: dict) -> str:
     return "\n".join(lines)
 
 
-def generate(path: str, quick: bool = False, seed: int = 0) -> str:
+def generate(
+    path: str,
+    quick: bool = False,
+    seed: int = 0,
+    engine: str = "event",
+    n_jobs: int = 1,
+) -> str:
     """Run everything and write the document; returns the rendered text."""
     sizes = QUICK_SIZES if quick else FULL_SIZES
-    sections = build_sections(sizes, seed=seed)
+    sections = build_sections(sizes, seed=seed, engine=engine, n_jobs=n_jobs)
     text = render_markdown(sections, seed=seed, sizes=sizes)
     with open(path, "w") as handle:
         handle.write(text)

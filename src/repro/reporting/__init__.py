@@ -6,6 +6,13 @@ and figures report; these helpers keep that output consistent.
 
 from .ascii_plot import ascii_line_plot
 from .csvout import write_csv
+from .manifest import run_manifest, write_run_manifest
 from .tables import format_table
 
-__all__ = ["format_table", "ascii_line_plot", "write_csv"]
+__all__ = [
+    "format_table",
+    "ascii_line_plot",
+    "write_csv",
+    "run_manifest",
+    "write_run_manifest",
+]

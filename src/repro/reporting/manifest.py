@@ -1,0 +1,41 @@
+"""Machine-readable run manifests for streaming fleet simulations.
+
+A run manifest is the reporting-side counterpart of a checkpoint: not
+enough state to *resume* a run, but everything a dashboard, CI job, or
+downstream analysis needs to *consume* one — reproducibility coordinates,
+convergence status, the DDF estimate with its confidence interval, the
+pathway mix, and wall-clock cost — as a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..simulation.streaming import StreamingResult
+
+
+def run_manifest(
+    streaming: StreamingResult, config_description: Optional[str] = None
+) -> Dict[str, object]:
+    """The manifest dictionary for one streaming run (JSON-safe)."""
+    manifest = streaming.to_manifest()
+    if config_description is not None:
+        manifest["config"] = config_description
+    return manifest
+
+
+def write_run_manifest(
+    path: str,
+    streaming: StreamingResult,
+    config_description: Optional[str] = None,
+) -> Dict[str, object]:
+    """Atomically write a run manifest; returns the written dictionary."""
+    manifest = run_manifest(streaming, config_description=config_description)
+    payload = json.dumps(manifest, sort_keys=True, indent=2)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
+    return manifest

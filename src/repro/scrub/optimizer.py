@@ -72,6 +72,8 @@ def recommend_scrub_interval(
     candidate_hours: Sequence[float] = (336.0, 168.0, 48.0, 24.0, 12.0, 6.0),
     verify_groups: int = 0,
     seed: int = 0,
+    n_jobs: int = 1,
+    engine: str = "event",
 ) -> ScrubRecommendation:
     """Slowest background scrub meeting a mission DDF budget.
 
@@ -87,6 +89,8 @@ def recommend_scrub_interval(
     verify_groups:
         When > 0, verify the chosen candidate with a fleet simulation of
         this size.
+    n_jobs, engine:
+        Passed to the verification fleet simulation.
     """
     if config.time_to_latent is None:
         raise ParameterError("config models no latent defects; nothing to scrub")
@@ -110,7 +114,13 @@ def recommend_scrub_interval(
     if chosen is not None and verify_groups > 0:
         policy = BackgroundScrubPolicy(characteristic_hours=chosen)
         verified_config = config.with_scrub(policy.residence_distribution())
-        result = simulate_raid_groups(verified_config, n_groups=verify_groups, seed=seed)
+        result = simulate_raid_groups(
+            verified_config,
+            n_groups=verify_groups,
+            seed=seed,
+            n_jobs=n_jobs,
+            engine=engine,
+        )
         simulated = result.total_ddfs * 1000.0 / result.n_groups
 
     return ScrubRecommendation(

@@ -16,6 +16,11 @@ time-to-scrub distributions — none of which needs to be exponential.
   advancing whole fleets together (``engine="batch"``);
 * :mod:`~repro.simulation.monte_carlo` — fleet-level replication runner
   (:func:`simulate_raid_groups`, ``engine="event"|"batch"|"auto"``);
+* :mod:`~repro.simulation.streaming` — mergeable incremental fleet
+  statistics, convergence targets (:class:`Precision`), and progress
+  observers for shard-by-shard runs (``MonteCarloRunner.run_streaming``);
+* :mod:`~repro.simulation.checkpoint` — JSON checkpoint/resume of
+  streaming runs (bit-identical continuation);
 * :mod:`~repro.simulation.results` — cumulative DDF curves (the
   "DDFs per 1000 RAID groups" axes of Figs 6-10), ROCOF estimation,
   confidence intervals;
@@ -25,12 +30,22 @@ time-to-scrub distributions — none of which needs to be exponential.
 
 from .availability import AvailabilityReport
 from .batch import BATCH_SHARD_SIZE, simulate_groups_batch
+from .checkpoint import RunCheckpoint, load_checkpoint, save_checkpoint
 from .config import RaidGroupConfig
 from .monte_carlo import ENGINES, MonteCarloRunner, simulate_raid_groups
 from .raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
 from .results import DDFEvent, SimulationResult
 from .sensitivity import SweepResult, sweep
 from .spares import SparePool, SparePoolConfig
+from .streaming import (
+    FirstDDFReservoir,
+    FleetAccumulator,
+    Precision,
+    ProgressEvent,
+    StderrProgressReporter,
+    StreamingMoments,
+    StreamingResult,
+)
 from .trace import TimelineRecorder, render_timing_diagram
 
 __all__ = [
@@ -52,4 +67,14 @@ __all__ = [
     "AvailabilityReport",
     "TimelineRecorder",
     "render_timing_diagram",
+    "FleetAccumulator",
+    "FirstDDFReservoir",
+    "StreamingMoments",
+    "StreamingResult",
+    "Precision",
+    "ProgressEvent",
+    "StderrProgressReporter",
+    "RunCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

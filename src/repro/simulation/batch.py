@@ -314,9 +314,27 @@ def simulate_groups_batch(
     ]
 
 
+def next_shard_size(groups_done: int, target_groups: int, shard_size: int) -> int:
+    """Size of the next shard toward a target fleet (0 when complete).
+
+    The single shard-planning rule shared by the materialized partition
+    (:func:`shard_sizes`) and the streaming loop
+    (:meth:`~repro.simulation.monte_carlo.MonteCarloRunner.run_streaming`):
+    full shards until the remainder, so the partition actually run is
+    always a prefix of ``shard_sizes(final_total, shard_size)`` and
+    per-shard seeding stays independent of when the run stops.
+    """
+    return max(0, min(shard_size, target_groups - groups_done))
+
+
 def shard_sizes(n_groups: int, shard_size: int = BATCH_SHARD_SIZE) -> List[int]:
     """Deterministic shard partition of a fleet (pure function of inputs)."""
     if n_groups < 1:
         raise SimulationError(f"n_groups must be >= 1, got {n_groups!r}")
-    full, rest = divmod(n_groups, shard_size)
-    return [shard_size] * full + ([rest] if rest else [])
+    sizes: List[int] = []
+    done = 0
+    while done < n_groups:
+        size = next_shard_size(done, n_groups, shard_size)
+        sizes.append(size)
+        done += size
+    return sizes

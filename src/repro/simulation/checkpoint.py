@@ -1,0 +1,164 @@
+"""Checkpoint/resume for streaming fleet runs.
+
+A checkpoint is a JSON *run manifest* capturing everything needed to
+continue an interrupted fleet simulation bit-identically:
+
+* the **configuration fingerprint** (so a resume against a different
+  design fails loudly instead of silently mixing fleets),
+* the reproducibility coordinates ``(seed, engine, shard_size)``,
+* the **shard cursor** — how many shards (and groups) completed, which
+  positions the :class:`~numpy.random.SeedSequence` spawn stream for the
+  next shard, and
+* the full :class:`~repro.simulation.streaming.FleetAccumulator` state,
+  including the first-DDF reservoir's RNG cursor.
+
+Because shards are seeded independently of how many will eventually run
+(one spawned child per shard for the batch engine, one per group for the
+event engine), "resume" is simply: restore the accumulator, skip the
+already-consumed spawn positions, and keep going.  The resumed run
+performs the same floating-point operation sequence as an uninterrupted
+one, so final results are byte-identical.
+
+Checkpoints are written atomically (temp file + ``os.replace``) so an
+interruption *during* a checkpoint write leaves the previous checkpoint
+intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..exceptions import SimulationError
+from .config import RaidGroupConfig
+from .streaming import FleetAccumulator
+
+#: Format tag written into (and required from) every checkpoint file.
+CHECKPOINT_FORMAT = "repro-checkpoint/1"
+
+
+def config_fingerprint(config: RaidGroupConfig) -> str:
+    """Stable digest of a configuration.
+
+    Built from the dataclass ``repr``, which fully determines the four
+    transition distributions, geometry, and mission; two configs with the
+    same fingerprint simulate identically.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class RunCheckpoint:
+    """Resumable state of a streaming fleet run after some whole shards.
+
+    Attributes
+    ----------
+    fingerprint:
+        :func:`config_fingerprint` of the design being simulated.
+    seed, engine, shard_size:
+        Reproducibility coordinates; a resume must match all three.
+    shards_completed, groups_completed:
+        The shard cursor: spawn positions already consumed.
+    accumulator_state:
+        Serialized :class:`~repro.simulation.streaming.FleetAccumulator`.
+    elapsed_seconds:
+        Wall clock accumulated across prior run segments.
+    """
+
+    fingerprint: str
+    seed: Optional[int]
+    engine: str
+    shard_size: int
+    shards_completed: int
+    groups_completed: int
+    accumulator_state: Dict[str, object]
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def accumulator(self) -> FleetAccumulator:
+        """Rehydrate the fleet statistics."""
+        return FleetAccumulator.from_dict(self.accumulator_state)
+
+    def validate_against(
+        self,
+        config: RaidGroupConfig,
+        seed: Optional[int],
+        engine: str,
+        shard_size: int,
+    ) -> None:
+        """Refuse to resume under different reproducibility coordinates."""
+        expected = config_fingerprint(config)
+        if self.fingerprint != expected:
+            raise SimulationError(
+                "checkpoint was taken for a different configuration "
+                f"(fingerprint {self.fingerprint[:12]}… vs {expected[:12]}…)"
+            )
+        if self.seed != seed:
+            raise SimulationError(
+                f"checkpoint seed {self.seed!r} does not match run seed {seed!r}"
+            )
+        if self.engine != engine:
+            raise SimulationError(
+                f"checkpoint engine {self.engine!r} does not match run engine {engine!r}"
+            )
+        if self.shard_size != shard_size:
+            raise SimulationError(
+                f"checkpoint shard_size {self.shard_size} does not match "
+                f"run shard_size {shard_size}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "engine": self.engine,
+            "shard_size": self.shard_size,
+            "shards_completed": self.shards_completed,
+            "groups_completed": self.groups_completed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "accumulator": self.accumulator_state,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, object]) -> "RunCheckpoint":
+        """Inverse of :meth:`to_dict`; rejects unknown formats."""
+        fmt = state.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise SimulationError(
+                f"unsupported checkpoint format {fmt!r}; expected {CHECKPOINT_FORMAT!r}"
+            )
+        return cls(
+            fingerprint=str(state["fingerprint"]),
+            seed=state["seed"],  # type: ignore[arg-type]
+            engine=str(state["engine"]),
+            shard_size=int(state["shard_size"]),  # type: ignore[arg-type]
+            shards_completed=int(state["shards_completed"]),  # type: ignore[arg-type]
+            groups_completed=int(state["groups_completed"]),  # type: ignore[arg-type]
+            accumulator_state=state["accumulator"],  # type: ignore[arg-type]
+            elapsed_seconds=float(state.get("elapsed_seconds", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
+    """Atomically write a checkpoint file."""
+    payload = json.dumps(checkpoint.to_dict(), sort_keys=True)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> RunCheckpoint:
+    """Read a checkpoint file written by :func:`save_checkpoint`."""
+    try:
+        with open(path) as handle:
+            state = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SimulationError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    return RunCheckpoint.from_dict(state)

@@ -29,18 +29,32 @@ engines"):
 from __future__ import annotations
 
 import dataclasses
+import time
 from multiprocessing import get_context
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .._validation import require_int
 from ..exceptions import ParameterError
-from .batch import BATCH_SHARD_SIZE, shard_sizes, simulate_groups_batch
+from .batch import BATCH_SHARD_SIZE, next_shard_size, shard_sizes, simulate_groups_batch
+from .checkpoint import (
+    RunCheckpoint,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .config import RaidGroupConfig
 from .raid_simulator import GroupChronology, RaidGroupSimulator
 from .results import SimulationResult
 from .rng import make_seed_sequence
+from .streaming import (
+    FleetAccumulator,
+    Precision,
+    ProgressEvent,
+    RunObserver,
+    StreamingResult,
+)
 
 #: Engine names accepted by :class:`MonteCarloRunner`.
 ENGINES = ("event", "batch", "auto")
@@ -120,8 +134,24 @@ class MonteCarloRunner:
             return "batch" if self.config.supports_batch_engine else "event"
         return self.engine
 
-    def run(self) -> SimulationResult:
-        """Simulate the fleet and aggregate."""
+    def run(self, until: "Union[Precision, float, None]" = None) -> SimulationResult:
+        """Simulate the fleet and aggregate.
+
+        Parameters
+        ----------
+        until:
+            Optional convergence target (a
+            :class:`~repro.simulation.streaming.Precision` or a bare
+            relative CI width).  When given, the fleet grows in seeded
+            shards until the mission-DDF-rate CI is tight enough, with
+            :attr:`n_groups` as the hard cap; the returned result carries
+            the streaming statistics on
+            :attr:`~repro.simulation.results.SimulationResult.streaming`.
+        """
+        if until is not None:
+            streaming = self.run_streaming(until=until, keep_chronologies=True)
+            assert isinstance(streaming.result, SimulationResult)
+            return streaming.result
         engine = self.resolve_engine()
         if engine == "batch":
             chronologies = self._run_batch_engine()
@@ -133,6 +163,291 @@ class MonteCarloRunner:
             seed=self.seed if isinstance(self.seed, int) else None,
             engine=engine,
         )
+
+    # ------------------------------------------------------------------
+    def run_streaming(
+        self,
+        until: "Union[Precision, float, None]" = None,
+        *,
+        checkpoint_path: Optional[str] = None,
+        resume_from: "Union[str, RunCheckpoint, None]" = None,
+        observers: Sequence[RunObserver] = (),
+        keep_chronologies: bool = False,
+        shard_size: int = BATCH_SHARD_SIZE,
+        time_grid: Optional[Sequence[float]] = None,
+        stop_after_shards: Optional[int] = None,
+        _shard_runner: Optional[Callable[[int, int], List[GroupChronology]]] = None,
+    ) -> StreamingResult:
+        """Simulate shard-by-shard through streaming accumulators.
+
+        The fleet is advanced in seeded shards of ``shard_size`` groups
+        (the last shard truncated to the target), each shard's
+        chronologies folded into a
+        :class:`~repro.simulation.streaming.FleetAccumulator` and then
+        discarded (unless ``keep_chronologies``).  Shard seeding matches
+        the materialized :meth:`run` path exactly — one spawned
+        :class:`~numpy.random.SeedSequence` child per group (event
+        engine) or per shard (batch engine) — so a fixed-size streaming
+        run reproduces :meth:`run` and a converged run is reproducible
+        from ``(config, seed, engine, shards_run)``.
+
+        Parameters
+        ----------
+        until:
+            Convergence target; ``None`` runs exactly :attr:`n_groups`
+            groups.  A target without ``max_groups`` is capped at
+            :attr:`n_groups`.
+        checkpoint_path:
+            When given, an atomically rewritten JSON checkpoint after
+            every completed shard (requires an integer :attr:`seed`).
+        resume_from:
+            Path to (or loaded) checkpoint to continue from; the
+            accumulator and shard cursor are restored and simulation
+            continues with the next shard, bit-identically to an
+            uninterrupted run.
+        observers:
+            Callables receiving a
+            :class:`~repro.simulation.streaming.ProgressEvent` after each
+            shard (``done=True`` on the last).
+        keep_chronologies:
+            Also materialize every chronology and attach a
+            :class:`~repro.simulation.results.SimulationResult`
+            (incompatible with ``resume_from``, whose earlier shards are
+            no longer materializable).
+        shard_size:
+            Groups per shard; the default matches the batch engine's
+            kernel shards so streaming and materialized batch runs
+            consume identical random streams.
+        time_grid:
+            Optional ages (hours) at which the accumulator tracks the
+            cumulative fleet DDF curve.
+        stop_after_shards:
+            Stop (with ``stop_reason="interrupted"``) after this many
+            shards *in this call* — the programmatic analogue of an
+            interruption, used with ``checkpoint_path``/``resume_from``.
+        """
+        require_int("shard_size", shard_size, minimum=1)
+        if stop_after_shards is not None:
+            require_int("stop_after_shards", stop_after_shards, minimum=1)
+        engine = self.resolve_engine()
+        precision = (
+            Precision.normalize(until, default_max_groups=self.n_groups)
+            if until is not None
+            else None
+        )
+        fixed_target = self.n_groups if precision is None else None
+        cap = precision.max_groups if precision is not None else self.n_groups
+        if (checkpoint_path is not None or resume_from is not None) and not isinstance(
+            self.seed, int
+        ):
+            raise ParameterError(
+                "checkpoint/resume requires an integer seed; an entropy-seeded "
+                "run cannot be reproduced after an interruption"
+            )
+        if keep_chronologies and resume_from is not None:
+            raise ParameterError(
+                "keep_chronologies cannot be combined with resume_from: the "
+                "checkpointed shards' chronologies were not retained"
+            )
+
+        accumulator = FleetAccumulator(self.config.mission_hours, time_grid=time_grid)
+        shards_done = 0
+        groups_done = 0
+        prior_elapsed = 0.0
+        if resume_from is not None:
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, RunCheckpoint)
+                else load_checkpoint(resume_from)
+            )
+            checkpoint.validate_against(self.config, self.seed, engine, shard_size)
+            restored = checkpoint.accumulator()
+            if time_grid is not None and (
+                restored.time_grid is None
+                or not np.array_equal(restored.time_grid, accumulator.time_grid)
+            ):
+                raise ParameterError(
+                    "time_grid does not match the checkpointed accumulator"
+                )
+            accumulator = restored
+            shards_done = checkpoint.shards_completed
+            groups_done = checkpoint.groups_completed
+            prior_elapsed = checkpoint.elapsed_seconds
+
+        # The seed cursor: spawn past every stream the completed shards
+        # consumed, so shard k always sees the same children regardless
+        # of interruptions.
+        root = make_seed_sequence(self.seed)
+        if engine == "batch":
+            if shards_done:
+                root.spawn(shards_done)
+        elif groups_done:
+            root.spawn(groups_done)
+
+        kept: List[GroupChronology] = []
+        pool = None
+        start = time.perf_counter()
+        shards_this_call = 0
+        groups_at_start = groups_done
+        stop_reason: Optional[str] = None
+        converged = False
+        try:
+            if (
+                engine == "event"
+                and self.n_jobs > 1
+                and _shard_runner is None
+            ):
+                pool = get_context("spawn").Pool(self.n_jobs)
+            while True:
+                target = fixed_target if fixed_target is not None else cap
+                n = next_shard_size(groups_done, target, shard_size)
+                if n == 0:
+                    stop_reason = "fixed" if fixed_target is not None else "max_groups"
+                    break
+                if _shard_runner is not None:
+                    chronologies = _shard_runner(shards_done, n)
+                else:
+                    chronologies = self._simulate_streaming_shard(engine, root, n, pool)
+                accumulator.add_shard(chronologies)
+                if keep_chronologies:
+                    kept.extend(chronologies)
+                shards_done += 1
+                shards_this_call += 1
+                groups_done += n
+
+                converged = precision is not None and precision.satisfied_by(accumulator)
+                if converged:
+                    stop_reason = "converged"
+                elif fixed_target is not None and groups_done >= fixed_target:
+                    stop_reason = "fixed"
+                elif precision is not None and groups_done >= cap:
+                    stop_reason = "max_groups"
+                elif (
+                    stop_after_shards is not None
+                    and shards_this_call >= stop_after_shards
+                ):
+                    stop_reason = "interrupted"
+
+                elapsed = prior_elapsed + (time.perf_counter() - start)
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path,
+                        RunCheckpoint(
+                            fingerprint=config_fingerprint(self.config),
+                            seed=self.seed,
+                            engine=engine,
+                            shard_size=shard_size,
+                            shards_completed=shards_done,
+                            groups_completed=groups_done,
+                            accumulator_state=accumulator.to_dict(),
+                            elapsed_seconds=elapsed,
+                        ),
+                    )
+                if observers:
+                    self._notify(
+                        observers,
+                        accumulator,
+                        precision,
+                        shards_done,
+                        groups_done,
+                        groups_at_start,
+                        elapsed,
+                        prior_elapsed,
+                        converged,
+                        done=stop_reason is not None,
+                    )
+                if stop_reason is not None:
+                    break
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        streaming = StreamingResult(
+            accumulator=accumulator,
+            seed=self.seed if isinstance(self.seed, int) else None,
+            engine=engine,
+            shard_size=shard_size,
+            shards_run=shards_done,
+            groups=groups_done,
+            converged=converged,
+            stop_reason=stop_reason or "interrupted",
+            precision=precision,
+            elapsed_seconds=prior_elapsed + (time.perf_counter() - start),
+        )
+        if keep_chronologies:
+            result = SimulationResult(
+                config=self.config,
+                chronologies=kept,
+                seed=self.seed if isinstance(self.seed, int) else None,
+                engine=engine,
+                streaming=streaming,
+            )
+            streaming.result = result
+        return streaming
+
+    @staticmethod
+    def _notify(
+        observers: Sequence[RunObserver],
+        accumulator: FleetAccumulator,
+        precision: Optional[Precision],
+        shards_done: int,
+        groups_done: int,
+        groups_at_start: int,
+        elapsed: float,
+        prior_elapsed: float,
+        converged: bool,
+        done: bool,
+    ) -> None:
+        """Build and fan out one progress event."""
+        confidence = precision.confidence if precision is not None else 0.95
+        estimate, lo, hi = accumulator.ddfs_per_thousand_ci(confidence)
+        call_elapsed = max(elapsed - prior_elapsed, 1e-9)
+        event = ProgressEvent(
+            shards_completed=shards_done,
+            groups_completed=groups_done,
+            total_ddfs=accumulator.total_ddfs,
+            ddfs_per_1000=estimate,
+            ci_lo=lo,
+            ci_hi=hi,
+            rel_ci_width=accumulator.relative_ci_width(confidence),
+            elapsed_seconds=elapsed,
+            groups_per_second=(groups_done - groups_at_start) / call_elapsed,
+            converged=converged,
+            done=done,
+        )
+        for observer in observers:
+            observer(event)
+
+    def _simulate_streaming_shard(
+        self,
+        engine: str,
+        root: np.random.SeedSequence,
+        n: int,
+        pool,
+    ) -> List[GroupChronology]:
+        """One shard's chronologies, consuming the next spawn positions."""
+        if engine == "batch":
+            (child,) = root.spawn(1)
+            rng = np.random.Generator(np.random.PCG64(child))
+            return simulate_groups_batch(self.config, n, rng)
+        children = root.spawn(n)
+        if pool is None:
+            simulator = RaidGroupSimulator(self.config)
+            return [
+                simulator.run(np.random.Generator(np.random.PCG64(child)))
+                for child in children
+            ]
+        jobs = min(self.n_jobs, n)
+        batches: List[List[dict]] = [[] for _ in range(jobs)]
+        for idx, child in enumerate(children):
+            batches[idx % jobs].append(_seed_state(child))
+        results = pool.map(_run_batch, [(self.config, batch) for batch in batches])
+        chronologies: List[GroupChronology] = [None] * n  # type: ignore[list-item]
+        flat_iters = [iter(r) for r in results]
+        for idx in range(n):
+            chronologies[idx] = next(flat_iters[idx % jobs])
+        return chronologies
 
     # ------------------------------------------------------------------
     def _run_event_engine(self) -> List[GroupChronology]:
@@ -197,8 +512,13 @@ def simulate_raid_groups(
     seed: Optional[int] = 0,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> SimulationResult:
     """One-call fleet simulation.
+
+    With ``until`` (a :class:`~repro.simulation.streaming.Precision` or a
+    bare relative CI width), ``n_groups`` becomes the fleet-size cap and
+    the run stops as soon as the DDF-rate CI is tight enough.
 
     Examples
     --------
@@ -210,4 +530,4 @@ def simulate_raid_groups(
     """
     return MonteCarloRunner(
         config=config, n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
-    ).run()
+    ).run(until=until)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,10 @@ from ..distributions.fitting import MCFEstimate, mean_cumulative_function
 from ..exceptions import SimulationError
 from .config import RaidGroupConfig
 from .raid_simulator import DDFType, GroupChronology
+from .streaming import FleetAccumulator, normal_two_sided_z
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from .streaming import StreamingResult
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,12 +53,18 @@ class SimulationResult:
         the reference per-group event loop, or ``"batch"``, the
         vectorized lockstep engine).  Results from the two engines agree
         in distribution, not sample for sample.
+    streaming:
+        The :class:`~repro.simulation.streaming.StreamingResult` that
+        produced this fleet, when it came from a precision-driven
+        streaming run (``MonteCarloRunner.run(until=...)``); ``None``
+        for plain fixed-size runs.
     """
 
     config: RaidGroupConfig
     chronologies: List[GroupChronology]
     seed: "int | None" = None
     engine: str = "event"
+    streaming: "Optional[StreamingResult]" = None
 
     def __post_init__(self) -> None:
         if not self.chronologies:
@@ -168,12 +178,22 @@ class SimulationResult:
             stderr = float(per_group.std(ddof=1)) / math.sqrt(self.n_groups)
         else:
             stderr = 0.0
-        # Two-sided normal quantile without scipy.stats import cost:
-        # 0.975 -> 1.95996.
-        from scipy.special import erfinv
-
-        z = math.sqrt(2.0) * float(erfinv(confidence))
+        z = normal_two_sided_z(confidence)
         return (mean * 1000.0, (mean - z * stderr) * 1000.0, (mean + z * stderr) * 1000.0)
+
+    # ------------------------------------------------------------------
+    def to_accumulator(
+        self, time_grid: "Sequence[float] | None" = None
+    ) -> FleetAccumulator:
+        """Fold this materialized fleet into a fresh streaming accumulator.
+
+        The bridge between the two representations: feeding a
+        fixed-``n_groups`` result through here produces exactly the state
+        a streaming run of the same fleet would have accumulated.
+        """
+        accumulator = FleetAccumulator(self.mission_hours, time_grid=time_grid)
+        accumulator.add_shard(self.chronologies)
+        return accumulator
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:

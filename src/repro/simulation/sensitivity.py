@@ -8,7 +8,7 @@ random streams and collects the fleet results keyed by the swept value.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from .._validation import require_int
 from .config import RaidGroupConfig
 from .monte_carlo import simulate_raid_groups
 from .results import SimulationResult
+from .streaming import Precision
 
 
 @dataclasses.dataclass
@@ -71,6 +72,7 @@ def sweep(
     seed: Optional[int] = 0,
     n_jobs: int = 1,
     engine: str = "event",
+    until: "Union[Precision, float, None]" = None,
 ) -> SweepResult:
     """Run a family of configurations sharing a random seed.
 
@@ -86,6 +88,12 @@ def sweep(
         Passed to :func:`~repro.simulation.monte_carlo.simulate_raid_groups`;
         sharing the seed couples the random streams across configurations,
         tightening between-configuration comparisons.
+    until:
+        Optional :class:`~repro.simulation.streaming.Precision` target (or
+        bare relative CI width): each swept fleet grows until its
+        DDF-rate CI is tight enough, with ``n_groups`` as the cap.
+        Fleets may then differ in size across swept values, but the
+        shared seed still couples their common stream prefixes.
     """
     require_int("n_groups", n_groups, minimum=1)
     values = list(values)
@@ -96,6 +104,7 @@ def sweep(
             seed=seed,
             n_jobs=n_jobs,
             engine=engine,
+            until=until,
         )
         for value in values
     ]

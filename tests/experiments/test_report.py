@@ -62,7 +62,7 @@ class TestRendering:
         monkeypatch.setattr(
             report,
             "build_sections",
-            lambda sizes, seed=0: [
+            lambda sizes, seed=0, engine="event", n_jobs=1: [
                 Section("t", "T", "claim", "table", "verdict")
             ],
         )

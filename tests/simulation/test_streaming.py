@@ -1,0 +1,301 @@
+"""Streaming accumulators: merge laws, exactness, and engine equivalence.
+
+The streaming layer's whole contract is that feeding a fleet shard by
+shard is indistinguishable from materialising it: Welford moments must
+match two-pass NumPy statistics, merges must be associative, and a
+fixed-size ``run_streaming`` must reproduce the materialized ``run``
+exactly on both engines.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.simulation import (
+    FirstDDFReservoir,
+    FleetAccumulator,
+    Precision,
+    RaidGroupConfig,
+    StreamingMoments,
+)
+from repro.simulation.monte_carlo import MonteCarloRunner
+from repro.simulation.raid_simulator import DDFType, GroupChronology
+from repro.simulation.streaming import normal_two_sided_z
+
+#: Hypothesis sample streams: modest floats so two-pass comparisons are
+#: dominated by algorithmic differences, not catastrophic cancellation.
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=0, max_size=60
+)
+
+
+def make_chronology(
+    n_ddfs: int, mission_hours: float = 8_760.0, first_at: float = 100.0
+) -> GroupChronology:
+    """A synthetic chronology with ``n_ddfs`` double-op DDFs."""
+    times = [first_at + 10.0 * i for i in range(n_ddfs)]
+    return GroupChronology(
+        ddf_times=times,
+        ddf_types=[DDFType.DOUBLE_OP] * n_ddfs,
+        n_op_failures=2 * n_ddfs + 1,
+        n_latent_defects=n_ddfs,
+        n_scrub_repairs=0,
+        n_restores=1,
+        mission_hours=mission_hours,
+    )
+
+
+class TestStreamingMoments:
+    @given(samples)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_two_pass_numpy(self, values):
+        moments = StreamingMoments()
+        moments.add_many(values)
+        assert moments.count == len(values)
+        if values:
+            assert moments.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        if len(values) >= 2:
+            assert moments.variance() == pytest.approx(
+                np.var(values, ddof=1), rel=1e-8, abs=1e-8
+            )
+
+    @given(samples, samples, samples)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        def fold(*chunks):
+            out = StreamingMoments()
+            for chunk in chunks:
+                part = StreamingMoments()
+                part.add_many(chunk)
+                out.merge(part)
+            return out
+
+        left = fold(a, b)
+        left.merge(fold(c))
+        right = fold(a)
+        right.merge(fold(b, c))
+        assert left.count == right.count
+        assert left.mean == pytest.approx(right.mean, rel=1e-9, abs=1e-12)
+        if left.count >= 2:
+            assert left.variance() == pytest.approx(
+                right.variance(), rel=1e-8, abs=1e-10
+            )
+
+    @given(samples, samples)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_streaming_all_at_once(self, a, b):
+        merged = StreamingMoments()
+        merged.add_many(a)
+        other = StreamingMoments()
+        other.add_many(b)
+        merged.merge(other)
+        straight = StreamingMoments()
+        straight.add_many(a + b)
+        assert merged.count == straight.count
+        assert merged.mean == pytest.approx(straight.mean, rel=1e-9, abs=1e-12)
+        if merged.count >= 2:
+            assert merged.variance() == pytest.approx(
+                straight.variance(), rel=1e-8, abs=1e-10
+            )
+
+    def test_roundtrip(self):
+        moments = StreamingMoments()
+        moments.add_many([1.0, 4.0, 9.0])
+        clone = StreamingMoments.from_dict(moments.to_dict())
+        assert clone.to_dict() == moments.to_dict()
+
+    def test_empty_has_infinite_interval(self):
+        lo, hi = StreamingMoments().confidence_interval()
+        assert lo == -math.inf and hi == math.inf
+
+
+class TestNormalZ:
+    def test_reference_values(self):
+        assert normal_two_sided_z(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_two_sided_z(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ParameterError):
+            normal_two_sided_z(1.0)
+        with pytest.raises(ParameterError):
+            normal_two_sided_z(0.0)
+
+
+class TestFleetAccumulator:
+    @given(st.lists(st.integers(min_value=0, max_value=4), max_size=40), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_tallies_exact_under_any_partition(self, counts, data):
+        chronologies = [make_chronology(k) for k in counts]
+        whole = FleetAccumulator(mission_hours=8_760.0)
+        whole.add_shard(chronologies)
+
+        cut = data.draw(st.integers(min_value=0, max_value=len(chronologies)))
+        left = FleetAccumulator(mission_hours=8_760.0)
+        left.add_shard(chronologies[:cut])
+        right = FleetAccumulator(mission_hours=8_760.0)
+        right.add_shard(chronologies[cut:])
+        left.merge(right)
+
+        # Integer tallies are exactly associative, whatever the cut.
+        assert left.n_groups == whole.n_groups == len(counts)
+        assert left.total_ddfs == whole.total_ddfs == sum(counts)
+        assert left.total_first_year_ddfs == whole.total_first_year_ddfs
+        assert left.pathway == whole.pathway
+        assert left.n_op_failures == whole.n_op_failures
+        assert left.n_latent_defects == whole.n_latent_defects
+
+    def test_summary_matches_exact_statistics(self):
+        counts = [0, 2, 1, 0, 0, 3]
+        acc = FleetAccumulator(mission_hours=87_600.0)
+        acc.add_shard([make_chronology(k, mission_hours=87_600.0) for k in counts])
+        summary = acc.summary()
+        assert summary["n_groups"] == len(counts)
+        assert summary["total_ddfs"] == sum(counts)
+        assert summary["ddfs_per_1000_mission"] == pytest.approx(
+            sum(counts) * 1000.0 / len(counts)
+        )
+        assert acc.ddf_moments.mean == pytest.approx(np.mean(counts))
+        assert acc.ddf_moments.variance() == pytest.approx(np.var(counts, ddof=1))
+
+    def test_mission_mismatch_rejected(self):
+        a = FleetAccumulator(mission_hours=8_760.0)
+        b = FleetAccumulator(mission_hours=87_600.0)
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            a.merge(b)
+
+    def test_relative_ci_width_undefined_when_empty_or_zero(self):
+        acc = FleetAccumulator(mission_hours=8_760.0)
+        assert acc.relative_ci_width() == math.inf
+        acc.add_shard([make_chronology(0), make_chronology(0)])
+        assert acc.relative_ci_width() == math.inf  # mean 0: undefined
+
+    def test_roundtrip_bitwise(self):
+        acc = FleetAccumulator(mission_hours=8_760.0, time_grid=[1000.0, 8000.0])
+        acc.add_shard([make_chronology(k) for k in (0, 1, 3, 0, 2)])
+        clone = FleetAccumulator.from_dict(acc.to_dict())
+        assert json.dumps(clone.to_dict(), sort_keys=True) == json.dumps(
+            acc.to_dict(), sort_keys=True
+        )
+
+
+class TestFirstDDFReservoir:
+    def test_counts_and_subset(self):
+        reservoir = FirstDDFReservoir(capacity=8)
+        offered = [float(v) for v in range(1, 31)]
+        for v in offered:
+            reservoir.offer_first_ddf(v)
+        reservoir.offer_censored()
+        assert reservoir.n_seen == 30
+        assert reservoir.n_censored == 1
+        assert len(reservoir.values) == 8
+        assert set(reservoir.values) <= set(offered)
+
+    def test_deterministic(self):
+        def build():
+            r = FirstDDFReservoir(capacity=4)
+            for v in range(100):
+                r.offer_first_ddf(float(v))
+            return r
+
+        assert build().values == build().values
+
+    def test_merge_preserves_population_counts(self):
+        a = FirstDDFReservoir(capacity=4)
+        b = FirstDDFReservoir(capacity=4)
+        for v in range(10):
+            a.offer_first_ddf(float(v))
+        for v in range(7):
+            b.offer_first_ddf(100.0 + v)
+        b.offer_censored()
+        a.merge(b)
+        assert a.n_seen == 17
+        assert a.n_censored == 1
+        assert len(a.values) == 4
+
+    def test_roundtrip_resumes_stream(self):
+        a = FirstDDFReservoir(capacity=4)
+        for v in range(50):
+            a.offer_first_ddf(float(v))
+        b = FirstDDFReservoir.from_dict(a.to_dict())
+        for v in range(50, 80):
+            a.offer_first_ddf(float(v))
+            b.offer_first_ddf(float(v))
+        assert a.values == b.values  # RNG state survived the roundtrip
+
+
+class TestPrecision:
+    def test_normalize_float(self):
+        precision = Precision.normalize(0.1, default_max_groups=5_000)
+        assert precision.rel_ci_width == 0.1
+        assert precision.confidence == 0.95
+        assert precision.max_groups == 5_000
+
+    def test_normalize_keeps_explicit_cap(self):
+        precision = Precision.normalize(
+            Precision(rel_ci_width=0.2, max_groups=123), default_max_groups=5_000
+        )
+        assert precision.max_groups == 123
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Precision(rel_ci_width=0.0)
+        with pytest.raises(ParameterError):
+            Precision(rel_ci_width=0.1, confidence=1.0)
+
+    def test_satisfied_by(self):
+        precision = Precision(rel_ci_width=10.0, min_groups=4)
+        acc = FleetAccumulator(mission_hours=8_760.0)
+        acc.add_shard([make_chronology(1) for _ in range(3)])
+        assert not precision.satisfied_by(acc)  # below min_groups
+        acc.add_chronology(make_chronology(1))
+        assert precision.satisfied_by(acc)  # zero variance: width 0
+
+
+class TestStreamingMatchesMaterialized:
+    """Acceptance: fixed-size streaming == materialized run, bitwise."""
+
+    @pytest.mark.parametrize("engine", ["event", "batch"])
+    def test_equivalence(self, engine):
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        runner = MonteCarloRunner(
+            config, n_groups=700, seed=42, engine=engine
+        )
+        materialized = runner.run()
+        # Default shard size: the batch engine's random streams depend on
+        # the shard partition, and the materialized path uses the default.
+        streaming = runner.run_streaming()
+        assert streaming.stop_reason == "fixed"
+        assert streaming.groups == 700
+        bridged = materialized.to_accumulator()
+        assert json.dumps(
+            streaming.accumulator.to_dict(), sort_keys=True
+        ) == json.dumps(bridged.to_dict(), sort_keys=True)
+        assert streaming.summary() == materialized.summary()
+
+    def test_event_engine_partition_independent(self):
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        runner = MonteCarloRunner(config, n_groups=300, seed=7, engine="event")
+        coarse = runner.run_streaming(shard_size=300)
+        fine = runner.run_streaming(shard_size=64)
+        assert json.dumps(
+            coarse.accumulator.to_dict(), sort_keys=True
+        ) == json.dumps(fine.accumulator.to_dict(), sort_keys=True)
+
+    def test_run_with_until_attaches_streaming(self):
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        runner = MonteCarloRunner(config, n_groups=600, seed=3, engine="batch")
+        result = runner.run(
+            until=Precision(rel_ci_width=0.8, min_groups=256)
+        )
+        assert result.streaming is not None
+        assert result.n_groups == result.streaming.groups
+        assert result.streaming.stop_reason in ("converged", "max_groups")
+        # The chronologies the result holds are the ones accumulated.
+        assert result.total_ddfs == result.streaming.accumulator.total_ddfs

@@ -30,6 +30,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_until_precision(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--until-precision", "0.1", "--confidence", "0.9"]
+        )
+        assert (args.until_precision, args.confidence) == (0.1, 0.9)
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.scrub == "168"
+        assert args.until_precision is None
+        assert args.checkpoint is None and args.resume is None
+
+    def test_simulate_full_options(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--scrub", "none",
+                "--groups", "500",
+                "--until-precision", "0.2",
+                "--checkpoint", "c.json",
+                "--resume", "c.json",
+                "--manifest", "m.json",
+                "--progress",
+            ]
+        )
+        assert args.scrub == "none"
+        assert args.until_precision == 0.2
+        assert (args.checkpoint, args.resume) == ("c.json", "c.json")
+        assert args.manifest == "m.json"
+        assert args.progress
+
+    def test_report_engine_and_jobs(self):
+        args = build_parser().parse_args(
+            ["report", "--engine", "batch", "--jobs", "2"]
+        )
+        assert (args.engine, args.jobs) == ("batch", 2)
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -59,3 +97,93 @@ class TestMain:
         capsys.readouterr()
         content = csv_path.read_text()
         assert content.splitlines()[0].startswith("RER")
+
+    def test_run_with_precision_target(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "fig7",
+                    "--groups", "600",
+                    "--engine", "batch",
+                    "--until-precision", "0.9",
+                ]
+            )
+            == 0
+        )
+        assert "no scrub" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_fixed_run_with_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--groups", "200",
+                    "--mission-hours", "8760",
+                    "--seed", "1",
+                    "--engine", "event",
+                    "--manifest", str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stop reason" in out and "fixed" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "repro-run-manifest/1"
+        assert manifest["groups"] == 200
+        assert manifest["stop_reason"] == "fixed"
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.ckpt"
+        args = [
+            "simulate",
+            "--groups", "300",
+            "--mission-hours", "8760",
+            "--seed", "2",
+            "--engine", "event",
+            "--checkpoint", str(checkpoint),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume", str(checkpoint)]) == 0
+        resumed = capsys.readouterr().out
+        # The run was already complete: resuming reproduces the result.
+        assert first.splitlines()[7] == resumed.splitlines()[7]  # DDF line
+
+    def test_precision_run(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--groups", "2000",
+                    "--mission-hours", "8760",
+                    "--seed", "3",
+                    "--engine", "batch",
+                    "--until-precision", "0.8",
+                    "--min-groups", "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged" in out or "max_groups" in out
+
+    def test_scrub_none(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scrub", "none",
+                    "--groups", "100",
+                    "--mission-hours", "8760",
+                    "--engine", "batch",
+                ]
+            )
+            == 0
+        )
+        assert "none" in capsys.readouterr().out
