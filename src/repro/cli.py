@@ -134,7 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet size; with --until-precision, the fleet-size cap",
     )
     simulate.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
-    simulate.add_argument("--jobs", type=int, default=1, help="worker processes")
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the pipelined shard executor (results are "
+            "bit-identical to --jobs 1; only wall-clock changes)"
+        ),
+    )
     simulate.add_argument(
         "--engine",
         choices=["event", "batch", "auto"],
@@ -172,7 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         metavar="PATH",
-        help="resume bit-identically from a checkpoint written by --checkpoint",
+        help=(
+            "resume bit-identically from a checkpoint written by --checkpoint; "
+            "further checkpoints keep going to the same file unless "
+            "--checkpoint redirects them"
+        ),
     )
     simulate.add_argument(
         "--manifest",
@@ -240,9 +252,13 @@ def _run_simulate(args: argparse.Namespace) -> str:
             min_groups=args.min_groups,
         )
     observers = (StderrProgressReporter(),) if args.progress else ()
+    # A resumed run keeps checkpointing to the file it resumed from unless
+    # the user redirects it — otherwise a second interruption would lose
+    # everything simulated since the first.
+    checkpoint_path = args.checkpoint if args.checkpoint is not None else args.resume
     streaming = runner.run_streaming(
         until=until,
-        checkpoint_path=args.checkpoint,
+        checkpoint_path=checkpoint_path,
         resume_from=args.resume,
         observers=observers,
     )

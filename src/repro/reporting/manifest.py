@@ -10,9 +10,9 @@ pathway mix, and wall-clock cost — as a single JSON document.
 from __future__ import annotations
 
 import json
-import os
 from typing import Dict, Optional
 
+from ..simulation.checkpoint import atomic_write_text
 from ..simulation.streaming import StreamingResult
 
 
@@ -33,9 +33,5 @@ def write_run_manifest(
 ) -> Dict[str, object]:
     """Atomically write a run manifest; returns the written dictionary."""
     manifest = run_manifest(streaming, config_description=config_description)
-    payload = json.dumps(manifest, sort_keys=True, indent=2)
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w") as handle:
-        handle.write(payload)
-    os.replace(tmp_path, path)
+    atomic_write_text(path, json.dumps(manifest, sort_keys=True, indent=2))
     return manifest

@@ -19,6 +19,10 @@ time-to-scrub distributions — none of which needs to be exponential.
 * :mod:`~repro.simulation.streaming` — mergeable incremental fleet
   statistics, convergence targets (:class:`Precision`), and progress
   observers for shard-by-shard runs (``MonteCarloRunner.run_streaming``);
+* :mod:`~repro.simulation.executor` — pipelined parallel shard
+  execution: a persistent spawn-context pool speculates shards ahead
+  while results commit strictly in shard order (bit-identical to
+  serial);
 * :mod:`~repro.simulation.checkpoint` — JSON checkpoint/resume of
   streaming runs (bit-identical continuation);
 * :mod:`~repro.simulation.results` — cumulative DDF curves (the
@@ -32,6 +36,13 @@ from .availability import AvailabilityReport
 from .batch import BATCH_SHARD_SIZE, simulate_groups_batch
 from .checkpoint import RunCheckpoint, load_checkpoint, save_checkpoint
 from .config import RaidGroupConfig
+from .executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    PipelinedShardExecutor,
+    ShardOutcome,
+    ShardTask,
+    shard_plan,
+)
 from .monte_carlo import ENGINES, MonteCarloRunner, simulate_raid_groups
 from .raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
 from .results import DDFEvent, SimulationResult
@@ -77,4 +88,9 @@ __all__ = [
     "RunCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "PipelinedShardExecutor",
+    "ShardTask",
+    "ShardOutcome",
+    "shard_plan",
+    "DEFAULT_MAX_SHARD_RETRIES",
 ]

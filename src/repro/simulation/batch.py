@@ -21,7 +21,11 @@ Determinism contract: for a fixed ``(config, n_groups, seed)`` the batch
 engine is byte-reproducible, independent of ``n_jobs`` — the fleet is
 partitioned into fixed-size shards (:data:`BATCH_SHARD_SIZE`), each
 seeded by one child of the root :class:`~numpy.random.SeedSequence`, and
-process fan-out only changes *which worker* computes a shard.
+process fan-out only changes *which worker* computes a shard.  The same
+property is what lets the streaming runner's pipelined executor
+(:mod:`~repro.simulation.executor`) simulate shards speculatively out of
+order: :func:`next_shard_size` fixes the partition as a pure function of
+the target, so any shard's streams follow from its index alone.
 
 Simultaneous events within a group (possible only with discrete-support
 distributions such as :class:`~repro.distributions.Deterministic`) are

@@ -19,9 +19,11 @@ already-consumed spawn positions, and keep going.  The resumed run
 performs the same floating-point operation sequence as an uninterrupted
 one, so final results are byte-identical.
 
-Checkpoints are written atomically (temp file + ``os.replace``) so an
-interruption *during* a checkpoint write leaves the previous checkpoint
-intact.
+Checkpoints are written atomically and durably (unique temp file +
+``fsync`` + ``os.replace``) so an interruption — or a whole-machine crash
+— *during* a checkpoint write leaves the previous checkpoint intact, and
+two runs sharing a checkpoint path cannot clobber each other's in-flight
+temp files.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 from typing import Dict, Optional
 
 from ..exceptions import SimulationError
@@ -145,20 +148,75 @@ class RunCheckpoint:
         )
 
 
+def atomic_write_text(path: str, payload: str) -> None:
+    """Durably and atomically replace ``path`` with ``payload``.
+
+    The payload lands in a *uniquely named* temp file in the target
+    directory (so concurrent writers to the same path cannot clobber
+    each other's in-flight data), is ``fsync``-ed to disk before the
+    atomic ``os.replace``, and the directory entry is synced best-effort
+    afterwards — a crash at any instant leaves either the old complete
+    file or the new complete file, never a truncated hybrid.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
-    """Atomically write a checkpoint file."""
-    payload = json.dumps(checkpoint.to_dict(), sort_keys=True)
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w") as handle:
-        handle.write(payload)
-    os.replace(tmp_path, path)
+    """Atomically and durably write a checkpoint file."""
+    atomic_write_text(path, json.dumps(checkpoint.to_dict(), sort_keys=True))
 
 
 def load_checkpoint(path: str) -> RunCheckpoint:
-    """Read a checkpoint file written by :func:`save_checkpoint`."""
+    """Read a checkpoint file written by :func:`save_checkpoint`.
+
+    Empty or truncated files — possible only if the checkpoint was
+    produced by something other than :func:`save_checkpoint`'s atomic
+    writer, e.g. a partial copy off a dying machine — are reported with
+    an actionable message instead of a bare JSON parse error.
+    """
     try:
         with open(path) as handle:
-            state = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+            text = handle.read()
+    except OSError as exc:
         raise SimulationError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not text.strip():
+        raise SimulationError(
+            f"checkpoint {path!r} is empty — the write never completed "
+            "(it was not produced by this runner's atomic writer); delete it "
+            "and resume from an intact checkpoint, or restart the run"
+        )
+    try:
+        state = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(
+            f"checkpoint {path!r} is truncated or corrupt "
+            f"({len(text)} bytes; JSON error: {exc}) — likely an interrupted "
+            "or partial copy; delete it and resume from an intact checkpoint, "
+            "or restart the run"
+        ) from exc
     return RunCheckpoint.from_dict(state)

@@ -31,13 +31,13 @@ from __future__ import annotations
 import dataclasses
 import time
 from multiprocessing import get_context
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .._validation import require_int
 from ..exceptions import ParameterError
-from .batch import BATCH_SHARD_SIZE, next_shard_size, shard_sizes, simulate_groups_batch
+from .batch import BATCH_SHARD_SIZE, shard_sizes, simulate_groups_batch
 from .checkpoint import (
     RunCheckpoint,
     config_fingerprint,
@@ -45,6 +45,14 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .config import RaidGroupConfig
+from .executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    PipelinedShardExecutor,
+    ShardOutcome,
+    ShardTask,
+    ShardWorker,
+    shard_plan,
+)
 from .raid_simulator import GroupChronology, RaidGroupSimulator
 from .results import SimulationResult
 from .rng import make_seed_sequence
@@ -88,6 +96,51 @@ def _seed_state(seq: np.random.SeedSequence) -> dict:
 
 
 @dataclasses.dataclass
+class _ExecutorStats:
+    """Aggregated shard-executor telemetry for the run manifest."""
+
+    mode: str
+    n_jobs: int
+    shards: int = 0
+    shard_seconds_total: float = 0.0
+    shard_seconds_max: float = 0.0
+    commit_lag_total: float = 0.0
+    commit_lag_max: float = 0.0
+    queue_depth_max: int = 0
+    retries_total: int = 0
+    pool_breaks: int = 0
+    last_queue_depth: int = 0
+
+    def observe(self, outcome: ShardOutcome) -> None:
+        """Fold one committed shard's telemetry in."""
+        self.shards += 1
+        self.shard_seconds_total += outcome.wall_seconds
+        self.shard_seconds_max = max(self.shard_seconds_max, outcome.wall_seconds)
+        self.commit_lag_total += outcome.commit_lag_seconds
+        self.commit_lag_max = max(self.commit_lag_max, outcome.commit_lag_seconds)
+        self.queue_depth_max = max(self.queue_depth_max, outcome.queue_depth)
+        self.retries_total += outcome.retries
+        self.last_queue_depth = outcome.queue_depth
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (the manifest's ``executor`` section)."""
+        shards = max(self.shards, 1)
+        return {
+            "mode": self.mode,
+            "n_jobs": self.n_jobs,
+            "shards_committed": self.shards,
+            "shard_seconds_mean": self.shard_seconds_total / shards,
+            "shard_seconds_max": self.shard_seconds_max,
+            "commit_lag_seconds_mean": self.commit_lag_total / shards,
+            "commit_lag_seconds_max": self.commit_lag_max,
+            "queue_depth_max": self.queue_depth_max,
+            "discarded_in_flight": self.last_queue_depth,
+            "shard_retries": self.retries_total,
+            "pool_breaks": self.pool_breaks,
+        }
+
+
+@dataclasses.dataclass
 class MonteCarloRunner:
     """Configured fleet simulation.
 
@@ -102,7 +155,10 @@ class MonteCarloRunner:
         reproduce byte-identical results.
     n_jobs:
         Worker processes; 1 (default) runs in-process.  Never changes
-        numeric results, only wall-clock.
+        numeric results, only wall-clock.  Streaming runs
+        (:meth:`run_streaming`) execute shards through a pipelined
+        speculative pool (:mod:`~repro.simulation.executor`) that keeps
+        up to ``n_jobs`` shards in flight on **both** engines.
     engine:
         ``"event"`` (default, the reference per-group event loop),
         ``"batch"`` (the vectorized lockstep engine), or ``"auto"``
@@ -176,7 +232,9 @@ class MonteCarloRunner:
         shard_size: int = BATCH_SHARD_SIZE,
         time_grid: Optional[Sequence[float]] = None,
         stop_after_shards: Optional[int] = None,
+        max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
         _shard_runner: Optional[Callable[[int, int], List[GroupChronology]]] = None,
+        _shard_worker: Optional[ShardWorker] = None,
     ) -> StreamingResult:
         """Simulate shard-by-shard through streaming accumulators.
 
@@ -190,6 +248,16 @@ class MonteCarloRunner:
         engine) or per shard (batch engine) — so a fixed-size streaming
         run reproduces :meth:`run` and a converged run is reproducible
         from ``(config, seed, engine, shards_run)``.
+
+        With ``n_jobs > 1`` the shards are executed by a
+        :class:`~repro.simulation.executor.PipelinedShardExecutor`: a
+        persistent ``spawn``-context worker pool speculatively simulates
+        up to ``n_jobs`` shards ahead (each shard's streams are a pure
+        function of its index) while this process commits results
+        strictly in shard order — so parallel runs are **bit-identical**
+        to serial ones on both engines, including checkpoints, resume,
+        and convergence stopping (in-flight shards past the stopping
+        shard are discarded as if never run).
 
         Parameters
         ----------
@@ -225,6 +293,11 @@ class MonteCarloRunner:
             Stop (with ``stop_reason="interrupted"``) after this many
             shards *in this call* — the programmatic analogue of an
             interruption, used with ``checkpoint_path``/``resume_from``.
+        max_shard_retries:
+            Under the parallel executor, how many times a shard whose
+            worker process died is reseeded from its index and re-run
+            before the run raises
+            :class:`~repro.exceptions.SimulationError`.
         """
         require_int("shard_size", shard_size, minimum=1)
         if stop_after_shards is not None:
@@ -274,46 +347,55 @@ class MonteCarloRunner:
             groups_done = checkpoint.groups_completed
             prior_elapsed = checkpoint.elapsed_seconds
 
-        # The seed cursor: spawn past every stream the completed shards
-        # consumed, so shard k always sees the same children regardless
-        # of interruptions.
+        # The shard plan toward the cap is a pure function of the cursor,
+        # so it is fixed up front; stopping merely truncates it.
+        target = fixed_target if fixed_target is not None else cap
+        plan = shard_plan(shards_done, groups_done, target, shard_size)
         root = make_seed_sequence(self.seed)
-        if engine == "batch":
-            if shards_done:
-                root.spawn(shards_done)
-        elif groups_done:
-            root.spawn(groups_done)
+        parallel = self.n_jobs > 1 and _shard_runner is None and bool(plan)
+        executor: Optional[PipelinedShardExecutor] = None
+        if parallel:
+            executor = PipelinedShardExecutor(
+                self.config,
+                _seed_state(root),
+                engine,
+                min(self.n_jobs, len(plan)),
+                max_retries=max_shard_retries,
+                worker=_shard_worker,
+            )
+            source = executor.outcomes(plan)
+        else:
+            # Serial path: advance the sequential spawn cursor past every
+            # stream the completed shards consumed, so shard k always
+            # sees the same children regardless of interruptions.
+            if engine == "batch":
+                if shards_done:
+                    root.spawn(shards_done)
+            elif groups_done:
+                root.spawn(groups_done)
+            source = self._serial_outcomes(plan, engine, root, _shard_runner)
 
         kept: List[GroupChronology] = []
-        pool = None
         start = time.perf_counter()
         shards_this_call = 0
         groups_at_start = groups_done
         stop_reason: Optional[str] = None
         converged = False
+        stats = _ExecutorStats(
+            mode="pipelined" if parallel else "serial",
+            n_jobs=executor.n_jobs if executor is not None else 1,
+        )
         try:
-            if (
-                engine == "event"
-                and self.n_jobs > 1
-                and _shard_runner is None
-            ):
-                pool = get_context("spawn").Pool(self.n_jobs)
-            while True:
-                target = fixed_target if fixed_target is not None else cap
-                n = next_shard_size(groups_done, target, shard_size)
-                if n == 0:
-                    stop_reason = "fixed" if fixed_target is not None else "max_groups"
-                    break
-                if _shard_runner is not None:
-                    chronologies = _shard_runner(shards_done, n)
-                else:
-                    chronologies = self._simulate_streaming_shard(engine, root, n, pool)
-                accumulator.add_shard(chronologies)
+            if not plan:
+                stop_reason = "fixed" if fixed_target is not None else "max_groups"
+            for outcome in source:
+                accumulator.add_shard(outcome.chronologies)
                 if keep_chronologies:
-                    kept.extend(chronologies)
+                    kept.extend(outcome.chronologies)
                 shards_done += 1
                 shards_this_call += 1
-                groups_done += n
+                groups_done += outcome.task.n_groups
+                stats.observe(outcome)
 
                 converged = precision is not None and precision.satisfied_by(accumulator)
                 if converged:
@@ -355,13 +437,14 @@ class MonteCarloRunner:
                         prior_elapsed,
                         converged,
                         done=stop_reason is not None,
+                        outcome=outcome,
                     )
                 if stop_reason is not None:
                     break
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            source.close()
+        if executor is not None:
+            stats.pool_breaks = executor.pool_breaks
 
         streaming = StreamingResult(
             accumulator=accumulator,
@@ -374,6 +457,7 @@ class MonteCarloRunner:
             stop_reason=stop_reason or "interrupted",
             precision=precision,
             elapsed_seconds=prior_elapsed + (time.perf_counter() - start),
+            executor_stats=stats.to_dict(),
         )
         if keep_chronologies:
             result = SimulationResult(
@@ -398,6 +482,7 @@ class MonteCarloRunner:
         prior_elapsed: float,
         converged: bool,
         done: bool,
+        outcome: Optional[ShardOutcome] = None,
     ) -> None:
         """Build and fan out one progress event."""
         confidence = precision.confidence if precision is not None else 0.95
@@ -415,16 +500,43 @@ class MonteCarloRunner:
             groups_per_second=(groups_done - groups_at_start) / call_elapsed,
             converged=converged,
             done=done,
+            shard_seconds=outcome.wall_seconds if outcome is not None else 0.0,
+            queue_depth=outcome.queue_depth if outcome is not None else 0,
+            commit_lag_seconds=(
+                outcome.commit_lag_seconds if outcome is not None else 0.0
+            ),
+            shard_retries=outcome.retries if outcome is not None else 0,
         )
         for observer in observers:
             observer(event)
+
+    def _serial_outcomes(
+        self,
+        plan: Sequence[ShardTask],
+        engine: str,
+        root: np.random.SeedSequence,
+        _shard_runner: Optional[Callable[[int, int], List[GroupChronology]]],
+    ) -> Iterator[ShardOutcome]:
+        """In-process shard execution (``n_jobs=1`` or an injected runner)."""
+        for task in plan:
+            start = time.perf_counter()
+            if _shard_runner is not None:
+                chronologies = _shard_runner(task.index, task.n_groups)
+            else:
+                chronologies = self._simulate_streaming_shard(
+                    engine, root, task.n_groups
+                )
+            yield ShardOutcome(
+                task=task,
+                chronologies=chronologies,
+                wall_seconds=time.perf_counter() - start,
+            )
 
     def _simulate_streaming_shard(
         self,
         engine: str,
         root: np.random.SeedSequence,
         n: int,
-        pool,
     ) -> List[GroupChronology]:
         """One shard's chronologies, consuming the next spawn positions."""
         if engine == "batch":
@@ -432,22 +544,11 @@ class MonteCarloRunner:
             rng = np.random.Generator(np.random.PCG64(child))
             return simulate_groups_batch(self.config, n, rng)
         children = root.spawn(n)
-        if pool is None:
-            simulator = RaidGroupSimulator(self.config)
-            return [
-                simulator.run(np.random.Generator(np.random.PCG64(child)))
-                for child in children
-            ]
-        jobs = min(self.n_jobs, n)
-        batches: List[List[dict]] = [[] for _ in range(jobs)]
-        for idx, child in enumerate(children):
-            batches[idx % jobs].append(_seed_state(child))
-        results = pool.map(_run_batch, [(self.config, batch) for batch in batches])
-        chronologies: List[GroupChronology] = [None] * n  # type: ignore[list-item]
-        flat_iters = [iter(r) for r in results]
-        for idx in range(n):
-            chronologies[idx] = next(flat_iters[idx % jobs])
-        return chronologies
+        simulator = RaidGroupSimulator(self.config)
+        return [
+            simulator.run(np.random.Generator(np.random.PCG64(child)))
+            for child in children
+        ]
 
     # ------------------------------------------------------------------
     def _run_event_engine(self) -> List[GroupChronology]:

@@ -565,6 +565,17 @@ class ProgressEvent:
         Whether a precision target has been met.
     done:
         ``True`` on the final event of a run.
+    shard_seconds:
+        Worker-side wall time of the shard just committed (its
+        simulation time, excluding queue wait; 0 when unavailable).
+    queue_depth:
+        Shards speculatively in flight behind this commit (0 for serial
+        execution).
+    commit_lag_seconds:
+        How long the committed shard's finished result waited for the
+        in-order commit cursor (0 for serial execution).
+    shard_retries:
+        Times the committed shard was re-run after a worker death.
     """
 
     shards_completed: int
@@ -578,6 +589,10 @@ class ProgressEvent:
     groups_per_second: float
     converged: bool
     done: bool
+    shard_seconds: float = 0.0
+    queue_depth: int = 0
+    commit_lag_seconds: float = 0.0
+    shard_retries: int = 0
 
 
 #: Observer signature: called after every shard and once more when done.
@@ -585,12 +600,22 @@ RunObserver = Callable[[ProgressEvent], None]
 
 
 class StderrProgressReporter:
-    """Single-line stderr progress display for interactive runs."""
+    """Single-line stderr progress display for interactive runs.
+
+    Rewrites one line with ``\\r``; because successive lines can shrink
+    (e.g. the CI column switching from ``(CI pending)`` to a finite
+    width), every write is padded to the previous line's length so no
+    stale characters survive the rewrite.  The ``done`` event bypasses
+    the throttle and always (re)writes the full line before appending
+    the final status, so a suppressed last regular line can never leave
+    the status dangling after stale text.
+    """
 
     def __init__(self, stream=None, min_interval_seconds: float = 0.0) -> None:
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval = float(min_interval_seconds)
         self._last_emit = -math.inf
+        self._last_len = 0
 
     def __call__(self, event: ProgressEvent) -> None:
         now = time.monotonic()
@@ -605,15 +630,23 @@ class StderrProgressReporter:
             )
         else:
             ci = f"{event.ddfs_per_1000:.3f}/1000 (CI pending)"
-        line = (
-            f"\r[shard {event.shards_completed:>4}] "
+        visible = (
+            f"[shard {event.shards_completed:>4}] "
             f"{event.groups_completed:>8} groups  "
             f"{event.groups_per_second:8.1f} groups/s  DDFs {ci}"
         )
-        self._stream.write(line)
+        if event.queue_depth:
+            visible += f"  [{event.queue_depth} in flight]"
         if event.done:
             status = "converged" if event.converged else "finished"
-            self._stream.write(f"  — {status} in {event.elapsed_seconds:.1f}s\n")
+            visible += f"  — {status} in {event.elapsed_seconds:.1f}s"
+        padding = " " * max(0, self._last_len - len(visible))
+        self._stream.write("\r" + visible + padding)
+        if event.done:
+            self._stream.write("\n")
+            self._last_len = 0
+        else:
+            self._last_len = len(visible)
         self._stream.flush()
 
 
@@ -645,6 +678,12 @@ class StreamingResult:
         Materialized :class:`~repro.simulation.results.SimulationResult`
         when the run kept chronologies (``keep_chronologies=True``);
         ``None`` for pure-streaming runs.
+    executor_stats:
+        Shard-executor telemetry for this call — execution mode
+        (``serial``/``pipelined``), job count, per-shard wall-time
+        aggregates, speculation queue depth, commit lag, retries, and
+        worker-pool breaks; ``None`` for results built before the run
+        finished.
     """
 
     accumulator: FleetAccumulator
@@ -658,6 +697,7 @@ class StreamingResult:
     precision: Optional[Precision] = None
     elapsed_seconds: float = 0.0
     result: Optional[object] = None  # SimulationResult, kept untyped to avoid a cycle
+    executor_stats: Optional[Dict[str, object]] = None
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers (see :meth:`FleetAccumulator.summary`)."""
@@ -696,6 +736,8 @@ class StreamingResult:
             "pathway_mix": self.accumulator.pathway_mix(),
             "summary": self.summary(),
         }
+        if self.executor_stats is not None:
+            manifest["executor"] = dict(self.executor_stats)
         if self.precision is not None:
             manifest["precision"] = {
                 "rel_ci_width": self.precision.rel_ci_width,

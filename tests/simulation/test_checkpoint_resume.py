@@ -9,6 +9,7 @@ different config, seed, engine, or shard partition.
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -200,3 +201,53 @@ class TestCheckpointFile:
         acc = checkpoint.accumulator()
         assert acc.n_groups == SHARD
         assert acc.mission_hours == 8_760.0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        make_runner("event").run_streaming(
+            shard_size=SHARD, checkpoint_path=path, stop_after_shards=2
+        )
+        leftovers = [name for name in os.listdir(tmp_path) if name != "run.ckpt"]
+        assert leftovers == []
+
+    def test_empty_checkpoint_reports_actionably(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_text("")
+        with pytest.raises(SimulationError, match="empty"):
+            load_checkpoint(str(path))
+
+    def test_truncated_checkpoint_reports_actionably(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        make_runner("event").run_streaming(
+            shard_size=SHARD, checkpoint_path=path, stop_after_shards=1
+        )
+        payload = open(path).read()
+        truncated = tmp_path / "truncated.ckpt"
+        truncated.write_text(payload[: len(payload) // 2])
+        with pytest.raises(SimulationError, match="truncated or corrupt"):
+            load_checkpoint(str(truncated))
+
+    def test_interrupted_writer_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        # A crash before the payload is durably flushed (simulated by a
+        # failing fsync) must leave the previous checkpoint byte-intact
+        # and clean up the unique temp file.
+        path = str(tmp_path / "run.ckpt")
+        make_runner("event").run_streaming(
+            shard_size=SHARD, checkpoint_path=path, stop_after_shards=1
+        )
+        before = open(path).read()
+        checkpoint = load_checkpoint(path)
+
+        import repro.simulation.checkpoint as checkpoint_module
+
+        def failing_fsync(fd):
+            raise OSError("simulated crash before durability")
+
+        monkeypatch.setattr(checkpoint_module.os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            save_checkpoint(path, checkpoint)
+        monkeypatch.undo()
+        assert open(path).read() == before
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []

@@ -258,6 +258,87 @@ class TestPrecision:
         assert precision.satisfied_by(acc)  # zero variance: width 0
 
 
+def make_event(**overrides):
+    """A ProgressEvent with plausible defaults, overridable per test."""
+    from repro.simulation import ProgressEvent
+
+    values = dict(
+        shards_completed=1,
+        groups_completed=512,
+        total_ddfs=3,
+        ddfs_per_1000=5.86,
+        ci_lo=1.2,
+        ci_hi=10.5,
+        rel_ci_width=float("inf"),
+        elapsed_seconds=1.5,
+        groups_per_second=341.3,
+        converged=False,
+        done=False,
+    )
+    values.update(overrides)
+    return ProgressEvent(**values)
+
+
+def render_terminal(written: str) -> str:
+    """Final visible line of a ``\\r``-rewritten stream (no newlines)."""
+    screen = ""
+    cursor = 0
+    for position, chunk in enumerate(written.split("\n")[-1].split("\r")):
+        if position:  # every split boundary was a carriage return
+            cursor = 0
+        screen = screen[:cursor] + chunk + screen[cursor + len(chunk):]
+        cursor += len(chunk)
+    return screen
+
+
+class TestStderrProgressReporter:
+    def test_shorter_line_leaves_no_stale_characters(self):
+        import io
+
+        from repro.simulation import StderrProgressReporter
+
+        stream = io.StringIO()
+        reporter = StderrProgressReporter(stream=stream)
+        # Long first line: infinite CI renders the wide "(CI pending)" tail.
+        reporter(make_event(rel_ci_width=float("inf"), groups_completed=99_999_999))
+        long_line = render_terminal(stream.getvalue())
+        # Shorter second line: finite CI, small counts.
+        reporter(make_event(rel_ci_width=0.25, groups_completed=5, shards_completed=2))
+        final = render_terminal(stream.getvalue())
+        assert len(final) >= len(long_line)  # padded over the old content
+        assert final.rstrip() == final.rstrip(" ")
+        tail = final[len(final.rstrip()):]
+        assert set(tail) <= {" "}  # anything past the new text is blanks
+        assert "(CI pending)" not in final
+
+    def test_done_event_bypasses_throttle_and_terminates_line(self):
+        import io
+
+        from repro.simulation import StderrProgressReporter
+
+        stream = io.StringIO()
+        reporter = StderrProgressReporter(stream=stream, min_interval_seconds=3600.0)
+        reporter(make_event())  # first write always lands
+        reporter(make_event(shards_completed=2))  # throttled away
+        reporter(make_event(shards_completed=3, done=True, converged=True))
+        written = stream.getvalue()
+        assert written.endswith("\n")
+        final = render_terminal(written[: written.rindex("\n")])
+        # The done event rewrote the whole line (shard 3, not the stale 1)
+        # and appended the status on the same line.
+        assert "[shard    3]" in final
+        assert "converged" in final
+
+    def test_queue_depth_annotated_when_parallel(self):
+        import io
+
+        from repro.simulation import StderrProgressReporter
+
+        stream = io.StringIO()
+        StderrProgressReporter(stream=stream)(make_event(queue_depth=3))
+        assert "[3 in flight]" in stream.getvalue()
+
+
 class TestStreamingMatchesMaterialized:
     """Acceptance: fixed-size streaming == materialized run, bitwise."""
 

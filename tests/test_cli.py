@@ -155,6 +155,52 @@ class TestSimulate:
         # The run was already complete: resuming reproduces the result.
         assert first.splitlines()[7] == resumed.splitlines()[7]  # DDF line
 
+    def test_resume_keeps_checkpointing_by_default(self, tmp_path, capsys):
+        # A `--resume` without `--checkpoint` must keep writing further
+        # checkpoints to the resume path — otherwise a second
+        # interruption would lose everything since the first.
+        from repro.simulation import RaidGroupConfig, load_checkpoint
+        from repro.simulation.monte_carlo import MonteCarloRunner
+
+        checkpoint = tmp_path / "run.ckpt"
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        runner = MonteCarloRunner(config, n_groups=1024, seed=2, engine="batch")
+        runner.run_streaming(checkpoint_path=str(checkpoint), stop_after_shards=1)
+        assert load_checkpoint(str(checkpoint)).groups_completed == 512
+
+        args = [
+            "simulate",
+            "--groups", "1024",
+            "--mission-hours", "8760",
+            "--seed", "2",
+            "--engine", "batch",
+            "--resume", str(checkpoint),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "fixed" in out
+        # The CLI defaulted checkpoint_path to the resume path: the file
+        # now records the *completed* run, not the interrupted one.
+        assert load_checkpoint(str(checkpoint)).groups_completed == 1024
+
+    def test_simulate_jobs_bit_identical(self, tmp_path, capsys):
+        base = [
+            "simulate",
+            "--groups", "96",
+            "--mission-hours", "8760",
+            "--seed", "4",
+            "--engine", "event",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical apart from the elapsed-seconds row.
+        strip = lambda text: [
+            line for line in text.splitlines() if "elapsed" not in line
+        ]
+        assert strip(serial) == strip(parallel)
+
     def test_precision_run(self, capsys):
         assert (
             main(
