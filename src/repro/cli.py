@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
     run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-25 cumulative entries to stderr",
+    )
+    run.add_argument(
         "--until-precision",
         type=float,
         default=None,
@@ -198,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="live progress line on stderr (groups/s, estimate ± CI)",
     )
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-25 cumulative entries to stderr",
+    )
     return parser
 
 
@@ -308,10 +318,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(f"wrote {args.out}")
         return 0
-    if args.command == "simulate":
-        print(_run_simulate(args))
-        return 0
-    print(_run_experiment(args))
+    runner = _run_simulate if args.command == "simulate" else _run_experiment
+    if getattr(args, "profile", False):
+        from .reporting.profiling import profiled
+
+        with profiled():
+            table = runner(args)
+    else:
+        table = runner(args)
+    print(table)
     return 0
 
 

@@ -35,6 +35,9 @@ class Exponential(Distribution):
     def __init__(self, mean: float, location: float = 0.0) -> None:
         self._mean = require_positive("mean", mean)
         self.location = require_non_negative("location", location)
+        # Cached so hazard-rate callers (hot `_z` evaluations in cdf/sf/pdf
+        # vectorized over arrays) skip a division per call.
+        self._rate = 1.0 / self._mean
 
     @classmethod
     def from_rate(cls, rate: float, location: float = 0.0) -> "Exponential":
@@ -44,7 +47,7 @@ class Exponential(Distribution):
     @property
     def rate(self) -> float:
         """Constant hazard ``lambda = 1 / mean``."""
-        return 1.0 / self._mean
+        return self._rate
 
     def _z(self, t: ArrayLike) -> np.ndarray:
         t = np.asarray(t, dtype=float)

@@ -32,6 +32,11 @@ class Gamma(Distribution):
         self.shape = require_positive("shape", shape)
         self.scale = require_positive("scale", scale)
         self.location = require_non_negative("location", location)
+        # Cached separately (not pre-summed) so `pdf` keeps the exact
+        # subtraction order — and therefore bit-identical output — of the
+        # uncached expression.
+        self._gammaln_shape = float(special.gammaln(self.shape))
+        self._log_scale = float(np.log(self.scale))
 
     def _z(self, t: ArrayLike) -> np.ndarray:
         t = np.asarray(t, dtype=float)
@@ -48,8 +53,8 @@ class Gamma(Distribution):
             log_pdf = (
                 (self.shape - 1.0) * np.log(np.where(z > 0, z, np.nan))
                 - z
-                - special.gammaln(self.shape)
-                - np.log(self.scale)
+                - self._gammaln_shape
+                - self._log_scale
             )
             out = np.exp(log_pdf)
         if self.shape == 1.0:

@@ -50,6 +50,10 @@ class Weibull(Distribution):
         self.shape = require_positive("shape", shape)
         self.scale = require_positive("scale", scale)
         self.location = require_non_negative("location", location)
+        #: Precomputed ``1/beta`` so the hot inverse-CDF path
+        #: (:meth:`_from_exp1`, called per block by the batch kernel's
+        #: samplers) skips a scalar division on every call.
+        self._inv_shape = 1.0 / self.shape
 
     # ------------------------------------------------------------------
     @classmethod
@@ -68,6 +72,18 @@ class Weibull(Distribution):
         return cls(shape=shape, scale=scale, location=location)
 
     # ------------------------------------------------------------------
+    def _from_exp1(self, e: ArrayLike) -> ArrayLike:
+        """Map standard-exponential variates to Weibull times.
+
+        ``H(t) = ((t - gamma)/eta)**beta`` is the cumulative hazard, so
+        ``t = gamma + eta * e**(1/beta)`` turns ``E ~ Exp(1)`` into a
+        Weibull draw.  :meth:`sample`, :meth:`ppf` and
+        :meth:`sample_conditional` all funnel through this one expression
+        (with ``e`` = ``-log(1-U)``, ``-log(1-q)`` and ``H(age) + E``
+        respectively), so the inverse-CDF math lives in exactly one place.
+        """
+        return self.location + self.scale * np.power(e, self._inv_shape)
+
     def _z(self, t: ArrayLike) -> np.ndarray:
         """Standardised non-negative argument ``(t - gamma)/eta``."""
         t = np.asarray(t, dtype=float)
@@ -114,16 +130,13 @@ class Weibull(Distribution):
         if np.any((q_arr < 0) | (q_arr > 1)):
             raise ValueError(f"quantile levels must be in [0, 1], got {q!r}")
         with np.errstate(divide="ignore"):
-            out = self.location + self.scale * np.power(
-                -np.log1p(-q_arr), 1.0 / self.shape
-            )
+            out = self._from_exp1(-np.log1p(-q_arr))
         return out if out.ndim else float(out)
 
     def sample(self, rng: np.random.Generator, size: Union[int, None] = None) -> ArrayLike:
-        # Inverse transform with -log(U) ~ Exp(1); cheaper and numerically
-        # cleaner than going through ppf's log1p(-u).
+        # Inverse transform with -log(1-U) ~ Exp(1).
         u = rng.random(size)
-        draw = self.location + self.scale * np.power(-np.log1p(-u), 1.0 / self.shape)
+        draw = self._from_exp1(-np.log1p(-u))
         return draw if np.ndim(draw) else float(draw)
 
     def sample_conditional(
@@ -143,7 +156,7 @@ class Weibull(Distribution):
             raise ValueError(f"age must be >= 0, got {age!r}")
         base = np.power(max(age - self.location, 0.0) / self.scale, self.shape)
         extra = rng.exponential(1.0, size)
-        total = self.location + self.scale * np.power(base + extra, 1.0 / self.shape)
+        total = self._from_exp1(base + extra)
         remaining = np.maximum(np.asarray(total, dtype=float) - age, 0.0)
         return remaining if np.ndim(extra) else float(remaining)
 

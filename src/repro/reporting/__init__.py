@@ -7,6 +7,7 @@ and figures report; these helpers keep that output consistent.
 from .ascii_plot import ascii_line_plot
 from .csvout import write_csv
 from .manifest import run_manifest, write_run_manifest
+from .profiling import format_profile, profiled
 from .tables import format_table
 
 __all__ = [
@@ -15,4 +16,6 @@ __all__ = [
     "write_csv",
     "run_manifest",
     "write_run_manifest",
+    "format_profile",
+    "profiled",
 ]

@@ -1,0 +1,63 @@
+"""cProfile helpers behind the CLI's ``--profile`` flag.
+
+Profiling a fleet run answers the perf questions the benchmark harness
+(``benchmarks/bench.py``) raises: *which* layer — kernel reduction,
+sampling, accumulator folds — ate the wall-clock a regression reports.
+One context manager wraps any code block and prints the hottest call
+sites when it exits, so ``repro simulate --profile`` and ad-hoc scripts
+share a single formatting path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+#: Rows of the profile table shown by default: enough to cover the
+#: kernel, sampler, and accumulator layers without drowning the shell.
+DEFAULT_PROFILE_LINES = 25
+
+
+def format_profile(
+    profile: cProfile.Profile,
+    limit: int = DEFAULT_PROFILE_LINES,
+    sort: str = "cumulative",
+) -> str:
+    """The top ``limit`` entries of a finished profile, as text.
+
+    Paths are stripped to bare filenames (``strip_dirs``) so the table
+    stays readable at shell width, and entries are ordered by ``sort``
+    (cumulative time by default — the "who is responsible" view).
+    """
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return buffer.getvalue()
+
+
+@contextmanager
+def profiled(
+    stream: Optional[TextIO] = None,
+    limit: int = DEFAULT_PROFILE_LINES,
+    sort: str = "cumulative",
+) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block; print the top entries on exit.
+
+    The report goes to ``stream`` (stderr by default, so it never
+    corrupts machine-read stdout output such as CSV rows), and is
+    printed even when the block raises — a run that dies mid-fleet
+    still shows where the time went.
+    """
+    profile = cProfile.Profile()
+    out = stream if stream is not None else sys.stderr
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        out.write(format_profile(profile, limit=limit, sort=sort))
+        out.flush()

@@ -9,6 +9,25 @@ samples are drawn in blocks through the distributions' vectorized
 ``sample(size=...)`` paths, and each iteration resolves exactly one
 event per still-active group with masked array operations.
 
+Two structural optimisations keep the per-iteration cost proportional to
+the number of *still-active* groups rather than the shard size (see
+``DESIGN.md`` §4f):
+
+* **Fused next-event reduction** — the per-(group, slot) next-event
+  times of all five event kinds live in one contiguous
+  ``(rows, _N_KINDS * n_slots)`` buffer whose kind-major column blocks
+  double as the state arrays themselves, so the per-iteration earliest
+  event is a single ``argmin`` over that buffer: no stacked candidate
+  build, no transposed copy, and the argmin's flat index order *is* the
+  simultaneous-event tie-break.
+* **Active-set compaction** — once more than half of a kernel's rows
+  have finished their missions (and the kernel is still at least
+  :data:`COMPACT_MIN_ROWS` rows), every state array is gathered down to
+  the unfinished groups.  A row-to-original-group index map keeps the
+  per-group tallies and :class:`GroupChronology` outputs addressed by
+  their original fleet positions, so compaction is invisible outside the
+  kernel.
+
 The two engines realise the same stochastic process — the Fig. 4/5 DDF
 semantics (overlapping restores, latent-then-op ordering, no DDF while a
 DDF restore is pending, renewal at replacement) are reproduced rule for
@@ -26,6 +45,15 @@ property is what lets the streaming runner's pipelined executor
 (:mod:`~repro.simulation.executor`) simulate shards speculatively out of
 order: :func:`next_shard_size` fixes the partition as a pure function of
 the target, so any shard's streams follow from its index alone.
+
+Compaction and the fused reduction preserve that contract exactly: the
+same events fire in the same order with the same sampled values whether
+or not (and whenever) the kernel compacts, because gathering rows never
+reorders groups and never changes which samples are consumed.  The
+:class:`_BlockSampler` refill schedule is part of the contract too — all
+samplers share the shard's generator, so the *sizes* of their refill
+draws determine how the single random stream is interleaved between
+distributions and must stay fixed (see the class docstring).
 
 Simultaneous events within a group (possible only with discrete-support
 distributions such as :class:`~repro.distributions.Deterministic`) are
@@ -58,7 +86,20 @@ from .raid_simulator import DDFType, GroupChronology
 #: lockstep work on groups that finish their missions early.
 BATCH_SHARD_SIZE = 512
 
-# Candidate-array stack order == tie-break priority at equal event times.
+#: Compact the kernel's state arrays once the active-group count falls to
+#: this fraction of the current row count (or lower).  Each compaction
+#: shrinks the rows at least geometrically, so all compactions together
+#: cost a bounded number of full-size iterations; 3/4 won empirically
+#: over 1/2 on the Table 2 base case (earlier shrinking beats the extra
+#: gathers).
+COMPACT_RATIO = 0.75
+
+#: Never compact a kernel below this many rows: for tiny remnants the
+#: gather overhead exceeds the lockstep waste it removes.
+COMPACT_MIN_ROWS = 64
+
+# Column-block order of the fused state buffer == tie-break priority at
+# equal event times (argmin returns the lowest flat index).
 _K_RESTORE = 0
 _K_CLEAR = 1
 _K_SCRUB = 2
@@ -67,6 +108,8 @@ _K_OP = 4
 _N_KINDS = 5
 
 _INF = float("inf")
+
+_EMPTY = np.empty(0, dtype=float)
 
 
 def batch_engine_unsupported_reason(config: RaidGroupConfig) -> Optional[str]:
@@ -81,31 +124,62 @@ class _BlockSampler:
     amortises the per-call overhead of the distribution's
     ``sample(size=...)`` path over large blocks — the vectorized analogue
     of :class:`~repro.simulation.rng.SampleBuffer`.
+
+    The backing storage grows adaptively (it is sized to whatever the
+    largest refill so far needed and reused in place, so steady-state
+    refills allocate nothing), but the **refill draw schedule is fixed**:
+    a refill always draws exactly ``max(block, k)`` samples.  Every
+    sampler of a kernel shares the shard's generator, so the sequence of
+    refill sizes across samplers determines how the one random stream is
+    partitioned between distributions — growing the draw size adaptively
+    would re-interleave that stream and silently change every result.
+    Byte-identity of the batch engine therefore pins ``block`` and the
+    ``max(block, k)`` rule; only the storage behind them may adapt.
     """
+
+    __slots__ = ("_distribution", "_rng", "_block", "_storage", "_index", "_size")
 
     def __init__(self, distribution, rng: np.random.Generator, block: int = 4096) -> None:
         self._distribution = distribution
         self._rng = rng
         self._block = block
-        self._values = np.empty(0, dtype=float)
-        self._index = 0
+        self._storage = _EMPTY
+        self._index = 0  # next unread position in the storage
+        self._size = 0  # valid prefix length of the storage
 
     def take(self, k: int) -> np.ndarray:
-        """The next ``k`` samples as a float array."""
+        """The next ``k`` samples as a float array (a view; do not mutate)."""
         if k == 0:
-            return np.empty(0, dtype=float)
-        if self._values.size - self._index < k:
-            fresh = np.atleast_1d(
-                np.asarray(
-                    self._distribution.sample(self._rng, max(self._block, k)),
-                    dtype=float,
-                )
-            )
-            self._values = np.concatenate([self._values[self._index :], fresh])
-            self._index = 0
-        out = self._values[self._index : self._index + k]
+            return _EMPTY
+        if self._size - self._index < k:
+            self._refill(k)
+        out = self._storage[self._index : self._index + k]
         self._index += k
         return out
+
+    def _refill(self, k: int) -> None:
+        """Draw the next block, keeping any unread leftover samples first."""
+        leftover = self._storage[self._index : self._size]
+        n_left = leftover.size
+        if n_left:
+            leftover = leftover.copy()
+        fresh = np.atleast_1d(
+            np.asarray(
+                # Fixed schedule — see the class docstring before touching.
+                self._distribution.sample(self._rng, max(self._block, k)),
+                dtype=float,
+            )
+        )
+        needed = n_left + fresh.size
+        if self._storage.size < needed:
+            # Adaptive capacity growth: at least double so a demand spike
+            # (one huge take) does not trigger per-refill reallocation.
+            self._storage = np.empty(max(needed, 2 * self._storage.size), dtype=float)
+        if n_left:
+            self._storage[:n_left] = leftover
+        self._storage[n_left:needed] = fresh
+        self._index = 0
+        self._size = needed
 
 
 def simulate_groups_batch(
@@ -139,7 +213,6 @@ def simulate_groups_batch(
     n_slots = config.n_drives
     mission = config.mission_hours
     tolerance = config.fault_tolerance
-    shape = (n_groups, n_slots)
 
     ttop = _BlockSampler(config.time_to_op, rng)
     ttr = _BlockSampler(config.time_to_restore, rng)
@@ -152,23 +225,31 @@ def simulate_groups_batch(
         _BlockSampler(config.time_to_scrub, rng) if config.scrubbing_enabled else None
     )
 
-    # Per-slot state.  Candidate arrays hold the absolute time of each
-    # slot's next event of that kind, inf when no such event is pending.
-    op_up = np.ones(shape, dtype=bool)
-    exposed = np.zeros(shape, dtype=bool)
-    t_op = ttop.take(n_groups * n_slots).reshape(shape).copy()
-    t_restore = np.full(shape, _INF)
-    t_ld = (
-        ttld.take(n_groups * n_slots).reshape(shape).copy()
-        if ttld is not None
-        else np.full(shape, _INF)
-    )
-    t_scrub = np.full(shape, _INF)
-    t_clear = np.full(shape, _INF)  # DDF-shared restores clearing defects
+    # Fused state/candidate buffer: column block k holds kind k's
+    # per-(group, slot) next-event time (inf when none is pending), so the
+    # per-group earliest event is one argmin over axis 1 and the flat
+    # index order is exactly the kind-then-slot tie-break.  The per-kind
+    # "arrays" below are views into this buffer; every state update
+    # writes straight into the next argmin's input.
+    state = np.full((n_groups, _N_KINDS * n_slots), _INF)
 
-    # Per-group state.
+    def _views(buf: np.ndarray):
+        return [buf[:, k * n_slots : (k + 1) * n_slots] for k in range(_N_KINDS)]
+
+    t_restore, t_clear, t_scrub, t_ld, t_op = _views(state)
+    op_up = np.ones((n_groups, n_slots), dtype=bool)
+    exposed = np.zeros((n_groups, n_slots), dtype=bool)
+    t_op[:] = ttop.take(n_groups * n_slots).reshape(n_groups, n_slots)
+    if ttld is not None:
+        t_ld[:] = ttld.take(n_groups * n_slots).reshape(n_groups, n_slots)
+
+    # Per-group rolling state (compacted alongside the fused buffer).
     ddf_until = np.full(n_groups, -_INF)
     active = np.ones(n_groups, dtype=bool)
+    #: Row -> original fleet position; identity until the first compaction.
+    orig = np.arange(n_groups)
+
+    # Per-group outputs, always indexed by original fleet position.
     n_op_failures = np.zeros(n_groups, dtype=np.int64)
     n_latent_defects = np.zeros(n_groups, dtype=np.int64)
     n_scrub_repairs = np.zeros(n_groups, dtype=np.int64)
@@ -176,34 +257,53 @@ def simulate_groups_batch(
     ddf_times: List[List[float]] = [[] for _ in range(n_groups)]
     ddf_types: List[List[DDFType]] = [[] for _ in range(n_groups)]
 
-    group_ix = np.arange(n_groups)
-    cand = np.empty((_N_KINDS, n_groups, n_slots))
+    rows = n_groups
+    # Preallocated scratch reused every iteration (prefix-sliced to the
+    # current row count; compaction only ever shrinks it).
+    row_ix_all = np.arange(n_groups)
+    flat_ix_all = np.empty(n_groups, dtype=np.intp)
 
     while True:
-        cand[_K_RESTORE] = t_restore
-        cand[_K_CLEAR] = t_clear
-        cand[_K_SCRUB] = t_scrub
-        cand[_K_LD] = t_ld
-        cand[_K_OP] = t_op
-        # Per-group earliest event over every (kind, slot); argmin over the
-        # kind-major flattening makes the stack order the tie-breaker.
-        per_group = cand.transpose(1, 0, 2).reshape(n_groups, _N_KINDS * n_slots)
-        flat_ix = per_group.argmin(axis=1)
-        t_next = per_group[group_ix, flat_ix]
+        flat_ix = state.argmin(axis=1, out=flat_ix_all[:rows])
+        row_ix = row_ix_all[:rows]
+        t_next = state[row_ix, flat_ix]
         active &= t_next <= mission
-        if not active.any():
+        n_active = np.count_nonzero(active)
+        if n_active == 0:
             break
-        kind = flat_ix // n_slots
-        slot = flat_ix % n_slots
+        if n_active <= rows * COMPACT_RATIO and rows >= COMPACT_MIN_ROWS:
+            # Gather every state array down to the active rows.  Row
+            # order (and therefore group order inside every event batch
+            # below) is preserved, so the samplers consume the exact
+            # streams the uncompacted kernel would.
+            keep = active.nonzero()[0]
+            state = np.ascontiguousarray(state[keep])
+            t_restore, t_clear, t_scrub, t_ld, t_op = _views(state)
+            op_up = op_up[keep]
+            exposed = exposed[keep]
+            ddf_until = ddf_until[keep]
+            orig = orig[keep]
+            flat_ix = flat_ix[keep]
+            t_next = t_next[keep]
+            rows = n_active
+            active = np.ones(rows, dtype=bool)
+            g_act = row_ix_all[:rows]
+            kind_act = flat_ix // n_slots
+        elif n_active == rows:
+            g_act = row_ix
+            kind_act = flat_ix // n_slots
+        else:
+            g_act = active.nonzero()[0]
+            kind_act = flat_ix[g_act] // n_slots
 
         # ----------------------------------------------------- OP_FAIL
-        m = active & (kind == _K_OP)
-        if m.any():
-            g = np.nonzero(m)[0]
-            s = slot[g]
+        g = g_act[kind_act == _K_OP]
+        if g.size:
+            s = flat_ix[g] - _K_OP * n_slots
             t = t_next[g]
             k = g.size
-            n_op_failures[g] += 1
+            go = orig[g]
+            n_op_failures[go] += 1
             completion = t + ttr.take(k)
 
             eligible = t >= ddf_until[g]
@@ -211,8 +311,8 @@ def simulate_groups_batch(
             # slot is up, so it never counts itself).
             overlap = ~op_up[g] & (t_restore[g] > t[:, None])
             n_failed_others = overlap.sum(axis=1)
-            exposed_others = exposed[g].copy()
-            exposed_others[np.arange(k), s] = False
+            exposed_others = exposed[g]  # advanced indexing: already a copy
+            exposed_others[row_ix_all[:k], s] = False
 
             is_double = eligible & (n_failed_others >= tolerance)
             is_latent = (
@@ -229,18 +329,18 @@ def simulate_groups_batch(
                 other_max = np.where(overlap, t_restore[g], -_INF).max(axis=1)
                 window_end = np.maximum(completion, other_max)
                 completion = np.where(is_ddf, window_end, completion)
-                rows, cols = np.nonzero(overlap & is_ddf[:, None])
-                t_restore[g[rows], cols] = window_end[rows]
+                rws, cols = (overlap & is_ddf[:, None]).nonzero()
+                t_restore[g[rws], cols] = window_end[rws]
                 ddf_until[g[is_ddf]] = window_end[is_ddf]
                 # Latent pathway: the exposed drives' defects are repaired
                 # by the shared DDF restoration — cancel their scrubs and
                 # schedule the clear at the window end.
-                rows, cols = np.nonzero(exposed_others & is_latent[:, None])
-                t_clear[g[rows], cols] = window_end[rows]
-                t_scrub[g[rows], cols] = _INF
-                for r in np.nonzero(is_ddf)[0]:
-                    ddf_times[g[r]].append(float(t[r]))
-                    ddf_types[g[r]].append(
+                rws, cols = (exposed_others & is_latent[:, None]).nonzero()
+                t_clear[g[rws], cols] = window_end[rws]
+                t_scrub[g[rws], cols] = _INF
+                for r in is_ddf.nonzero()[0]:
+                    ddf_times[go[r]].append(float(t[r]))
+                    ddf_types[go[r]].append(
                         DDFType.DOUBLE_OP if is_double[r] else DDFType.LATENT_THEN_OP
                     )
 
@@ -255,12 +355,11 @@ def simulate_groups_batch(
             t_clear[g, s] = _INF
 
         # ------------------------------------------------- OP_RESTORED
-        m = active & (kind == _K_RESTORE)
-        if m.any():
-            g = np.nonzero(m)[0]
-            s = slot[g]
+        g = g_act[kind_act == _K_RESTORE]
+        if g.size:
+            s = flat_ix[g] - _K_RESTORE * n_slots
             t = t_next[g]
-            n_restores[g] += 1
+            n_restores[orig[g]] += 1
             op_up[g, s] = True
             t_restore[g, s] = _INF
             t_op[g, s] = t + ttop.take(g.size)
@@ -269,12 +368,11 @@ def simulate_groups_batch(
                 t_ld[g, s] = t + ttld.take(g.size)
 
         # --------------------------------------------------- LD_ARRIVE
-        m = active & (kind == _K_LD)
-        if m.any():
-            g = np.nonzero(m)[0]
-            s = slot[g]
+        g = g_act[kind_act == _K_LD]
+        if g.size:
+            s = flat_ix[g] - _K_LD * n_slots
             exposed[g, s] = True
-            n_latent_defects[g] += 1
+            n_latent_defects[orig[g]] += 1
             t_ld[g, s] = _INF
             if ttscrub is not None:
                 t_scrub[g, s] = t_next[g] + ttscrub.take(g.size)
@@ -282,21 +380,19 @@ def simulate_groups_batch(
             # DDF (operational failure *before* latent defect).
 
         # --------------------------------------------------- SCRUB_DONE
-        m = active & (kind == _K_SCRUB)
-        if m.any():
-            g = np.nonzero(m)[0]
-            s = slot[g]
+        g = g_act[kind_act == _K_SCRUB]
+        if g.size:
+            s = flat_ix[g] - _K_SCRUB * n_slots
             exposed[g, s] = False
-            n_scrub_repairs[g] += 1
+            n_scrub_repairs[orig[g]] += 1
             t_scrub[g, s] = _INF
             if ttld is not None:
                 t_ld[g, s] = t_next[g] + ttld.take(g.size)
 
         # --------------------------------------------------- LD_CLEARED
-        m = active & (kind == _K_CLEAR)
-        if m.any():
-            g = np.nonzero(m)[0]
-            s = slot[g]
+        g = g_act[kind_act == _K_CLEAR]
+        if g.size:
+            s = flat_ix[g] - _K_CLEAR * n_slots
             exposed[g, s] = False
             t_clear[g, s] = _INF
             # An operational failure before the window end invalidates the
@@ -306,15 +402,22 @@ def simulate_groups_batch(
 
     return [
         GroupChronology(
-            ddf_times=ddf_times[i],
-            ddf_types=ddf_types[i],
-            n_op_failures=int(n_op_failures[i]),
-            n_latent_defects=int(n_latent_defects[i]),
-            n_scrub_repairs=int(n_scrub_repairs[i]),
-            n_restores=int(n_restores[i]),
+            ddf_times=times,
+            ddf_types=types,
+            n_op_failures=ops,
+            n_latent_defects=lds,
+            n_scrub_repairs=scrubs,
+            n_restores=restores,
             mission_hours=mission,
         )
-        for i in range(n_groups)
+        for times, types, ops, lds, scrubs, restores in zip(
+            ddf_times,
+            ddf_types,
+            n_op_failures.tolist(),
+            n_latent_defects.tolist(),
+            n_scrub_repairs.tolist(),
+            n_restores.tolist(),
+        )
     ]
 
 

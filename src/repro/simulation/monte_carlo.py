@@ -102,6 +102,7 @@ class _ExecutorStats:
     mode: str
     n_jobs: int
     shards: int = 0
+    groups_total: int = 0
     shard_seconds_total: float = 0.0
     shard_seconds_max: float = 0.0
     commit_lag_total: float = 0.0
@@ -114,6 +115,7 @@ class _ExecutorStats:
     def observe(self, outcome: ShardOutcome) -> None:
         """Fold one committed shard's telemetry in."""
         self.shards += 1
+        self.groups_total += outcome.task.n_groups
         self.shard_seconds_total += outcome.wall_seconds
         self.shard_seconds_max = max(self.shard_seconds_max, outcome.wall_seconds)
         self.commit_lag_total += outcome.commit_lag_seconds
@@ -129,6 +131,16 @@ class _ExecutorStats:
             "mode": self.mode,
             "n_jobs": self.n_jobs,
             "shards_committed": self.shards,
+            "groups_committed": self.groups_total,
+            # Per-worker kernel throughput from the workers' own monotonic
+            # clocks (sum of shard wall times), not wall-clock deltas in
+            # this process — so it stays honest under pipelining, where
+            # n_jobs shards run concurrently.
+            "groups_per_second": (
+                self.groups_total / self.shard_seconds_total
+                if self.shard_seconds_total > 0
+                else 0.0
+            ),
             "shard_seconds_mean": self.shard_seconds_total / shards,
             "shard_seconds_max": self.shard_seconds_max,
             "commit_lag_seconds_mean": self.commit_lag_total / shards,
@@ -506,6 +518,11 @@ class MonteCarloRunner:
                 outcome.commit_lag_seconds if outcome is not None else 0.0
             ),
             shard_retries=outcome.retries if outcome is not None else 0,
+            shard_groups_per_second=(
+                outcome.task.n_groups / outcome.wall_seconds
+                if outcome is not None and outcome.wall_seconds > 0
+                else 0.0
+            ),
         )
         for observer in observers:
             observer(event)

@@ -568,6 +568,12 @@ class ProgressEvent:
     shard_seconds:
         Worker-side wall time of the shard just committed (its
         simulation time, excluding queue wait; 0 when unavailable).
+    shard_groups_per_second:
+        Throughput of the shard just committed, from the worker's own
+        monotonic clock (``task.n_groups / shard_seconds``) — the
+        undistorted kernel speed, unlike :attr:`groups_per_second`
+        which folds in queueing, commit ordering and observer overhead
+        (0 when unavailable).
     queue_depth:
         Shards speculatively in flight behind this commit (0 for serial
         execution).
@@ -593,6 +599,7 @@ class ProgressEvent:
     queue_depth: int = 0
     commit_lag_seconds: float = 0.0
     shard_retries: int = 0
+    shard_groups_per_second: float = 0.0
 
 
 #: Observer signature: called after every shard and once more when done.
@@ -635,6 +642,10 @@ class StderrProgressReporter:
             f"{event.groups_completed:>8} groups  "
             f"{event.groups_per_second:8.1f} groups/s  DDFs {ci}"
         )
+        if event.shard_groups_per_second:
+            # The committed shard's own monotonic-clock throughput: the
+            # kernel's real speed, free of queue wait and commit ordering.
+            visible += f"  [shard {event.shard_groups_per_second:.0f}/s]"
         if event.queue_depth:
             visible += f"  [{event.queue_depth} in flight]"
         if event.done:
@@ -728,6 +739,9 @@ class StreamingResult:
             "converged": self.converged,
             "stop_reason": self.stop_reason,
             "elapsed_seconds": self.elapsed_seconds,
+            "groups_per_second": (
+                self.groups / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+            ),
             "confidence": confidence,
             "ddfs_per_1000_mission": estimate,
             "ddfs_per_1000_ci": [lo, hi],

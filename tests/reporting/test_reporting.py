@@ -86,3 +86,44 @@ class TestWriteCsv:
     def test_empty_headers_rejected(self, tmp_path):
         with pytest.raises(ParameterError):
             write_csv(tmp_path / "x.csv", [], [])
+
+
+class TestProfiling:
+    def test_profiled_reports_to_given_stream(self):
+        import io
+
+        from repro.reporting import profiled
+
+        stream = io.StringIO()
+        with profiled(stream=stream, limit=2):
+            sorted(range(1000))
+            sum(range(1000))
+            list(map(str, range(10)))
+        report = stream.getvalue()
+        assert "Ordered by: cumulative time" in report
+        assert "due to restriction <2>" in report
+
+    def test_profiled_reports_even_on_exception(self):
+        import io
+
+        import pytest
+
+        from repro.reporting import profiled
+
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with profiled(stream=stream):
+                raise RuntimeError("mid-run death")
+        assert "Ordered by" in stream.getvalue()
+
+    def test_format_profile_strips_directories(self):
+        import cProfile
+
+        from repro.reporting import format_profile
+
+        profile = cProfile.Profile()
+        profile.enable()
+        sum(range(10))
+        profile.disable()
+        text = format_profile(profile, limit=3)
+        assert "/" not in text.split("filename:lineno")[-1].split("\n")[1]

@@ -1,0 +1,193 @@
+"""Kernel-level tests for the batch engine's perf machinery.
+
+Three contracts introduced by the compaction/fused-reduction kernel
+(``DESIGN.md`` §4f):
+
+* ``_BlockSampler`` — the refill **draw schedule** is fixed (it pins how
+  the shard's one random stream is interleaved between distributions)
+  while the backing storage may grow adaptively;
+* active-set compaction — byte-identical chronologies no matter how
+  aggressively (or whether) the kernel compacts;
+* throughput observability — per-shard monotonic groups/s surfaced on
+  :class:`ProgressEvent` and in the run manifest.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.simulation.batch as batch_module
+from repro.distributions import Exponential, Weibull
+from repro.simulation import RaidGroupConfig, simulate_raid_groups
+from repro.simulation.batch import _BlockSampler, simulate_groups_batch
+from repro.simulation.monte_carlo import MonteCarloRunner
+
+
+class TestBlockSampler:
+    def test_take_partition_is_invariant(self):
+        # Splitting requests differently must not change the values
+        # delivered: both consume the same fixed-size refill draws.
+        a = _BlockSampler(Exponential(100.0), np.random.default_rng(3))
+        b = _BlockSampler(Exponential(100.0), np.random.default_rng(3))
+        split = np.concatenate([a.take(k).copy() for k in (1, 5, 17, 100, 3)])
+        assert np.array_equal(split, b.take(126))
+
+    def test_refill_boundary_keeps_leftover_samples(self):
+        # block=8: the second take crosses a refill boundary; the 3
+        # unread samples of the first draw must be delivered before any
+        # fresh ones, in stream order.
+        sampler = _BlockSampler(Exponential(100.0), np.random.default_rng(7), block=8)
+        first = sampler.take(5).copy()
+        second = sampler.take(5).copy()
+        reference = np.random.default_rng(7)
+        draw1 = Exponential(100.0).sample(reference, 8)
+        draw2 = Exponential(100.0).sample(reference, 8)
+        assert np.array_equal(first, draw1[:5])
+        assert np.array_equal(second, np.concatenate([draw1[5:], draw2[:2]]))
+
+    def test_oversized_take_draws_exactly_k(self):
+        # A take larger than the block draws max(block, k) = k samples —
+        # the fixed schedule — and the storage grows to hold them.
+        sampler = _BlockSampler(Exponential(100.0), np.random.default_rng(11), block=8)
+        reference = np.random.default_rng(11)
+        assert np.array_equal(
+            sampler.take(100), Exponential(100.0).sample(reference, 100)
+        )
+        assert sampler._storage.size >= 100
+
+    def test_storage_grows_geometrically(self):
+        # Growth at least doubles capacity, so alternating big/small
+        # takes cannot force a reallocation per refill.
+        sampler = _BlockSampler(Exponential(100.0), np.random.default_rng(0), block=4)
+        sampler.take(4)
+        size_after_first = sampler._storage.size
+        sampler.take(9)  # forces a refill larger than the current storage
+        assert sampler._storage.size >= 2 * size_after_first
+
+    def test_zero_take_consumes_nothing(self):
+        sampler = _BlockSampler(Exponential(100.0), np.random.default_rng(1), block=8)
+        assert sampler.take(0).size == 0
+        assert np.array_equal(
+            sampler.take(3), Exponential(100.0).sample(np.random.default_rng(1), 8)[:3]
+        )
+
+
+@pytest.fixture
+def kernel_configs():
+    """Batch-compatible configs spanning the kernel's branch space."""
+    full = RaidGroupConfig(
+        n_data=3,
+        time_to_op=Exponential(2_000.0),
+        time_to_restore=Exponential(50.0),
+        time_to_latent=Exponential(1_500.0),
+        time_to_scrub=Exponential(100.0),
+        mission_hours=8_760.0,
+    )
+    weibull = RaidGroupConfig(
+        n_data=5,
+        time_to_op=Weibull(shape=1.2, scale=5_000.0),
+        time_to_restore=Weibull(shape=2.0, scale=24.0, location=6.0),
+        time_to_latent=Weibull(shape=0.9, scale=4_000.0),
+        time_to_scrub=Weibull(shape=3.0, scale=168.0),
+        mission_hours=17_520.0,
+    )
+    return {
+        "latent+scrub": full,
+        "weibull": weibull,
+        "no-scrub": dataclasses.replace(full, time_to_scrub=None),
+        "no-latent": dataclasses.replace(full, time_to_latent=None, time_to_scrub=None),
+        "raid6": dataclasses.replace(full, n_parity=2),
+    }
+
+
+def chronology_payload(chronologies):
+    """Everything a chronology reports, as a comparable structure."""
+    return [
+        (
+            c.ddf_times,
+            c.ddf_types,
+            c.n_op_failures,
+            c.n_latent_defects,
+            c.n_scrub_repairs,
+            c.n_restores,
+        )
+        for c in chronologies
+    ]
+
+
+class TestCompactionByteIdentity:
+    """Compaction policy must be invisible in the results."""
+
+    @pytest.mark.parametrize("name", ["latent+scrub", "weibull", "no-scrub", "no-latent", "raid6"])
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_aggressive_equals_never(self, kernel_configs, monkeypatch, name, seed):
+        config = kernel_configs[name]
+        monkeypatch.setattr(batch_module, "COMPACT_RATIO", 1.0)
+        monkeypatch.setattr(batch_module, "COMPACT_MIN_ROWS", 1)
+        compacted = simulate_groups_batch(config, 160, np.random.default_rng(seed))
+        monkeypatch.setattr(batch_module, "COMPACT_MIN_ROWS", 10**9)
+        untouched = simulate_groups_batch(config, 160, np.random.default_rng(seed))
+        assert chronology_payload(compacted) == chronology_payload(untouched)
+
+    def test_default_policy_matches_never(self, kernel_configs, monkeypatch):
+        config = kernel_configs["latent+scrub"]
+        default = simulate_groups_batch(config, 300, np.random.default_rng(5))
+        monkeypatch.setattr(batch_module, "COMPACT_MIN_ROWS", 10**9)
+        untouched = simulate_groups_batch(config, 300, np.random.default_rng(5))
+        assert chronology_payload(default) == chronology_payload(untouched)
+
+
+class TestThroughputObservability:
+    def test_progress_event_reports_shard_throughput(self):
+        events = []
+        runner = MonteCarloRunner(
+            RaidGroupConfig.paper_base_case(), n_groups=600, seed=0, engine="batch"
+        )
+        runner.run_streaming(observers=(events.append,))
+        assert len(events) == 2  # shards of 512 and 88 at the default size
+        previous_groups = 0
+        for event in events:
+            shard_groups = event.groups_completed - previous_groups
+            previous_groups = event.groups_completed
+            # Shard throughput derives from the worker's own monotonic
+            # clock (shard_seconds), not observer-side wall-clock deltas.
+            assert event.shard_seconds > 0
+            assert event.shard_groups_per_second == pytest.approx(
+                shard_groups / event.shard_seconds, rel=1e-9
+            )
+
+    def test_manifest_carries_throughput(self):
+        runner = MonteCarloRunner(
+            RaidGroupConfig.paper_base_case(), n_groups=300, seed=0, engine="batch"
+        )
+        manifest = runner.run_streaming().to_manifest()
+        assert manifest["groups_per_second"] > 0
+        executor = manifest["executor"]
+        assert executor["groups_committed"] == 300
+        assert executor["groups_per_second"] > 0
+
+    def test_reporter_shows_shard_rate(self):
+        import io
+
+        from repro.simulation import StderrProgressReporter
+        from repro.simulation.streaming import ProgressEvent
+
+        stream = io.StringIO()
+        event = ProgressEvent(
+            shards_completed=1,
+            groups_completed=512,
+            total_ddfs=3,
+            ddfs_per_1000=5.9,
+            ci_lo=1.0,
+            ci_hi=10.0,
+            rel_ci_width=float("inf"),
+            elapsed_seconds=1.0,
+            groups_per_second=512.0,
+            converged=False,
+            done=True,
+            shard_seconds=0.25,
+            shard_groups_per_second=2048.0,
+        )
+        StderrProgressReporter(stream=stream)(event)
+        assert "[shard 2048/s]" in stream.getvalue()

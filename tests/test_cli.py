@@ -233,3 +233,36 @@ class TestSimulate:
             == 0
         )
         assert "none" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_flag_parsed_on_run_and_simulate(self):
+        assert build_parser().parse_args(["run", "tab1", "--profile"]).profile
+        assert build_parser().parse_args(["simulate", "--profile"]).profile
+        assert not build_parser().parse_args(["simulate"]).profile
+
+    def test_simulate_profile_prints_table_to_stderr(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--groups", "64",
+                    "--mission-hours", "8760",
+                    "--engine", "batch",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        # The results table is untouched on stdout; the cProfile report
+        # (cumulative ordering, capped at 25 rows) goes to stderr.
+        assert "Streaming fleet simulation" in captured.out
+        assert "Ordered by: cumulative time" in captured.err
+        assert "run_streaming" in captured.err
+
+    def test_run_profile_reports_experiment_runner(self, capsys):
+        assert main(["run", "tab1", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "Ordered by: cumulative time" in captured.err
