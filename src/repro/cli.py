@@ -5,7 +5,12 @@
 prints its rows (optionally as CSV);
 ``python -m repro simulate --until-precision 0.1 --checkpoint run.ckpt``
 streams one fleet until its DDF-rate CI converges, checkpointing as it
-goes (``--resume run.ckpt`` continues an interrupted run bit-identically).
+goes (``--resume run.ckpt`` continues an interrupted run bit-identically);
+``python -m repro fuzz --budget 60 --seed 0 --bundle-dir bundles``
+differential-fuzzes random configurations through both engines, the
+Fig. 4/5 invariant oracle, and the closed-form Markov anchors, writing
+any failure as a shrunk JSON repro bundle (``--replay bundle.json``
+re-runs one).
 """
 
 from __future__ import annotations
@@ -208,6 +213,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-25 cumulative entries to stderr",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "differential config-fuzzing: random configurations through "
+            "both engines, the Fig. 4/5 invariant oracle, and the "
+            "closed-form Markov anchors"
+        ),
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget; fuzzing continues until it is spent (default 60)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    fuzz.add_argument(
+        "--min-cases",
+        type=int,
+        default=50,
+        help="run at least this many cases even past the budget (default 50)",
+    )
+    fuzz.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard cap on fuzz cases (default: budget-bound only)",
+    )
+    fuzz.add_argument(
+        "--groups",
+        type=int,
+        default=128,
+        help="fleet size per engine per case (default 128)",
+    )
+    fuzz.add_argument(
+        "--bundle-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="write failing cases as JSON repro bundles into this directory",
+    )
+    fuzz.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="BUNDLE",
+        help=(
+            "replay a repro bundle (preferring its shrunk config) instead "
+            "of fuzzing; exits non-zero if the failure reproduces"
+        ),
+    )
+    fuzz.add_argument(
+        "--progress",
+        action="store_true",
+        help="one status line per case on stderr",
+    )
     return parser
 
 
@@ -295,6 +358,65 @@ def _run_simulate(args: argparse.Namespace) -> str:
     return format_table(["quantity", "value"], rows, title="Streaming fleet simulation")
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from .validation import (
+        DifferentialFuzzer,
+        load_bundle,
+        run_fuzz_campaign,
+    )
+
+    fuzzer = DifferentialFuzzer(n_groups=args.groups)
+    if args.replay is not None:
+        config, seed, n_groups, data = load_bundle(args.replay)
+        fuzzer.n_groups = n_groups
+        result = fuzzer.run_case(config, seed, index=int(data.get("case_index", 0)))
+        rows: List[List[object]] = [
+            ["bundle", args.replay],
+            ["original status", data.get("status")],
+            ["replayed status", result.status],
+            ["detail", result.detail or "-"],
+        ]
+        print(format_table(["quantity", "value"], rows, title="Repro bundle replay"))
+        return 1 if result.failed else 0
+
+    progress = None
+    if args.progress:
+
+        def progress(case):  # noqa: ANN001 - CaseResult
+            print(
+                f"case {case.index:4d}: {case.mode:12s} {case.status}"
+                + (f" — {case.detail}" if case.failed else ""),
+                file=sys.stderr,
+            )
+
+    report = run_fuzz_campaign(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_cases=args.cases,
+        min_cases=args.min_cases,
+        bundle_dir=args.bundle_dir,
+        fuzzer=fuzzer,
+        progress=progress,
+    )
+    n_differential = sum(1 for c in report.cases if c.mode == "differential")
+    n_anchored = sum(1 for c in report.cases if c.anchor is not None)
+    rows = [
+        ["campaign seed", report.seed],
+        ["cases", report.n_cases],
+        ["differential (both engines)", n_differential],
+        ["oracle-only (event engine)", report.n_cases - n_differential],
+        ["closed-form anchored", n_anchored],
+        ["groups per engine per case", args.groups],
+        ["failures", len(report.failures)],
+        ["elapsed (s)", round(report.elapsed_seconds, 1)],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Differential fuzz campaign"))
+    if report.failures:
+        print(report.summary(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -318,6 +440,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(f"wrote {args.out}")
         return 0
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     runner = _run_simulate if args.command == "simulate" else _run_experiment
     if getattr(args, "profile", False):
         from .reporting.profiling import profiled

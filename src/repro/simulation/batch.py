@@ -59,9 +59,11 @@ Simultaneous events within a group (possible only with discrete-support
 distributions such as :class:`~repro.distributions.Deterministic`) are
 resolved in a fixed kind order — restore completions first, then
 DDF-restore defect clears, scrub completions, latent arrivals and
-operational failures last — matching the event engine's convention that
-a failure landing exactly at a restore completion is not simultaneous
-with it.
+operational failures last — the same recoveries-before-failures rule the
+event engine applies through
+:data:`~repro.simulation.events.KIND_PRIORITY` (see the tie-break
+section of :mod:`~repro.simulation.raid_simulator`), so the engines
+agree even on the exact boundaries deterministic delays can hit.
 
 Unsupported configurations (see :func:`batch_engine_unsupported_reason`):
 age-anchored latent processes need per-slot conditional draws, and spare

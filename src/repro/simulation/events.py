@@ -31,19 +31,41 @@ class EventKind(enum.Enum):
     LD_CLEARED = "ld_cleared"
 
 
+#: Resolution order for events scheduled at the same instant: recoveries
+#: (restore completions, DDF defect clears, scrub repairs) take effect
+#: before new problems (latent arrivals, operational failures).  This is
+#: exactly the batch engine's kind-major column order, so simultaneous
+#: events — reachable only through discrete-support distributions such as
+#: :class:`~repro.distributions.Deterministic` — resolve identically on
+#: both engines.  A failure landing exactly at a recovery instant
+#: therefore finds the group already recovered.
+KIND_PRIORITY = {
+    EventKind.OP_RESTORED: 0,
+    EventKind.LD_CLEARED: 1,
+    EventKind.SCRUB_DONE: 2,
+    EventKind.LD_ARRIVE: 3,
+    EventKind.OP_FAIL: 4,
+}
+
+
 @dataclasses.dataclass(frozen=True, order=True)
 class Event:
     """One scheduled occurrence.
 
-    Ordering is (time, sequence): the sequence number makes simultaneous
-    events deterministic in insertion order — required for reproducibility.
+    Ordering is (time, priority, sequence): the kind-derived priority
+    (:data:`KIND_PRIORITY`) resolves recoveries before failures at the
+    same instant — matching the batch engine's tie-break — and the
+    sequence number keeps same-kind ties deterministic in insertion
+    order, required for reproducibility.
 
     Attributes
     ----------
     time:
         Simulation clock, hours.
+    priority:
+        Kind rank (:data:`KIND_PRIORITY`) breaking same-time ties.
     seq:
-        Monotone insertion counter (tie-breaker).
+        Monotone insertion counter (final tie-breaker).
     kind:
         The event type.
     slot:
@@ -55,6 +77,7 @@ class Event:
     """
 
     time: float
+    priority: int
     seq: int
     kind: EventKind = dataclasses.field(compare=False)
     slot: int = dataclasses.field(compare=False)
@@ -72,7 +95,14 @@ class EventQueue:
         """Schedule an event; returns the stored event."""
         if time < 0:
             raise SimulationError(f"cannot schedule an event at negative time {time!r}")
-        event = Event(time=time, seq=self._seq, kind=kind, slot=slot, generation=generation)
+        event = Event(
+            time=time,
+            priority=KIND_PRIORITY[kind],
+            seq=self._seq,
+            kind=kind,
+            slot=slot,
+            generation=generation,
+        )
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event

@@ -24,6 +24,32 @@ sampling discipline:
 
 Drives are renewed at replacement: the next TTOp draw measures fresh-drive
 age, which is what makes non-exponential distributions meaningful.
+
+Tie-break semantics (shared with the batch engine)
+--------------------------------------------------
+Simultaneous events are reachable only through discrete-support delay
+distributions (e.g. :class:`~repro.distributions.Deterministic` TTR or
+TTScrub); for continuous distributions every boundary below is
+measure-zero.  Both engines resolve an instant ``t`` by the same rule —
+**recoveries before failures** — so their chronologies agree even on the
+boundaries:
+
+* events at equal times resolve in the fixed kind order restore
+  completion -> DDF defect clear -> scrub repair -> latent arrival ->
+  operational failure (:data:`~repro.simulation.events.KIND_PRIORITY`
+  here; the kind-major column order of the fused ``argmin`` in
+  :mod:`~repro.simulation.batch`);
+* consequently the group is treated as *already recovered* at a boundary
+  instant: a failure at exactly another drive's restore completion is not
+  an overlap (``restore_until > t`` is strict), a failure at exactly
+  ``ddf_until`` falls outside the DDF window (the gate is
+  ``t >= ddf_until``), and a failure at exactly a scrub completion sees
+  the defect as repaired.
+
+The trace-replay oracle (:mod:`repro.validation.oracle`) enforces these
+rules on recorded chronologies, and the differential fuzzer
+(:mod:`repro.validation`) cross-checks both engines over configurations
+that hit the boundaries deliberately.
 """
 
 from __future__ import annotations

@@ -32,15 +32,30 @@ class SweepResult:
     results:
         One fleet :class:`~repro.simulation.results.SimulationResult` per
         value.
+    engines:
+        The concrete engine that simulated each value, parallel to
+        ``values``.  Under ``engine="auto"`` resolution happens *per
+        configuration* (a sweep can cross from batch-supported into
+        event-only territory, e.g. by growing a spare pool), so a mixed
+        sweep records a mixed list.
     """
 
     parameter_name: str
     values: List[object]
     results: List[SimulationResult]
+    engines: List[str] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.engines:
+            self.engines = [result.engine for result in self.results]
 
     def as_dict(self) -> Dict[object, SimulationResult]:
         """``{value: result}`` mapping."""
         return dict(zip(self.values, self.results))
+
+    def engines_by_value(self) -> Dict[object, str]:
+        """``{value: resolved engine}`` mapping."""
+        return dict(zip(self.values, self.engines))
 
     def mission_ddfs_per_thousand(self) -> Dict[object, float]:
         """Whole-mission DDFs per 1,000 groups for each swept value."""
@@ -87,7 +102,10 @@ def sweep(
     n_groups, seed, n_jobs, engine:
         Passed to :func:`~repro.simulation.monte_carlo.simulate_raid_groups`;
         sharing the seed couples the random streams across configurations,
-        tightening between-configuration comparisons.
+        tightening between-configuration comparisons.  ``engine="auto"``
+        resolves independently for every swept configuration; the
+        per-value resolution is recorded on
+        :attr:`SweepResult.engines`.
     until:
         Optional :class:`~repro.simulation.streaming.Precision` target (or
         bare relative CI width): each swept fleet grows until its

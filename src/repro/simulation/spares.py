@@ -44,6 +44,15 @@ class SparePool:
     """Runtime shelf state for one simulated group.
 
     Not thread-safe; one instance per replication.
+
+    The conserved quantity is ``n_available + n_outstanding ==
+    config.n_spares`` after every operation: each consumption hands out
+    one drive and immediately places one replacement order, and each
+    arrival moves one order onto the shelf.  (``n_consumed`` is a plain
+    tally of :meth:`take_spare` calls, *not* part of the conservation
+    law.)  The property-based tests in
+    ``tests/simulation/test_spare_pool_properties.py`` drive random
+    chronological schedules against these invariants.
     """
 
     def __init__(self, config: SparePoolConfig) -> None:
@@ -86,6 +95,16 @@ class SparePool:
             raise SimulationError("spare pool empty with no outstanding orders")
         heapq.heappush(self._pending, ready + self.config.replenishment_hours)
         return ready
+
+    @property
+    def n_available(self) -> int:
+        """Spares on the shelf now (arrived orders not yet absorbed excluded)."""
+        return self._available
+
+    @property
+    def n_outstanding(self) -> int:
+        """Replacement orders in flight."""
+        return len(self._pending)
 
     @property
     def mean_wait_hours(self) -> float:

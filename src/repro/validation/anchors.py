@@ -1,0 +1,138 @@
+"""Closed-form anchors: exponential fuzz cases vs the Markov models.
+
+When a fuzzed configuration happens to be all-exponential (location zero,
+no spare pool, no age anchoring) and its shape matches one of the CTMCs in
+:mod:`repro.analytical.markov`, the simulated mean DDF count per group has
+a closed-form counterpart — ``expected_entries`` into the chain's DDF
+states at the mission end.  The fuzzer uses this as a third, independent
+oracle: both engines agreeing with *each other* is necessary but not
+sufficient; agreeing with the chain pins the absolute rate.
+
+The chains are deliberately coarse Markov-isations (they aggregate per-
+drive state), so the check allows a structural relative slack on top of
+the purely statistical allowance; anchor-regime rates are kept modest by
+:meth:`~repro.validation.generator.ConfigSampler.sample_anchor` so the
+structural error stays well inside it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analytical.markov import raid5_ctmc, raid5_latent_ctmc, raid6_ctmc
+from ..distributions import Exponential
+from ..simulation.config import RaidGroupConfig
+from ..simulation.raid_simulator import GroupChronology
+
+#: Statistical allowance: this many standard errors of the simulated mean.
+Z_ALLOWANCE = 5.0
+
+#: Structural allowance for the CTMC's state aggregation, relative to the
+#: expected count.
+RELATIVE_ALLOWANCE = 0.10
+
+#: Absolute floor so near-zero expectations don't flag on a single DDF.
+ABSOLUTE_FLOOR = 2e-3
+
+
+def anchor_ineligibility(config: RaidGroupConfig) -> Optional[str]:
+    """Why no closed-form anchor applies (``None`` when one does)."""
+
+    def expo(dist) -> bool:
+        return isinstance(dist, Exponential) and dist.location == 0.0
+
+    if config.spare_pool is not None:
+        return "spare pool has no CTMC counterpart"
+    if config.latent_age_anchored:
+        return "age-anchored latent process has no CTMC counterpart"
+    for name, dist in (
+        ("time_to_op", config.time_to_op),
+        ("time_to_restore", config.time_to_restore),
+        ("time_to_latent", config.time_to_latent),
+        ("time_to_scrub", config.time_to_scrub),
+    ):
+        if dist is not None and not expo(dist):
+            return f"{name} is not location-free exponential"
+    if config.fault_tolerance == 1:
+        if config.models_latent_defects and not config.scrubbing_enabled:
+            return "no-scrub latent model has no CTMC counterpart"
+        return None
+    if config.fault_tolerance == 2 and not config.models_latent_defects:
+        return None
+    return f"no CTMC for tolerance {config.fault_tolerance} with this latent model"
+
+
+def expected_ddfs_per_group(config: RaidGroupConfig) -> float:
+    """Closed-form expected DDF entries per group over the mission.
+
+    Raises :class:`ValueError` for ineligible configurations — call
+    :func:`anchor_ineligibility` first.
+    """
+    reason = anchor_ineligibility(config)
+    if reason is not None:
+        raise ValueError(reason)
+    op_mean = 1.0 / config.time_to_op.rate
+    restore_mean = 1.0 / config.time_to_restore.rate
+    if config.fault_tolerance == 2:
+        chain = raid6_ctmc(config.n_data, op_mean, restore_mean)
+        targets = [3]
+    elif config.models_latent_defects:
+        chain = raid5_latent_ctmc(
+            config.n_data,
+            op_mean,
+            1.0 / config.time_to_latent.rate,
+            restore_mean,
+            1.0 / config.time_to_scrub.rate,
+        )
+        targets = [3, 4]
+    else:
+        chain = raid5_ctmc(config.n_data, op_mean, restore_mean)
+        targets = [2]
+    return float(chain.expected_entries(targets, [config.mission_hours])[0])
+
+
+@dataclasses.dataclass(frozen=True)
+class AnchorResult:
+    """Outcome of one closed-form anchor check.
+
+    ``ok`` is ``True`` when the simulated mean DDF count sits within
+    ``Z_ALLOWANCE`` standard errors plus the structural allowance of the
+    CTMC expectation.
+    """
+
+    expected: float
+    observed_mean: float
+    standard_error: float
+    tolerance: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def check_anchor(
+    config: RaidGroupConfig, chronologies: Sequence[GroupChronology]
+) -> AnchorResult:
+    """Compare a fleet's mean DDF count against the closed-form anchor."""
+    expected = expected_ddfs_per_group(config)
+    counts = np.array([c.n_ddfs for c in chronologies], dtype=float)
+    observed = float(counts.mean())
+    sample_se = (
+        float(counts.std(ddof=1) / np.sqrt(counts.size)) if counts.size > 1 else 0.0
+    )
+    # The sample SE collapses to zero when no group saw a DDF, yet
+    # observing 0 of a small expected Poisson count is routine — floor
+    # the allowance at the SE the *expected* rate predicts.
+    poisson_se = float(np.sqrt(expected / max(counts.size, 1)))
+    se = max(sample_se, poisson_se)
+    tolerance = Z_ALLOWANCE * se + RELATIVE_ALLOWANCE * expected + ABSOLUTE_FLOOR
+    return AnchorResult(
+        expected=expected,
+        observed_mean=observed,
+        standard_error=se,
+        tolerance=tolerance,
+        ok=abs(observed - expected) <= tolerance,
+    )

@@ -1,0 +1,338 @@
+"""Seeded random configuration generation and JSON round-tripping.
+
+:class:`ConfigSampler` draws :class:`~repro.simulation.config.RaidGroupConfig`
+instances spanning the supported feature space — fault tolerance 1–3,
+spare pools, no-scrub and no-latent variants, deterministic / Weibull /
+mixture delay distributions, age-anchored latent processes — with event
+rates scaled to the drawn mission so every case produces enough activity
+to exercise the DDF pathways without degenerating into noise.
+
+Everything is driven by a caller-supplied :class:`numpy.random.Generator`,
+so a campaign seed fully determines the configuration stream, and a case
+can be regenerated from its repro bundle via :func:`config_from_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Uniform,
+    Weibull,
+)
+from ..exceptions import ParameterError
+from ..simulation.config import RaidGroupConfig
+from ..simulation.spares import SparePoolConfig
+
+# ---------------------------------------------------------------------------
+# JSON round-tripping for the distribution families the fuzzer emits.
+# ---------------------------------------------------------------------------
+
+
+def distribution_to_dict(dist: Distribution) -> dict:
+    """Serialize a fuzzer-supported distribution to plain JSON data."""
+    if isinstance(dist, Exponential):
+        return {
+            "family": "exponential",
+            # mean() is location + scale-mean; subtracting recovers the
+            # constructor parameter exactly (1/rate would lose a ulp).
+            "mean": dist.mean() - dist.location,
+            "location": dist.location,
+        }
+    if isinstance(dist, Weibull):
+        return {
+            "family": "weibull",
+            "shape": dist.shape,
+            "scale": dist.scale,
+            "location": dist.location,
+        }
+    if isinstance(dist, Deterministic):
+        return {"family": "deterministic", "value": dist.value}
+    if isinstance(dist, LogNormal):
+        return {
+            "family": "lognormal",
+            "mu": dist.mu,
+            "sigma": dist.sigma,
+            "location": dist.location,
+        }
+    if isinstance(dist, Gamma):
+        return {
+            "family": "gamma",
+            "shape": dist.shape,
+            "scale": dist.scale,
+            "location": dist.location,
+        }
+    if isinstance(dist, Uniform):
+        return {"family": "uniform", "low": dist.low, "high": dist.high}
+    if isinstance(dist, Mixture):
+        return {
+            "family": "mixture",
+            "components": [distribution_to_dict(c) for c in dist.components],
+            "weights": [float(w) for w in dist.weights],
+        }
+    raise ParameterError(
+        f"cannot serialize distribution family {type(dist).__name__}"
+    )
+
+
+def distribution_from_dict(data: dict) -> Distribution:
+    """Inverse of :func:`distribution_to_dict`."""
+    family = data.get("family")
+    if family == "exponential":
+        return Exponential(mean=data["mean"], location=data.get("location", 0.0))
+    if family == "weibull":
+        return Weibull(
+            shape=data["shape"],
+            scale=data["scale"],
+            location=data.get("location", 0.0),
+        )
+    if family == "deterministic":
+        return Deterministic(value=data["value"])
+    if family == "lognormal":
+        return LogNormal(
+            mu=data["mu"], sigma=data["sigma"], location=data.get("location", 0.0)
+        )
+    if family == "gamma":
+        return Gamma(
+            shape=data["shape"],
+            scale=data["scale"],
+            location=data.get("location", 0.0),
+        )
+    if family == "uniform":
+        return Uniform(low=data["low"], high=data["high"])
+    if family == "mixture":
+        return Mixture(
+            components=[distribution_from_dict(c) for c in data["components"]],
+            weights=data["weights"],
+        )
+    raise ParameterError(f"unknown distribution family {family!r}")
+
+
+def config_to_dict(config: RaidGroupConfig) -> dict:
+    """Serialize a configuration to plain JSON data (repro-bundle payload)."""
+    return {
+        "n_data": config.n_data,
+        "n_parity": config.n_parity,
+        "mission_hours": config.mission_hours,
+        "latent_age_anchored": config.latent_age_anchored,
+        "time_to_op": distribution_to_dict(config.time_to_op),
+        "time_to_restore": distribution_to_dict(config.time_to_restore),
+        "time_to_latent": (
+            distribution_to_dict(config.time_to_latent)
+            if config.time_to_latent is not None
+            else None
+        ),
+        "time_to_scrub": (
+            distribution_to_dict(config.time_to_scrub)
+            if config.time_to_scrub is not None
+            else None
+        ),
+        "spare_pool": (
+            {
+                "n_spares": config.spare_pool.n_spares,
+                "replenishment_hours": config.spare_pool.replenishment_hours,
+            }
+            if config.spare_pool is not None
+            else None
+        ),
+    }
+
+
+def config_from_dict(data: dict) -> RaidGroupConfig:
+    """Inverse of :func:`config_to_dict`."""
+    spare = data.get("spare_pool")
+    return RaidGroupConfig(
+        n_data=data["n_data"],
+        n_parity=data.get("n_parity", 1),
+        mission_hours=data["mission_hours"],
+        latent_age_anchored=data.get("latent_age_anchored", False),
+        time_to_op=distribution_from_dict(data["time_to_op"]),
+        time_to_restore=distribution_from_dict(data["time_to_restore"]),
+        time_to_latent=(
+            distribution_from_dict(data["time_to_latent"])
+            if data.get("time_to_latent") is not None
+            else None
+        ),
+        time_to_scrub=(
+            distribution_from_dict(data["time_to_scrub"])
+            if data.get("time_to_scrub") is not None
+            else None
+        ),
+        spare_pool=(
+            SparePoolConfig(
+                n_spares=spare["n_spares"],
+                replenishment_hours=spare["replenishment_hours"],
+            )
+            if spare is not None
+            else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The fuzzer proper.
+# ---------------------------------------------------------------------------
+
+
+class ConfigSampler:
+    """Draws random configurations spanning the supported feature space.
+
+    Parameters
+    ----------
+    p_no_latent, p_no_scrub:
+        Probability of disabling the latent process entirely / of the
+        no-scrub ("recipe for disaster") variant when latent defects are
+        modelled.
+    p_age_anchored:
+        Probability of anchoring the latent process to drive age (an
+        event-engine-only feature: such cases run oracle-only).
+    p_spare_pool:
+        Probability of attaching a finite spare shelf (also
+        event-engine-only).
+    p_deterministic_delay:
+        Probability that TTR (and TTScrub) use :class:`Deterministic`
+        delays — these deliberately manufacture simultaneous events and
+        stress the documented tie-break boundaries.
+
+    Notes
+    -----
+    Event rates are scaled to the drawn mission: operational lives a few
+    missions long (so overlapping failures happen but remain rare) and
+    latent lives a fraction of a mission (so the latent-then-op pathway is
+    well exercised), mirroring the paper's Table 2 proportions.
+    """
+
+    def __init__(
+        self,
+        p_no_latent: float = 0.2,
+        p_no_scrub: float = 0.2,
+        p_age_anchored: float = 0.1,
+        p_spare_pool: float = 0.15,
+        p_deterministic_delay: float = 0.3,
+    ) -> None:
+        self.p_no_latent = p_no_latent
+        self.p_no_scrub = p_no_scrub
+        self.p_age_anchored = p_age_anchored
+        self.p_spare_pool = p_spare_pool
+        self.p_deterministic_delay = p_deterministic_delay
+
+    # -- delay-family draws -------------------------------------------
+    def _op_distribution(self, rng: np.random.Generator, mission: float) -> Distribution:
+        scale = mission * rng.uniform(1.5, 8.0)
+        roll = rng.random()
+        if roll < 0.35:
+            return Weibull(shape=rng.uniform(0.8, 2.0), scale=scale)
+        if roll < 0.60:
+            return Exponential(mean=scale)
+        if roll < 0.75:
+            return Gamma(shape=rng.uniform(1.0, 3.0), scale=scale / 2.0)
+        if roll < 0.90:
+            # Weak/strong subpopulation mixture (Fig. 1, HDD #3 style).
+            weak = Weibull(shape=rng.uniform(0.7, 1.2), scale=scale * 0.3)
+            strong = Weibull(shape=rng.uniform(1.0, 2.0), scale=scale * 2.0)
+            w = rng.uniform(0.05, 0.3)
+            return Mixture(components=[weak, strong], weights=[w, 1.0 - w])
+        return LogNormal(mu=float(np.log(scale)), sigma=rng.uniform(0.3, 0.9))
+
+    def _restore_distribution(self, rng: np.random.Generator) -> Distribution:
+        if rng.random() < self.p_deterministic_delay:
+            return Deterministic(value=float(rng.integers(6, 49)))
+        roll = rng.random()
+        if roll < 0.5:
+            return Weibull(
+                shape=rng.uniform(1.5, 3.0),
+                scale=rng.uniform(6.0, 24.0),
+                location=float(rng.integers(0, 13)),
+            )
+        if roll < 0.8:
+            return Exponential(mean=rng.uniform(8.0, 36.0))
+        return Uniform(low=rng.uniform(4.0, 10.0), high=rng.uniform(12.0, 48.0))
+
+    def _latent_distribution(self, rng: np.random.Generator, mission: float) -> Distribution:
+        scale = mission * rng.uniform(0.05, 0.6)
+        if rng.random() < 0.5:
+            return Exponential(mean=scale)
+        return Weibull(shape=rng.uniform(0.7, 1.5), scale=scale)
+
+    def _scrub_distribution(self, rng: np.random.Generator) -> Distribution:
+        if rng.random() < self.p_deterministic_delay:
+            return Deterministic(value=float(rng.integers(12, 337)))
+        return Weibull(
+            shape=rng.uniform(1.5, 3.5),
+            scale=rng.uniform(12.0, 336.0),
+            location=float(rng.integers(0, 7)),
+        )
+
+    # -- public API ----------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> RaidGroupConfig:
+        """Draw one random configuration."""
+        mission = float(rng.uniform(20_000.0, 90_000.0))
+        n_parity = int(rng.integers(1, 4))
+        n_data = int(rng.integers(max(2, n_parity), 9))
+        models_latent = rng.random() >= self.p_no_latent
+
+        time_to_latent: Optional[Distribution] = None
+        time_to_scrub: Optional[Distribution] = None
+        age_anchored = False
+        if models_latent:
+            time_to_latent = self._latent_distribution(rng, mission)
+            if rng.random() >= self.p_no_scrub:
+                time_to_scrub = self._scrub_distribution(rng)
+            age_anchored = rng.random() < self.p_age_anchored
+
+        spare_pool: Optional[SparePoolConfig] = None
+        if rng.random() < self.p_spare_pool:
+            spare_pool = SparePoolConfig(
+                n_spares=int(rng.integers(1, 5)),
+                replenishment_hours=float(rng.uniform(24.0, 500.0)),
+            )
+
+        return RaidGroupConfig(
+            n_data=n_data,
+            n_parity=n_parity,
+            mission_hours=mission,
+            time_to_op=self._op_distribution(rng, mission),
+            time_to_restore=self._restore_distribution(rng),
+            time_to_latent=time_to_latent,
+            time_to_scrub=time_to_scrub,
+            latent_age_anchored=age_anchored,
+            spare_pool=spare_pool,
+        )
+
+    def sample_anchor(self, rng: np.random.Generator) -> RaidGroupConfig:
+        """Draw a configuration eligible for a closed-form Markov anchor.
+
+        All transitions exponential at location zero, no spare pool, no
+        age anchoring, and a shape matching one of the CTMCs in
+        :mod:`repro.analytical.markov`: tolerance 1 with latent + scrub,
+        tolerance 1 without latent, or tolerance 2 without latent.  Rates
+        stay modest so the CTMC's state-space truncation error (the
+        simulator renews drives; the chain does not) is well under the
+        statistical tolerance.
+        """
+        mission = float(rng.uniform(20_000.0, 60_000.0))
+        shape = int(rng.integers(0, 3))
+        n_parity = 2 if shape == 2 else 1
+        n_data = int(rng.integers(2, 9))
+        time_to_latent: Optional[Distribution] = None
+        time_to_scrub: Optional[Distribution] = None
+        if shape == 0:
+            time_to_latent = Exponential(mean=mission * rng.uniform(0.1, 0.6))
+            time_to_scrub = Exponential(mean=rng.uniform(24.0, 336.0))
+        return RaidGroupConfig(
+            n_data=n_data,
+            n_parity=n_parity,
+            mission_hours=mission,
+            time_to_op=Exponential(mean=mission * rng.uniform(4.0, 12.0)),
+            time_to_restore=Exponential(mean=rng.uniform(8.0, 36.0)),
+            time_to_latent=time_to_latent,
+            time_to_scrub=time_to_scrub,
+        )

@@ -1,0 +1,394 @@
+"""Trace-replay oracle: the Fig. 4/5 rules as machine-checkable invariants.
+
+:func:`check_trace` re-walks a :class:`~repro.simulation.trace.TimelineRecorder`
+trace with an *independent* replay of the paper's DDF semantics and
+re-derives, from the recorded per-slot events alone, exactly which
+operational failures must have been double-disk failures and of which
+pathway.  Any disagreement with what the simulator recorded — a DDF
+counted inside an open ``ddf_until`` window, a latent arrival during
+reconstruction promoted to a DDF, a missed latent-then-op DDF, a
+misclassified pathway — surfaces as an :class:`InvariantViolation`.
+
+The invariant catalogue (see ``DESIGN.md`` §4g):
+
+``no-ddf-in-window``
+    No DDF is recorded strictly inside an open ``ddf_until`` window; a
+    failure at exactly the window end is eligible (the window is closed
+    at its boundary instant).
+``ddf-is-op-failure``
+    Every DDF instant coincides with an operational failure — a latent
+    defect arriving during a reconstruction is never a DDF.
+``ddf-classification``
+    The replay's re-derived DDF set (times *and* pathway types) equals
+    the recorded one.
+``shared-restore-completion``
+    Every drive involved in a DDF restores at the same instant (the
+    concomitant operational failure's completion), and a latent DDF's
+    exposed drives are cleared exactly at that instant.
+``restore-well-nested``
+    Per slot, failures and restores strictly alternate and each restore
+    completes no earlier than its failure.
+``tie-order``
+    Events recorded at the same instant resolve recoveries-first
+    (restore -> scrub/clear -> latent arrival -> operational failure),
+    the documented tie-break both engines share.
+``counter-consistency``
+    The chronology's tallies equal the trace's (operational failures,
+    restores, latent arrivals, scrub repairs, DDFs).
+``state-machine``
+    Local sanity of each transition: no failure on a failed slot, no
+    latent arrival on a failed or already-exposed slot, no repair of an
+    unexposed slot, every event inside the mission, time non-decreasing.
+
+Only the event engine produces traces; chronology-level invariants that
+apply to *both* engines live in :func:`check_chronology`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..simulation.config import RaidGroupConfig
+from ..simulation.raid_simulator import DDFType, GroupChronology
+from ..simulation.trace import TimelineRecorder
+
+_INF = float("inf")
+
+#: Tie rank of each trace entry kind: recoveries resolve before failures
+#: at an instant (scrub covers both scrub repairs and DDF defect clears,
+#: which sit between restores and latent arrivals in the queue order).
+_TRACE_RANK = {"restore": 0, "scrub": 1, "latent": 2, "op_fail": 3}
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, pinned to a trace instant.
+
+    Attributes
+    ----------
+    invariant:
+        Catalogue name (module docstring).
+    time:
+        Simulation hour the violation anchors to (``nan`` for global
+        end-of-trace checks).
+    slot:
+        Drive slot involved, when one is identifiable.
+    detail:
+        Human-readable specifics.
+    """
+
+    invariant: str
+    time: float
+    slot: Optional[int]
+    detail: str
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def check_chronology(
+    config: RaidGroupConfig, chrono: GroupChronology
+) -> List[InvariantViolation]:
+    """Engine-agnostic invariants on a bare :class:`GroupChronology`."""
+    out: List[InvariantViolation] = []
+
+    def bad(invariant: str, time: float, detail: str) -> None:
+        out.append(InvariantViolation(invariant, time, None, detail))
+
+    if len(chrono.ddf_times) != len(chrono.ddf_types):
+        bad(
+            "counter-consistency",
+            float("nan"),
+            f"{len(chrono.ddf_times)} DDF times vs {len(chrono.ddf_types)} types",
+        )
+    if chrono.mission_hours != config.mission_hours:
+        bad(
+            "counter-consistency",
+            float("nan"),
+            f"mission {chrono.mission_hours} != config {config.mission_hours}",
+        )
+    previous = -_INF
+    for t in chrono.ddf_times:
+        if not 0.0 <= t <= config.mission_hours:
+            bad("state-machine", t, "DDF outside the mission window")
+        if t < previous:
+            bad("state-machine", t, "DDF times not ascending")
+        previous = t
+    for name, value in (
+        ("n_op_failures", chrono.n_op_failures),
+        ("n_latent_defects", chrono.n_latent_defects),
+        ("n_scrub_repairs", chrono.n_scrub_repairs),
+        ("n_restores", chrono.n_restores),
+    ):
+        if value < 0:
+            bad("counter-consistency", float("nan"), f"{name} negative ({value})")
+    if chrono.n_restores > chrono.n_op_failures:
+        bad(
+            "counter-consistency",
+            float("nan"),
+            f"{chrono.n_restores} restores exceed {chrono.n_op_failures} failures",
+        )
+    if chrono.n_op_failures - chrono.n_restores > config.n_drives:
+        bad(
+            "counter-consistency",
+            float("nan"),
+            "more outstanding restores than drive slots",
+        )
+    if chrono.n_scrub_repairs > chrono.n_latent_defects:
+        bad(
+            "counter-consistency",
+            float("nan"),
+            f"{chrono.n_scrub_repairs} scrub repairs exceed "
+            f"{chrono.n_latent_defects} latent arrivals",
+        )
+    if not config.models_latent_defects and (
+        chrono.n_latent_defects or DDFType.LATENT_THEN_OP in chrono.ddf_types
+    ):
+        bad(
+            "state-machine",
+            float("nan"),
+            "latent activity recorded with the latent process disabled",
+        )
+    return out
+
+
+class _ReplaySlot:
+    """Per-slot replay state derived purely from the trace."""
+
+    __slots__ = ("up", "exposed", "restore_until", "op_seen", "restore_seen")
+
+    def __init__(self) -> None:
+        self.up = True
+        self.exposed = False
+        self.restore_until: float = -_INF
+        self.op_seen = 0
+        self.restore_seen = 0
+
+
+def check_trace(
+    config: RaidGroupConfig,
+    chrono: GroupChronology,
+    recorder: TimelineRecorder,
+) -> List[InvariantViolation]:
+    """Replay one event-engine trace and verify the invariant catalogue.
+
+    Parameters
+    ----------
+    config:
+        The configuration the trace was produced under.
+    chrono:
+        The chronology returned by the same
+        :meth:`~repro.simulation.raid_simulator.RaidGroupSimulator.run`
+        call that filled ``recorder``.
+    recorder:
+        The filled recorder.
+
+    Returns
+    -------
+    list of InvariantViolation
+        Empty when every invariant holds.
+    """
+    violations: List[InvariantViolation] = list(check_chronology(config, chrono))
+
+    def bad(invariant: str, time: float, slot: Optional[int], detail: str) -> None:
+        violations.append(InvariantViolation(invariant, time, slot, detail))
+
+    n = config.n_drives
+    mission = config.mission_hours
+    tolerance = config.fault_tolerance
+
+    # ---- per-slot failure/restore pairing (restore-well-nested) -------
+    ops: Dict[int, List[float]] = {s: [] for s in range(n)}
+    restores: Dict[int, List[float]] = {s: [] for s in range(n)}
+    for entry in recorder.entries:
+        if not 0 <= entry.slot < n:
+            bad("state-machine", entry.time, entry.slot, "slot index out of range")
+            return violations
+        if entry.kind == "op_fail":
+            ops[entry.slot].append(entry.time)
+        elif entry.kind == "restore":
+            restores[entry.slot].append(entry.time)
+    for s in range(n):
+        if not len(ops[s]) - 1 <= len(restores[s]) <= len(ops[s]):
+            bad(
+                "restore-well-nested",
+                float("nan"),
+                s,
+                f"{len(ops[s])} failures vs {len(restores[s])} restores",
+            )
+            return violations
+        for k, r in enumerate(restores[s]):
+            if not ops[s][k] <= r:
+                bad("restore-well-nested", r, s, "restore before its failure")
+            if k + 1 < len(ops[s]) and not r <= ops[s][k + 1]:
+                bad("restore-well-nested", r, s, "failure inside a restore window")
+
+    def completion(slot: int, k: int) -> float:
+        """Recorded completion of slot's k-th failure (inf past mission end)."""
+        return restores[slot][k] if k < len(restores[slot]) else _INF
+
+    # ---- chronological replay -----------------------------------------
+    slots = [_ReplaySlot() for _ in range(n)]
+    pending_clears: Dict[int, float] = {}  # slot -> scheduled DDF clear instant
+    ddf_until = -_INF
+    expected_windows: List["tuple[float, str, float]"] = []  # (t, type, window_end)
+    counts = {"op_fail": 0, "restore": 0, "latent": 0, "scrub_repair": 0, "clear": 0}
+    last_time, last_rank = -_INF, -1
+
+    for entry in recorder.entries:
+        t, s, kind = entry.time, entry.slot, entry.kind
+        slot = slots[s]
+        if not 0.0 <= t <= mission:
+            bad("state-machine", t, s, "event outside the mission window")
+        if t < last_time:
+            bad("state-machine", t, s, "trace times not chronological")
+        rank = _TRACE_RANK[kind]
+        if t == last_time and rank < last_rank:
+            bad(
+                "tie-order",
+                t,
+                s,
+                f"{kind} resolved after a later-priority event at the same instant",
+            )
+        last_time, last_rank = t, rank
+
+        if kind == "op_fail":
+            if not slot.up:
+                bad("state-machine", t, s, "operational failure on a failed slot")
+                return violations
+            counts["op_fail"] += 1
+            own_completion = completion(s, slot.op_seen)
+            slot.op_seen += 1
+
+            eligible = t >= ddf_until
+            failed_others = [
+                j
+                for j in range(n)
+                if j != s and not slots[j].up and slots[j].restore_until > t
+            ]
+            exposed_others = [j for j in range(n) if j != s and slots[j].exposed]
+            is_double = eligible and len(failed_others) >= tolerance
+            is_latent = (
+                eligible
+                and not is_double
+                and len(failed_others) == tolerance - 1
+                and bool(exposed_others)
+            )
+            if is_double or is_latent:
+                ddf_type = (
+                    DDFType.DOUBLE_OP if is_double else DDFType.LATENT_THEN_OP
+                )
+                # Every involved restoration must complete at the shared
+                # window end (the failing drive's own completion, which
+                # the DDF extended to the latest involved restore).
+                window_end = own_completion
+                expected_windows.append((t, ddf_type.value, window_end))
+                for j in failed_others:
+                    if slots[j].restore_until != window_end:
+                        bad(
+                            "shared-restore-completion",
+                            t,
+                            j,
+                            f"involved restore ends at {slots[j].restore_until!r}, "
+                            f"DDF window ends at {window_end!r}",
+                        )
+                if window_end < t:
+                    bad("shared-restore-completion", t, s, "window ends before the DDF")
+                ddf_until = window_end
+                if is_latent:
+                    for j in exposed_others:
+                        pending_clears[j] = window_end
+            slot.up = False
+            slot.exposed = False
+            slot.restore_until = own_completion
+            pending_clears.pop(s, None)  # replacement invalidates the clear
+
+        elif kind == "restore":
+            if slot.up:
+                bad("state-machine", t, s, "restore of an operational slot")
+                return violations
+            counts["restore"] += 1
+            slot.restore_seen += 1
+            slot.up = True
+            slot.restore_until = -_INF
+
+        elif kind == "latent":
+            if not slot.up:
+                bad("state-machine", t, s, "latent arrival on a failed slot")
+            if slot.exposed:
+                bad("state-machine", t, s, "latent arrival on an exposed slot")
+            counts["latent"] += 1
+            slot.exposed = True
+
+        elif kind == "scrub":
+            if not slot.exposed:
+                bad("state-machine", t, s, "repair of an unexposed slot")
+            slot.exposed = False
+            scheduled = pending_clears.pop(s, None)
+            if scheduled is None:
+                counts["scrub_repair"] += 1
+            elif scheduled == t:
+                counts["clear"] += 1
+            else:
+                counts["clear"] += 1
+                bad(
+                    "shared-restore-completion",
+                    t,
+                    s,
+                    f"DDF defect clear at {t!r}, window ends at {scheduled!r}",
+                )
+        else:  # unknown kind: the recorder grew without the oracle
+            bad("state-machine", t, s, f"unknown trace entry kind {kind!r}")
+
+    for s, scheduled in pending_clears.items():
+        if scheduled <= mission:
+            bad(
+                "shared-restore-completion",
+                scheduled,
+                s,
+                "DDF defect clear never recorded inside the mission",
+            )
+
+    # ---- recorded vs re-derived DDFs ----------------------------------
+    recorded = [(t, kind) for t, kind in recorder.ddfs]
+    expected = [(t, kind) for t, kind, _ in expected_windows]
+    op_times = {t for s in range(n) for t in ops[s]}
+    for t, kind in recorded:
+        if t not in op_times:
+            bad("ddf-is-op-failure", t, None, f"{kind} DDF without an op failure")
+        if (t, kind) not in expected and any(
+            start < t < end for start, _, end in expected_windows
+        ):
+            bad("no-ddf-in-window", t, None, "DDF inside an open ddf_until window")
+    if recorded != expected:
+        bad(
+            "ddf-classification",
+            recorded[0][0] if recorded else float("nan"),
+            None,
+            f"recorded DDFs {recorded!r} != re-derived {expected!r}",
+        )
+
+    # ---- counter consistency ------------------------------------------
+    chrono_ddfs = list(zip(chrono.ddf_times, [k.value for k in chrono.ddf_types]))
+    if chrono_ddfs != recorded:
+        bad(
+            "counter-consistency",
+            float("nan"),
+            None,
+            "chronology DDF list differs from the recorded trace",
+        )
+    for name, trace_count, chrono_count in (
+        ("n_op_failures", counts["op_fail"], chrono.n_op_failures),
+        ("n_restores", counts["restore"], chrono.n_restores),
+        ("n_latent_defects", counts["latent"], chrono.n_latent_defects),
+        ("n_scrub_repairs", counts["scrub_repair"], chrono.n_scrub_repairs),
+    ):
+        if trace_count != chrono_count:
+            bad(
+                "counter-consistency",
+                float("nan"),
+                None,
+                f"{name}: trace says {trace_count}, chronology says {chrono_count}",
+            )
+    return violations

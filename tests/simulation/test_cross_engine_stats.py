@@ -2,11 +2,12 @@
 
 The two engines realise the same stochastic process through different
 random-stream orderings, so their outputs are compared *in distribution*
-at fixed seeds: a two-sample Kolmogorov-Smirnov test on time-to-first-DDF,
-a chi-square homogeneity test on per-group DDF counts, and chi-square
-tests on the per-group operational-failure and latent-defect counts (the
-chronology-level proxies for availability — every operational failure
-opens one restore window, every latent defect one exposure window).
+at fixed seeds via the promoted harness in :mod:`repro.validation.stats`
+(the same battery the differential fuzzer runs): a two-sample
+Kolmogorov-Smirnov test on time-to-first-DDF, chi-square homogeneity
+tests on per-group DDF / operational-failure / latent-defect counts, a
+z comparison of the mean mission DDF rate, and a homogeneity test on the
+DDF pathway mix.
 
 Scenarios are chosen hot enough that each fleet produces hundreds of
 DDFs, making the tests sharp; all seeds are fixed, so p-values are
@@ -20,18 +21,21 @@ fast tier (``pytest -m "not slow"``) skips them.
 
 import dataclasses
 
-import numpy as np
 import pytest
-from scipy import stats
 
 from repro.distributions import Exponential, Weibull
 from repro.simulation import RaidGroupConfig, simulate_raid_groups
+from repro.validation.stats import compare_fleets, first_ddf_times
 
 pytestmark = pytest.mark.slow
 
 #: Two-sided p-value floor for every two-sample test.  Seeds are fixed,
 #: so these are deterministic regression assertions, not flaky gambles.
+#: (The fuzzer uses a far lower floor — it runs hundreds of cases.)
 P_FLOOR = 0.02
+
+#: Mean-DDF z-score ceiling (4 combined standard errors).
+Z_CEILING = 4.0
 
 #: The shared scenario corpus (name -> (config, n_groups)).
 CORPUS = {
@@ -86,25 +90,11 @@ def engine_pair(request):
     return name, event, batch
 
 
-def _first_ddf_times(result):
-    return np.array([c.ddf_times[0] for c in result.chronologies if c.ddf_times])
-
-
-def _count_table(a, b, max_bin):
-    """2 x K contingency table of per-group counts, clipped at ``max_bin``."""
-    bins = np.arange(max_bin + 2)
-    rows = [np.bincount(np.minimum(x, max_bin), minlength=max_bin + 1) for x in (a, b)]
-    table = np.vstack(rows)
-    # Drop columns empty in both samples; merge the rest as-is.
-    return table[:, table.sum(axis=0) > 0], bins
-
-
-def _assert_count_homogeneity(event_counts, batch_counts, max_bin):
-    table, _ = _count_table(event_counts, batch_counts, max_bin)
-    if table.shape[1] < 2:  # identical degenerate distributions
-        return
-    _, p, _, _ = stats.chi2_contingency(table)
-    assert p > P_FLOOR, f"per-group count distributions differ (p={p:.4g})\n{table}"
+@pytest.fixture(scope="module")
+def comparison(engine_pair):
+    """The full promoted battery, run once per scenario."""
+    name, event, batch = engine_pair
+    return name, compare_fleets(event.chronologies, batch.chronologies)
 
 
 class TestCrossEngineEquivalence:
@@ -114,59 +104,42 @@ class TestCrossEngineEquivalence:
         assert event.total_ddfs >= 100, name
         assert batch.total_ddfs >= 100, name
 
-    def test_time_to_first_ddf_ks(self, engine_pair):
+    def test_first_ddf_samples_are_large(self, engine_pair):
         name, event, batch = engine_pair
-        ev, ba = _first_ddf_times(event), _first_ddf_times(batch)
-        assert ev.size >= 50 and ba.size >= 50, name
-        stat, p = stats.ks_2samp(ev, ba)
-        assert p > P_FLOOR, f"{name}: first-DDF KS stat={stat:.4f}, p={p:.4g}"
+        assert first_ddf_times(event.chronologies).size >= 50, name
+        assert first_ddf_times(batch.chronologies).size >= 50, name
 
-    def test_per_group_ddf_counts(self, engine_pair):
-        name, event, batch = engine_pair
-        ev = np.array([c.n_ddfs for c in event.chronologies])
-        ba = np.array([c.n_ddfs for c in batch.chronologies])
-        _assert_count_homogeneity(ev, ba, max_bin=3)
+    def test_battery_is_complete(self, comparison):
+        # Every test in the battery must have been evaluable on these
+        # corpus fleets — a silently skipped comparison proves nothing.
+        name, result = comparison
+        names = {o.name for o in result.outcomes}
+        assert names >= {
+            "first_ddf_ks",
+            "ddf_count_chi2",
+            "op_count_chi2",
+            "ddf_mean_z",
+        }, name
 
-    def test_per_group_op_failures(self, engine_pair):
-        name, event, batch = engine_pair
-        ev = np.array([c.n_op_failures for c in event.chronologies])
-        ba = np.array([c.n_op_failures for c in batch.chronologies])
-        _assert_count_homogeneity(ev, ba, max_bin=8)
-
-    def test_per_group_latent_defects(self, engine_pair):
-        # Latent arrival counts are large; compare distributions via KS on
-        # the counts themselves (exact ties are fine for two-sample KS
-        # used as a location/shape probe here).
-        name, event, batch = engine_pair
-        ev = np.array([float(c.n_latent_defects) for c in event.chronologies])
-        ba = np.array([float(c.n_latent_defects) for c in batch.chronologies])
-        if ev.max() == 0 and ba.max() == 0:
-            return
-        _, p = stats.ks_2samp(ev, ba)
-        assert p > P_FLOOR, f"{name}: latent-count KS p={p:.4g}"
-
-    def test_mission_rate_within_monte_carlo_error(self, engine_pair):
-        # Mean DDFs per group must agree within 4 combined standard errors.
-        name, event, batch = engine_pair
-        ev = np.array([c.n_ddfs for c in event.chronologies], dtype=float)
-        ba = np.array([c.n_ddfs for c in batch.chronologies], dtype=float)
-        se = np.hypot(ev.std(ddof=1) / np.sqrt(ev.size), ba.std(ddof=1) / np.sqrt(ba.size))
-        assert abs(ev.mean() - ba.mean()) < 4.0 * se, (
-            f"{name}: event {ev.mean():.4f} vs batch {ba.mean():.4f} (se {se:.4f})"
+    def test_no_comparison_is_suspect(self, comparison):
+        name, result = comparison
+        assert not result.suspect(P_FLOOR, Z_CEILING), (
+            f"{name}: worst outcome {result.worst()} "
+            f"(min_p={result.min_p:.4g}, max_abs_z={result.max_abs_z:.3g})"
         )
 
-    def test_ddf_pathway_mix(self, engine_pair):
-        # The double-op vs latent-then-op split is a sensitive probe of the
-        # ordering rules; compare it as a 2x2 homogeneity test.
-        name, event, batch = engine_pair
-        table = np.array(
-            [
-                [n for n in event.ddfs_by_type().values()],
-                [n for n in batch.ddfs_by_type().values()],
-            ]
+    def test_every_pvalue_above_floor(self, comparison):
+        name, result = comparison
+        for outcome in result.outcomes:
+            if outcome.p_value is not None:
+                assert outcome.p_value > P_FLOOR, (
+                    f"{name}: {outcome.name} p={outcome.p_value:.4g}"
+                )
+
+    def test_mean_ddf_rate_within_monte_carlo_error(self, comparison):
+        name, result = comparison
+        z_tests = [o for o in result.outcomes if o.name == "ddf_mean_z"]
+        assert len(z_tests) == 1, name
+        assert abs(z_tests[0].statistic) < Z_CEILING, (
+            f"{name}: mean DDF z={z_tests[0].statistic:.3f}"
         )
-        table = table[:, table.sum(axis=0) > 0]
-        if table.shape[1] < 2:
-            return
-        _, p, _, _ = stats.chi2_contingency(table)
-        assert p > P_FLOOR, f"{name}: DDF pathway mix differs (p={p:.4g})\n{table}"

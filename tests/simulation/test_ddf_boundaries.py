@@ -1,0 +1,200 @@
+"""Tie-break boundary semantics and the RAID-6 latent-then-op golden trace.
+
+Deterministic delay distributions make every drive hit the same instants,
+deliberately manufacturing the simultaneous events that are measure-zero
+for continuous distributions.  These tests pin the documented tie-break
+rule — recoveries before failures — on *both* engines, at exactly the
+boundaries where the engines historically disagreed (the event queue used
+to resolve equal-time events by insertion order, letting an operational
+failure be processed before a scrub completing at the same instant).
+
+Every scenario's chronology is hand-computed in the test body, asserted
+identically against the event and batch engines, and the event-engine
+trace is additionally replayed through the Fig. 4/5 invariant oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.raid_simulator import (
+    DDFType,
+    GroupChronology,
+    RaidGroupSimulator,
+)
+from repro.simulation.batch import simulate_groups_batch
+from repro.simulation.trace import TimelineRecorder
+from repro.validation.oracle import check_trace
+
+
+def run_both_engines(config: RaidGroupConfig) -> "tuple[GroupChronology, GroupChronology]":
+    """One group on each engine; deterministic configs ignore the seeds."""
+    event = RaidGroupSimulator(config).run(np.random.default_rng(0))
+    batch = simulate_groups_batch(config, 1, np.random.default_rng(1))[0]
+    return event, batch
+
+
+def assert_chronologies_equal(a: GroupChronology, b: GroupChronology) -> None:
+    assert a.ddf_times == b.ddf_times
+    assert a.ddf_types == b.ddf_types
+    assert a.n_op_failures == b.n_op_failures
+    assert a.n_latent_defects == b.n_latent_defects
+    assert a.n_scrub_repairs == b.n_scrub_repairs
+    assert a.n_restores == b.n_restores
+
+
+def assert_oracle_clean(config: RaidGroupConfig) -> None:
+    recorder = TimelineRecorder()
+    chrono = RaidGroupSimulator(config).run(np.random.default_rng(0), recorder=recorder)
+    violations = check_trace(config, chrono, recorder)
+    assert violations == [], [str(v) for v in violations]
+
+
+class TestScrubOpBoundary:
+    """A scrub completing exactly when operational failures land.
+
+    All four drives take a latent defect at t=100 and scrub it at
+    t=150 — the same instant every drive also fails operationally.
+    Recoveries-before-failures means the scrubs resolve first, so no
+    exposure survives into the failure processing: the DDF must be the
+    plain double-op overlap (third simultaneous failure on a
+    double-parity group), *not* latent-then-op.  The old insertion-order
+    tie-break processed the failures first and misclassified this exact
+    instant.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=2,
+        mission_hours=160.0,
+        time_to_op=Deterministic(150.0),
+        time_to_restore=Deterministic(30.0),
+        time_to_latent=Deterministic(100.0),
+        time_to_scrub=Deterministic(50.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [150.0]
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.n_op_failures == 4
+        assert chrono.n_latent_defects == 4
+        assert chrono.n_scrub_repairs == 4
+        assert chrono.n_restores == 0  # completions land past the mission
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+class TestLatentOpBoundary:
+    """A latent defect arriving exactly when operational failures land.
+
+    Both drives of an N+1 group take the defect and the failure at
+    t=200.  Arrivals resolve before failures, so the first processed
+    failure sees the other drive's fresh defect: one latent-then-op DDF,
+    and the second failure falls inside the open window (no double
+    count).
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=1,
+        n_parity=1,
+        mission_hours=300.0,
+        time_to_op=Deterministic(200.0),
+        time_to_restore=Deterministic(10.0),
+        time_to_latent=Deterministic(200.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [200.0]
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP]
+        assert chrono.n_op_failures == 2
+        assert chrono.n_latent_defects == 2
+        assert chrono.n_scrub_repairs == 0
+        assert chrono.n_restores == 2  # both share the 210h completion
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+class TestRaid6LatentThenOpGolden:
+    """RAID-6 latent-then-op with a non-empty set of concurrent failures.
+
+    Four drives (double parity), deterministic everything, no scrub:
+
+    * t=500 — every drive takes a latent defect;
+    * t=1000 — every drive fails operationally.  The first processed
+      failure is alone (no DDF at tolerance 2); the second sees exactly
+      tolerance-1 concurrent reconstructions *plus* exposed defects on
+      the remaining drives — the latent-then-op pathway with
+      ``failed_others`` non-empty.  Both involved restorations share the
+      1024h completion; the remaining two failures fall inside the open
+      window;
+    * t=1024 — all four drives restore together (shared-completion
+      rule), renewing their processes;
+    * the cycle repeats once more (latents at 1524, DDF at 2024,
+      restores at 2048) before the 2500h mission ends.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=2,
+        mission_hours=2500.0,
+        time_to_op=Deterministic(1000.0),
+        time_to_restore=Deterministic(24.0),
+        time_to_latent=Deterministic(500.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [1000.0, 2024.0]
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP, DDFType.LATENT_THEN_OP]
+        assert chrono.n_op_failures == 8
+        assert chrono.n_latent_defects == 8
+        assert chrono.n_scrub_repairs == 0
+        assert chrono.n_restores == 8
+
+    def test_shared_restore_completion_in_trace(self):
+        recorder = TimelineRecorder()
+        RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0), recorder=recorder)
+        restores = sorted(
+            (e.time, e.slot) for e in recorder.entries if e.kind == "restore"
+        )
+        # All four drives of each cycle restore at the same shared instant.
+        assert [t for t, _ in restores] == [1024.0] * 4 + [2048.0] * 4
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        TestScrubOpBoundary.CONFIG,
+        TestLatentOpBoundary.CONFIG,
+        TestRaid6LatentThenOpGolden.CONFIG,
+    ],
+    ids=["scrub-op", "latent-op", "raid6-latent-op"],
+)
+def test_boundary_fleets_agree(config):
+    """Whole fleets (crossing shard boundaries) agree, not just one group."""
+    event = [
+        RaidGroupSimulator(config).run(np.random.default_rng(i)) for i in range(8)
+    ]
+    batch = simulate_groups_batch(config, 8, np.random.default_rng(9))
+    for a, b in zip(event, batch):
+        assert_chronologies_equal(a, b)

@@ -24,12 +24,30 @@ class TestEventQueue:
         times = [q.pop().time for _ in range(3)]
         assert times == [1.0, 3.0, 5.0]
 
-    def test_ties_break_by_insertion(self):
+    def test_same_kind_ties_break_by_insertion(self):
         q = EventQueue()
         first = q.push(2.0, EventKind.OP_FAIL, 0)
         second = q.push(2.0, EventKind.OP_FAIL, 1)
         assert q.pop() is first
         assert q.pop() is second
+
+    def test_same_time_ties_break_by_kind_priority(self):
+        # Recoveries before failures at an instant, regardless of push
+        # order — the unified tie-break shared with the batch engine.
+        q = EventQueue()
+        q.push(2.0, EventKind.OP_FAIL, 0)
+        q.push(2.0, EventKind.LD_ARRIVE, 1)
+        q.push(2.0, EventKind.SCRUB_DONE, 2)
+        q.push(2.0, EventKind.LD_CLEARED, 3)
+        q.push(2.0, EventKind.OP_RESTORED, 4)
+        kinds = [q.pop().kind for _ in range(5)]
+        assert kinds == [
+            EventKind.OP_RESTORED,
+            EventKind.LD_CLEARED,
+            EventKind.SCRUB_DONE,
+            EventKind.LD_ARRIVE,
+            EventKind.OP_FAIL,
+        ]
 
     def test_pop_empty_raises(self):
         with pytest.raises(SimulationError):

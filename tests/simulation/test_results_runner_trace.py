@@ -181,6 +181,44 @@ class TestSweep:
         # Longer restores -> more overlap -> more DDFs.
         assert totals[100.0] > totals[25.0]
 
+    def test_sweep_records_resolved_engines(self, hot_config):
+        out = sweep(
+            "x",
+            [1, 2],
+            lambda _v: hot_config,
+            n_groups=20,
+            seed=0,
+            engine="batch",
+        )
+        assert out.engines == ["batch", "batch"]
+        assert out.engines_by_value() == {1: "batch", 2: "batch"}
+
+    def test_sweep_auto_resolves_engine_per_config(self, hot_config):
+        # A sweep crossing from batch-supported into event-only territory
+        # (growing a spare pool onto the config) must resolve "auto" per
+        # value, not once for the whole sweep.
+        from repro.simulation.spares import SparePoolConfig
+
+        def build(n_spares):
+            pool = (
+                SparePoolConfig(n_spares=n_spares, replenishment_hours=100.0)
+                if n_spares
+                else None
+            )
+            return RaidGroupConfig(
+                n_data=3,
+                time_to_op=Exponential(2_000.0),
+                time_to_restore=Exponential(50.0),
+                mission_hours=8_760.0,
+                spare_pool=pool,
+            )
+
+        out = sweep("n_spares", [0, 2], build, n_groups=30, seed=1, engine="auto")
+        assert out.engines == ["batch", "event"]
+        assert out.engines_by_value() == {0: "batch", 2: "event"}
+        # Both fleets simulated the full size despite the engine split.
+        assert [r.n_groups for r in out.results] == [30, 30]
+
     def test_sweep_curves_and_first_year(self, hot_config):
         out = sweep(
             "x",

@@ -266,3 +266,87 @@ class TestProfile:
         captured = capsys.readouterr()
         assert "Table 1" in captured.out
         assert "Ordered by: cumulative time" in captured.err
+
+
+class TestFuzzCommand:
+    def test_fuzz_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.command == "fuzz"
+        assert args.budget == 60.0
+        assert args.seed == 0
+        assert args.min_cases == 50
+        assert args.cases is None
+        assert args.groups == 128
+        assert args.bundle_dir is None
+        assert args.replay is None
+
+    def test_fuzz_parser_full_options(self):
+        args = build_parser().parse_args(
+            [
+                "fuzz",
+                "--budget", "5",
+                "--seed", "3",
+                "--cases", "10",
+                "--min-cases", "10",
+                "--groups", "32",
+                "--bundle-dir", "bundles",
+                "--progress",
+            ]
+        )
+        assert (args.budget, args.seed, args.cases) == (5.0, 3, 10)
+        assert (args.min_cases, args.groups) == (10, 32)
+        assert args.bundle_dir == "bundles"
+        assert args.progress
+
+    def test_tiny_fuzz_campaign_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--cases", "3",
+                    "--min-cases", "3",
+                    "--budget", "0",
+                    "--groups", "16",
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Differential fuzz campaign" in captured.out
+        assert "failures" in captured.out
+        assert "case    0" in captured.err  # --progress status lines
+
+    def test_replay_of_a_stale_bundle_reports_ok(self, tmp_path, capsys):
+        # A bundle whose failure came from a (simulated) buggy engine
+        # build: replaying against the current, correct engines must
+        # report that the failure no longer reproduces and exit 0.
+        import dataclasses
+        import json
+
+        from repro.simulation.config import RaidGroupConfig
+        from repro.simulation.raid_simulator import DDFType
+        from repro.validation import DifferentialFuzzer, run_batch_engine
+
+        def corrupt(config, n_groups, seed):
+            return [
+                dataclasses.replace(
+                    chrono,
+                    ddf_times=chrono.ddf_times + [config.mission_hours + 1.0],
+                    ddf_types=chrono.ddf_types + [DDFType.DOUBLE_OP],
+                )
+                for chrono in run_batch_engine(config, n_groups, seed)
+            ]
+
+        fuzzer = DifferentialFuzzer(n_groups=16, n_traces=2, batch_runner=corrupt)
+        result = fuzzer.run_case(
+            RaidGroupConfig.paper_base_case(), seed=6, shrink=False
+        )
+        assert result.failed
+        path = fuzzer.write_bundle(result, str(tmp_path))
+        assert json.loads(open(path).read())["status"] == "invariant-violation"
+
+        assert main(["fuzz", "--replay", path, "--groups", "16"]) == 0
+        captured = capsys.readouterr()
+        assert "Repro bundle replay" in captured.out
+        assert "ok" in captured.out

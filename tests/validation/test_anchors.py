@@ -1,0 +1,141 @@
+"""Tests for the closed-form Markov anchors."""
+
+import dataclasses
+
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.raid_simulator import GroupChronology
+from repro.simulation.spares import SparePoolConfig
+from repro.validation import (
+    anchor_ineligibility,
+    check_anchor,
+    expected_ddfs_per_group,
+    run_batch_engine,
+)
+
+
+def exp_config(**overrides):
+    base = dict(
+        n_data=4,
+        n_parity=1,
+        mission_hours=40_000.0,
+        time_to_op=Exponential(mean=80_000.0),
+        time_to_restore=Exponential(mean=200.0),
+        time_to_latent=None,
+        time_to_scrub=None,
+    )
+    base.update(overrides)
+    return RaidGroupConfig(**base)
+
+
+class TestEligibility:
+    def test_plain_raid5_is_eligible(self):
+        assert anchor_ineligibility(exp_config()) is None
+
+    def test_raid5_with_latent_and_scrub_is_eligible(self):
+        config = exp_config(
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        assert anchor_ineligibility(config) is None
+
+    def test_raid6_without_latent_is_eligible(self):
+        assert anchor_ineligibility(exp_config(n_parity=2)) is None
+
+    def test_paper_base_case_is_not_exponential(self):
+        reason = anchor_ineligibility(RaidGroupConfig.paper_base_case())
+        assert "exponential" in reason
+
+    def test_weibull_restore_rejected(self):
+        config = exp_config(time_to_restore=Weibull(shape=2.0, scale=24.0))
+        assert "time_to_restore" in anchor_ineligibility(config)
+
+    def test_located_exponential_rejected(self):
+        config = exp_config(time_to_op=Exponential(mean=80_000.0, location=10.0))
+        assert "time_to_op" in anchor_ineligibility(config)
+
+    def test_spare_pool_rejected(self):
+        config = exp_config(
+            spare_pool=SparePoolConfig(n_spares=2, replenishment_hours=48.0)
+        )
+        assert "spare pool" in anchor_ineligibility(config)
+
+    def test_age_anchored_rejected(self):
+        config = exp_config(
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+            latent_age_anchored=True,
+        )
+        assert "age-anchored" in anchor_ineligibility(config)
+
+    def test_no_scrub_latent_rejected(self):
+        config = exp_config(time_to_latent=Exponential(mean=10_000.0))
+        assert "no-scrub" in anchor_ineligibility(config)
+
+    def test_triple_parity_rejected(self):
+        assert "tolerance 3" in anchor_ineligibility(exp_config(n_parity=3))
+
+    def test_raid6_with_latent_rejected(self):
+        config = exp_config(
+            n_parity=2,
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        assert anchor_ineligibility(config) is not None
+
+    def test_expected_ddfs_raises_on_ineligible(self):
+        with pytest.raises(ValueError):
+            expected_ddfs_per_group(RaidGroupConfig.paper_base_case())
+
+
+def constant_fleet(n_groups, n_ddfs, mission):
+    return [
+        GroupChronology(
+            ddf_times=[float(k + 1) for k in range(n_ddfs)],
+            ddf_types=[],  # unused by the anchor check
+            n_op_failures=2 * n_ddfs + 1,
+            n_latent_defects=0,
+            n_scrub_repairs=0,
+            n_restores=2 * n_ddfs,
+            mission_hours=mission,
+        )
+        for _ in range(n_groups)
+    ]
+
+
+class TestPoissonFloor:
+    def test_zero_observed_of_a_small_expectation_is_ok(self):
+        """Sample SE collapses to 0 when nobody saw a DDF; the Poisson
+        floor must keep routine all-zero fleets from flagging."""
+        config = exp_config(time_to_restore=Exponential(mean=20.0))
+        expected = expected_ddfs_per_group(config)
+        assert 0.0 < expected < 0.05
+        result = check_anchor(config, constant_fleet(128, 0, config.mission_hours))
+        assert result.observed_mean == 0.0
+        assert result.standard_error >= (expected / 128) ** 0.5
+        assert result.ok
+
+    def test_gross_overcount_still_flags(self):
+        config = exp_config(time_to_restore=Exponential(mean=20.0))
+        result = check_anchor(config, constant_fleet(128, 2, config.mission_hours))
+        assert not result.ok
+        assert "expected" in result.to_dict()
+
+
+class TestAgainstSimulation:
+    def test_raid5_simulation_matches_closed_form(self):
+        config = exp_config()
+        fleet = run_batch_engine(config, 3000, seed=11)
+        result = check_anchor(config, fleet)
+        assert result.ok, result
+
+    def test_wrong_rate_simulation_is_flagged(self):
+        """Chronologies simulated at double the failure rate must sit
+        outside the anchor tolerance of the nominal config."""
+        config = exp_config()
+        hot = dataclasses.replace(config, time_to_op=Exponential(mean=40_000.0))
+        fleet = run_batch_engine(hot, 3000, seed=12)
+        result = check_anchor(config, fleet)
+        assert not result.ok

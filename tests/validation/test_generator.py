@@ -1,0 +1,109 @@
+"""Tests for the config fuzzer and its JSON round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Mixture,
+    PiecewiseWeibullHazard,
+    Weibull,
+    WeibullPhase,
+)
+from repro.exceptions import ParameterError
+from repro.simulation.config import RaidGroupConfig
+from repro.validation import (
+    ConfigSampler,
+    anchor_ineligibility,
+    config_from_dict,
+    config_to_dict,
+    distribution_from_dict,
+    distribution_to_dict,
+)
+
+
+class TestSerialization:
+    def test_round_trip_is_exact_over_fuzzed_stream(self):
+        sampler = ConfigSampler()
+        rng = np.random.default_rng(123)
+        for _ in range(300):
+            config = sampler.sample(rng)
+            restored = config_from_dict(config_to_dict(config))
+            # repr covers every field of the frozen dataclass and the
+            # distributions' constructor parameters.
+            assert repr(restored) == repr(config)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        config = RaidGroupConfig.paper_base_case()
+        payload = json.dumps(config_to_dict(config))
+        assert repr(config_from_dict(json.loads(payload))) == repr(config)
+
+    def test_mixture_round_trip(self):
+        dist = Mixture(
+            components=[Weibull(shape=0.9, scale=100.0), Exponential(500.0)],
+            weights=[0.25, 0.75],
+        )
+        restored = distribution_from_dict(distribution_to_dict(dist))
+        assert repr(restored) == repr(dist)
+
+    def test_deterministic_round_trip(self):
+        dist = Deterministic(24.0)
+        assert repr(distribution_from_dict(distribution_to_dict(dist))) == repr(dist)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ParameterError):
+            distribution_from_dict({"family": "cauchy"})
+
+    def test_unsupported_distribution_rejected(self):
+        bathtub = PiecewiseWeibullHazard(
+            [WeibullPhase(start=0.0, shape=0.8, scale=200_000.0)]
+        )
+        with pytest.raises(ParameterError):
+            distribution_to_dict(bathtub)
+
+
+class TestConfigSampler:
+    def test_spans_the_feature_space(self):
+        """A modest stream must hit every fuzzed feature at least once."""
+        sampler = ConfigSampler()
+        rng = np.random.default_rng(0)
+        configs = [sampler.sample(rng) for _ in range(400)]
+        assert {c.fault_tolerance for c in configs} >= {1, 2, 3}
+        assert any(c.spare_pool is not None for c in configs)
+        assert any(c.latent_age_anchored for c in configs)
+        assert any(not c.models_latent_defects for c in configs)
+        assert any(
+            c.models_latent_defects and not c.scrubbing_enabled for c in configs
+        )
+        assert any(isinstance(c.time_to_restore, Deterministic) for c in configs)
+        assert any(isinstance(c.time_to_op, Mixture) for c in configs)
+        assert any(not c.supports_batch_engine for c in configs)
+        assert sum(c.supports_batch_engine for c in configs) > len(configs) // 2
+
+    def test_all_samples_are_valid_configs(self):
+        sampler = ConfigSampler()
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            config = sampler.sample(rng)  # __post_init__ validates
+            assert config.mission_hours > 0
+            assert config.n_drives == config.n_data + config.n_parity
+
+    def test_deterministic_for_fixed_generator_state(self):
+        sampler = ConfigSampler()
+        a = [sampler.sample(np.random.default_rng(9)) for _ in range(20)]
+        b = [sampler.sample(np.random.default_rng(9)) for _ in range(20)]
+        assert [repr(c) for c in a] == [repr(c) for c in b]
+
+    def test_anchor_samples_are_always_eligible(self):
+        sampler = ConfigSampler()
+        rng = np.random.default_rng(77)
+        shapes = set()
+        for _ in range(60):
+            config = sampler.sample_anchor(rng)
+            assert anchor_ineligibility(config) is None
+            shapes.add((config.fault_tolerance, config.models_latent_defects))
+        # All three CTMC shapes get exercised.
+        assert shapes == {(1, True), (1, False), (2, False)}

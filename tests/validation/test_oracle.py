@@ -1,0 +1,223 @@
+"""Tests for the Fig. 4/5 invariant oracle.
+
+Genuine engine traces must replay cleanly; surgically tampered traces
+must trip the *specific* invariant the tampering breaks.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
+from repro.simulation.trace import TimelineRecorder, TraceEntry
+from repro.validation import (
+    ConfigSampler,
+    check_chronology,
+    check_trace,
+    run_event_engine_traced,
+)
+
+#: Deterministic RAID-6 golden scenario (see tests/simulation/test_ddf_boundaries):
+#: latents land on every drive at 500, all four drives fail at 1000, the
+#: second failure is a LATENT_THEN_OP DDF, and every involved restore is
+#: shifted to the shared window end at 1024.
+GOLDEN = RaidGroupConfig(
+    n_data=2,
+    n_parity=2,
+    mission_hours=2500.0,
+    time_to_op=Deterministic(1000.0),
+    time_to_restore=Deterministic(24.0),
+    time_to_latent=Deterministic(500.0),
+    time_to_scrub=None,
+)
+
+
+def run_traced(config, seed=0):
+    recorder = TimelineRecorder()
+    rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+    chrono = RaidGroupSimulator(config).run(rng, recorder=recorder)
+    return chrono, recorder
+
+
+def violated(config, chrono, recorder):
+    return {v.invariant for v in check_trace(config, chrono, recorder)}
+
+
+def replace_entries(recorder, entries):
+    tampered = TimelineRecorder()
+    tampered.entries = sorted(entries, key=lambda e: e.time)
+    tampered.ddfs = list(recorder.ddfs)
+    return tampered
+
+
+class TestCleanTraces:
+    def test_golden_trace_replays_cleanly(self):
+        chrono, recorder = run_traced(GOLDEN)
+        assert chrono.ddf_times  # the scenario actually produces DDFs
+        assert check_trace(GOLDEN, chrono, recorder) == []
+
+    def test_fuzzed_traces_replay_cleanly(self):
+        sampler = ConfigSampler()
+        rng = np.random.default_rng(31)
+        for i in range(8):
+            config = sampler.sample(rng)
+            _, violations = run_event_engine_traced(config, 6, seed=100 + i, n_traces=6)
+            assert violations == [], f"config {i}: {violations[:3]}"
+
+    def test_hot_stochastic_trace_replays_cleanly(self):
+        config = RaidGroupConfig(
+            n_data=6,
+            n_parity=1,
+            mission_hours=50_000.0,
+            time_to_op=Exponential(mean=40_000.0),
+            time_to_restore=Exponential(mean=24.0),
+            time_to_latent=Exponential(mean=8_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        _, violations = run_event_engine_traced(config, 20, seed=7, n_traces=20)
+        assert violations == []
+
+
+class TestTamperedTraces:
+    def test_dropped_op_failure_breaks_pairing(self):
+        chrono, recorder = run_traced(GOLDEN)
+        entries = list(recorder.entries)
+        idx = next(i for i, e in enumerate(entries) if e.kind == "op_fail")
+        del entries[idx]
+        tampered = replace_entries(recorder, entries)
+        assert "restore-well-nested" in violated(GOLDEN, chrono, tampered)
+
+    def test_restore_before_failure_breaks_pairing(self):
+        chrono, recorder = run_traced(GOLDEN)
+        entries = list(recorder.entries)
+        idx = next(i for i, e in enumerate(entries) if e.kind == "restore")
+        entries[idx] = dataclasses.replace(entries[idx], time=1.0)
+        tampered = replace_entries(recorder, entries)
+        assert "restore-well-nested" in violated(GOLDEN, chrono, tampered)
+
+    def test_dropped_ddf_record_is_a_misclassification(self):
+        chrono, recorder = run_traced(GOLDEN)
+        tampered = replace_entries(recorder, recorder.entries)
+        tampered.ddfs = recorder.ddfs[:-1]
+        assert "ddf-classification" in violated(GOLDEN, chrono, tampered)
+
+    def test_spurious_ddf_without_op_failure(self):
+        chrono, recorder = run_traced(GOLDEN)
+        tampered = replace_entries(recorder, recorder.entries)
+        tampered.ddfs = recorder.ddfs + [(1500.0, DDFType.DOUBLE_OP.value)]
+        names = violated(GOLDEN, chrono, tampered)
+        assert "ddf-is-op-failure" in names
+        assert "ddf-classification" in names
+
+    def test_ddf_inside_open_window_is_flagged(self):
+        chrono, recorder = run_traced(GOLDEN)
+        # The third op failure at t=1000 lands strictly inside the
+        # (1000, 1024] window of the second failure's DDF; recording it
+        # as a DDF is exactly the Fig. 4 "no DDF while ddf_until is open"
+        # mistake.
+        tampered = replace_entries(recorder, recorder.entries)
+        first_ddf = recorder.ddfs[0]
+        tampered.ddfs = sorted(
+            recorder.ddfs + [(first_ddf[0] + 1e-9, DDFType.DOUBLE_OP.value)]
+        )
+        names = violated(GOLDEN, chrono, tampered)
+        assert "ddf-is-op-failure" in names  # no op at that instant either
+        assert "ddf-classification" in names
+
+    def test_shifted_involved_restore_breaks_shared_completion(self):
+        chrono, recorder = run_traced(GOLDEN)
+        entries = list(recorder.entries)
+        # The first drive to fail at t=1000 is the DDF's failed_other; its
+        # restore was shifted to the shared window end 1024.  Move it.
+        first_op = next(e for e in entries if e.kind == "op_fail")
+        idx = next(
+            i
+            for i, e in enumerate(entries)
+            if e.kind == "restore" and e.slot == first_op.slot
+        )
+        entries[idx] = dataclasses.replace(entries[idx], time=1030.0)
+        tampered = replace_entries(recorder, entries)
+        assert "shared-restore-completion" in violated(GOLDEN, chrono, tampered)
+
+    def test_failure_before_recovery_at_same_instant_breaks_tie_order(self):
+        chrono, recorder = run_traced(GOLDEN)
+        entries = list(recorder.entries)
+        # Move the last op failure of the t=1000 cluster ahead of the
+        # first latent arrival of the t=500 cluster... same instant is
+        # what matters: put an op_fail before a restore at 1024.
+        op_1000 = [e for e in entries if e.kind == "op_fail" and e.time == 1000.0]
+        restores_1024 = [e for e in entries if e.kind == "restore" and e.time == 1024.0]
+        assert op_1000 and restores_1024
+        moved = dataclasses.replace(op_1000[-1], time=1024.0)
+        entries.remove(op_1000[-1])
+        # Insert the op_fail *before* the restores at the same instant.
+        tampered = TimelineRecorder()
+        out = []
+        for e in sorted(entries, key=lambda e: e.time):
+            if e is restores_1024[0]:
+                out.append(moved)
+            out.append(e)
+        tampered.entries = out
+        tampered.ddfs = list(recorder.ddfs)
+        assert "tie-order" in violated(GOLDEN, chrono, tampered)
+
+    def test_latent_on_failed_slot_is_a_state_machine_violation(self):
+        chrono, recorder = run_traced(GOLDEN)
+        entries = list(recorder.entries)
+        first_op = next(e for e in entries if e.kind == "op_fail")
+        entries.append(
+            TraceEntry(time=first_op.time + 2.0, slot=first_op.slot, kind="latent")
+        )
+        tampered = replace_entries(recorder, entries)
+        assert "state-machine" in violated(GOLDEN, chrono, tampered)
+
+    def test_tampered_chronology_counter_is_caught(self):
+        chrono, recorder = run_traced(GOLDEN)
+        tampered = dataclasses.replace(chrono, n_op_failures=chrono.n_op_failures + 1)
+        assert "counter-consistency" in violated(GOLDEN, tampered, recorder)
+
+
+class TestChronologyChecks:
+    def mk(self, **overrides):
+        base = dict(
+            ddf_times=[100.0],
+            ddf_types=[DDFType.DOUBLE_OP],
+            n_op_failures=4,
+            n_latent_defects=2,
+            n_scrub_repairs=1,
+            n_restores=3,
+            mission_hours=GOLDEN.mission_hours,
+        )
+        base.update(overrides)
+        return GroupChronology(**base)
+
+    def names(self, chrono, config=GOLDEN):
+        return {v.invariant for v in check_chronology(config, chrono)}
+
+    def test_clean_chronology_passes(self):
+        assert self.names(self.mk()) == set()
+
+    def test_mission_mismatch(self):
+        assert "counter-consistency" in self.names(self.mk(mission_hours=999.0))
+
+    def test_ddf_outside_mission(self):
+        assert "state-machine" in self.names(self.mk(ddf_times=[3000.0]))
+
+    def test_ddf_times_descending(self):
+        assert "state-machine" in self.names(
+            self.mk(ddf_times=[200.0, 100.0], ddf_types=[DDFType.DOUBLE_OP] * 2)
+        )
+
+    def test_restores_exceed_failures(self):
+        assert "counter-consistency" in self.names(self.mk(n_restores=5))
+
+    def test_scrubs_exceed_latents(self):
+        assert "counter-consistency" in self.names(self.mk(n_scrub_repairs=3))
+
+    def test_latent_activity_without_latent_process(self):
+        no_latent = dataclasses.replace(GOLDEN, time_to_latent=None)
+        chrono = self.mk(n_scrub_repairs=0)
+        assert "state-machine" in self.names(chrono, config=no_latent)
