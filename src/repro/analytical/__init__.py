@@ -10,7 +10,10 @@ Monte Carlo simulator is evaluated against:
   constant-rate assumptions (what Markov-model papers like refs 15-16
   would compute);
 * :mod:`~repro.analytical.approximations` — closed-form steady-state DDF
-  rate approximations used to sanity-check the simulator.
+  rate approximations used to sanity-check the simulator;
+* :mod:`~repro.analytical.transition_matrix` — a discrete-time
+  transition-matrix solver for the same chain topologies with
+  *time-varying* hazards, used by the :mod:`repro.solver` front-end.
 """
 
 from .approximations import (
@@ -19,11 +22,15 @@ from .approximations import (
     latent_exposure_fraction,
 )
 from .markov import (
+    ChainSpec,
+    ChainTransition,
     ContinuousTimeMarkovChain,
+    ddf_chain_spec,
     raid5_ctmc,
     raid5_latent_ctmc,
     raid6_ctmc,
 )
+from .transition_matrix import TransitionMatrixSolution, solve_ddf_chain
 from .mttdl import (
     expected_ddfs,
     mttdl_exact,
@@ -38,10 +45,15 @@ __all__ = [
     "mttdl_raid6",
     "expected_ddfs",
     "paper_equation_3_example",
+    "ChainSpec",
+    "ChainTransition",
     "ContinuousTimeMarkovChain",
+    "ddf_chain_spec",
     "raid5_ctmc",
     "raid5_latent_ctmc",
     "raid6_ctmc",
+    "TransitionMatrixSolution",
+    "solve_ddf_chain",
     "latent_exposure_fraction",
     "ddf_rate_approximation",
     "expected_ddfs_approximation",

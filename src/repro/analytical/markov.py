@@ -16,11 +16,21 @@ probabilities and, crucially, the **expected number of entries** into a set
 of states over time — the quantity comparable to the simulator's DDF
 counts.  (The paper's ref. 21 point: the rate of failure is the density,
 not the hazard; counting transits is the correct bridge.)
+
+The chain *topologies* (which states exist and which physical process
+drives each transition) are factored out as :class:`ChainSpec` so that
+consumers needing more than constant rates can reuse them: the discrete-
+time solver in :mod:`repro.analytical.transition_matrix` attaches
+time-varying hazards to the same transitions, and
+:func:`ChainSpec.chain` with ``absorbing=True`` turns any of them into a
+first-passage chain whose DDF-state occupancy is the probability of *at
+least one* data loss by ``t`` (the solver front-end's "DDF probability").
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import integrate
@@ -168,6 +178,180 @@ class ContinuousTimeMarkovChain:
         return solution
 
 
+# ---------------------------------------------------------------------------
+# Chain topologies, factored out of the constant-rate builders.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainTransition:
+    """One chain edge tied to a physical process.
+
+    ``multiplicity`` scales the per-drive rate (e.g. ``n_total`` drives
+    racing to fail from the fully-functional state); ``process`` names
+    which of the four Fig. 4 transition processes drives the edge
+    (``"op"``, ``"latent"``, ``"restore"`` or ``"scrub"``).
+    """
+
+    source: int
+    target: int
+    process: str
+    multiplicity: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainSpec:
+    """A DDF chain topology independent of any rate assumption.
+
+    The same spec backs three consumers: the constant-rate CTMC builders
+    below (exact closed forms for all-exponential configurations), the
+    discrete-time transition-matrix solver (time-varying hazards on the
+    same edges), and the absorbing first-passage variants used for
+    DDF-probability answers.
+    """
+
+    n_states: int
+    state_names: Tuple[str, ...]
+    ddf_states: Tuple[int, ...]
+    transitions: Tuple[ChainTransition, ...]
+
+    def rates(
+        self, process_rates: Dict[str, float], absorbing: bool = False
+    ) -> Dict[Tuple[int, int], float]:
+        """Constant transition rates from per-process rates.
+
+        With ``absorbing=True`` every transition *out of* a DDF state is
+        dropped, turning entry into the DDF set into first passage.
+        """
+        out: Dict[Tuple[int, int], float] = {}
+        for tr in self.transitions:
+            if absorbing and tr.source in self.ddf_states:
+                continue
+            if tr.process not in process_rates:
+                raise ParameterError(
+                    f"chain needs a rate for process {tr.process!r}; "
+                    f"got {sorted(process_rates)}"
+                )
+            out[(tr.source, tr.target)] = tr.multiplicity * process_rates[tr.process]
+        return out
+
+    def chain(
+        self, process_rates: Dict[str, float], absorbing: bool = False
+    ) -> ContinuousTimeMarkovChain:
+        """Build the constant-rate CTMC for this topology."""
+        return ContinuousTimeMarkovChain(
+            self.n_states,
+            self.rates(process_rates, absorbing=absorbing),
+            state_names=list(self.state_names),
+        )
+
+    def rate_functions(
+        self, process_hazards: Dict[str, Callable[[np.ndarray], np.ndarray]]
+    ) -> Dict[Tuple[int, int], Callable[[np.ndarray], np.ndarray]]:
+        """Time-varying transition rates from per-process hazard functions.
+
+        Used by the discrete-time solver
+        (:mod:`repro.analytical.transition_matrix`): each edge's rate at
+        time ``t`` is ``multiplicity * hazard(t)``.
+        """
+        out: Dict[Tuple[int, int], Callable[[np.ndarray], np.ndarray]] = {}
+        for tr in self.transitions:
+            if tr.process not in process_hazards:
+                raise ParameterError(
+                    f"chain needs a hazard for process {tr.process!r}; "
+                    f"got {sorted(process_hazards)}"
+                )
+            hazard = process_hazards[tr.process]
+            mult = tr.multiplicity
+
+            def rate(t: np.ndarray, _h=hazard, _m=mult) -> np.ndarray:
+                return _m * np.asarray(_h(t), dtype=float)
+
+            out[(tr.source, tr.target)] = rate
+        return out
+
+
+def ddf_chain_spec(
+    n_data: int,
+    fault_tolerance: int,
+    models_latent: bool = False,
+    scrubbing: bool = False,
+) -> ChainSpec:
+    """The chain topology matching a RAID group shape, if one exists.
+
+    Supported shapes (raises :class:`~repro.exceptions.ParameterError`
+    otherwise, mirroring the eligibility rules of
+    :func:`repro.validation.anchors.anchor_ineligibility`):
+
+    * tolerance 1, no latent defects — the classic 3-state (N+1) chain;
+    * tolerance 1 with latent defects *and* scrubbing — the Fig. 4
+      5-state diagram;
+    * tolerance 2, no latent defects — the 4-state double-parity chain.
+    """
+    require_int("n_data", n_data, minimum=1)
+    require_int("fault_tolerance", fault_tolerance, minimum=1)
+    if models_latent and not scrubbing:
+        raise ParameterError(
+            "no chain topology for the no-scrub latent model (defects persist "
+            "until drive replacement, which the state aggregation cannot express)"
+        )
+    if fault_tolerance == 1 and not models_latent:
+        n_total = n_data + 1
+        return ChainSpec(
+            n_states=3,
+            state_names=("fully_functional", "degraded_op", "ddf"),
+            ddf_states=(2,),
+            transitions=(
+                ChainTransition(0, 1, "op", n_total),
+                ChainTransition(1, 0, "restore"),
+                ChainTransition(1, 2, "op", n_data),
+                ChainTransition(2, 0, "restore"),
+            ),
+        )
+    if fault_tolerance == 1 and models_latent:
+        n_total = n_data + 1
+        return ChainSpec(
+            n_states=5,
+            state_names=(
+                "fully_functional",
+                "degraded_latent",
+                "degraded_op",
+                "ddf_latent_op",
+                "ddf_op_op",
+            ),
+            ddf_states=(3, 4),
+            transitions=(
+                ChainTransition(0, 1, "latent", n_total),
+                ChainTransition(0, 2, "op", n_total),
+                ChainTransition(1, 0, "scrub"),
+                ChainTransition(1, 3, "op", n_data),
+                ChainTransition(2, 0, "restore"),
+                ChainTransition(2, 4, "op", n_data),
+                ChainTransition(3, 0, "restore"),
+                ChainTransition(4, 0, "restore"),
+            ),
+        )
+    if fault_tolerance == 2 and not models_latent:
+        n_total = n_data + 2
+        return ChainSpec(
+            n_states=4,
+            state_names=("all_good", "one_failed", "two_failed", "data_loss"),
+            ddf_states=(3,),
+            transitions=(
+                ChainTransition(0, 1, "op", n_total),
+                ChainTransition(1, 0, "restore"),
+                ChainTransition(1, 2, "op", n_total - 1),
+                ChainTransition(2, 1, "restore"),
+                ChainTransition(2, 3, "op", n_total - 2),
+                ChainTransition(3, 0, "restore"),
+            ),
+        )
+    raise ParameterError(
+        f"no chain topology for fault tolerance {fault_tolerance} with "
+        f"models_latent={models_latent}"
+    )
+
+
 def raid5_ctmc(
     n_data: int, mtbf_hours: float, mttr_hours: float
 ) -> ContinuousTimeMarkovChain:
@@ -178,18 +362,12 @@ def raid5_ctmc(
     expected DDF entries reproduce eq. 3 to within the (negligible)
     probability mass transiently parked in states 1-2.
     """
-    require_int("n_data", n_data, minimum=1)
-    lam = 1.0 / require_positive("mtbf_hours", mtbf_hours)
-    mu = 1.0 / require_positive("mttr_hours", mttr_hours)
-    n_total = n_data + 1
-    rates = {
-        (0, 1): n_total * lam,
-        (1, 0): mu,
-        (1, 2): n_data * lam,
-        (2, 0): mu,  # post-DDF restoration returns the group to service
-    }
-    return ContinuousTimeMarkovChain(
-        3, rates, state_names=["fully_functional", "degraded_op", "ddf"]
+    spec = ddf_chain_spec(n_data, 1, models_latent=False)
+    return spec.chain(
+        {
+            "op": 1.0 / require_positive("mtbf_hours", mtbf_hours),
+            "restore": 1.0 / require_positive("mttr_hours", mttr_hours),
+        }
     )
 
 
@@ -203,20 +381,12 @@ def raid6_ctmc(
     The constant-rate baseline for the paper's "RAID 6 will eventually be
     required" conclusion.
     """
-    require_int("n_data", n_data, minimum=1)
-    lam = 1.0 / require_positive("mtbf_hours", mtbf_hours)
-    mu = 1.0 / require_positive("mttr_hours", mttr_hours)
-    n_total = n_data + 2
-    rates = {
-        (0, 1): n_total * lam,
-        (1, 0): mu,
-        (1, 2): (n_total - 1) * lam,
-        (2, 1): mu,
-        (2, 3): (n_total - 2) * lam,
-        (3, 0): mu,
-    }
-    return ContinuousTimeMarkovChain(
-        4, rates, state_names=["all_good", "one_failed", "two_failed", "data_loss"]
+    spec = ddf_chain_spec(n_data, 2, models_latent=False)
+    return spec.chain(
+        {
+            "op": 1.0 / require_positive("mtbf_hours", mtbf_hours),
+            "restore": 1.0 / require_positive("mttr_hours", mttr_hours),
+        }
     )
 
 
@@ -243,24 +413,12 @@ def raid5_latent_ctmc(
     *distributional* corrections from the effect of merely adding latent
     defects.
     """
-    require_int("n_data", n_data, minimum=1)
-    lam_op = 1.0 / require_positive("op_mtbf_hours", op_mtbf_hours)
-    lam_ld = 1.0 / require_positive("latent_mtbf_hours", latent_mtbf_hours)
-    mu_restore = 1.0 / require_positive("restore_hours", restore_hours)
-    mu_scrub = 1.0 / require_positive("scrub_hours", scrub_hours)
-    n_total = n_data + 1
-    rates = {
-        (0, 1): n_total * lam_ld,       # some drive develops a latent defect
-        (0, 2): n_total * lam_op,       # some drive fails operationally
-        (1, 0): mu_scrub,               # scrub clears the defect
-        (1, 3): n_data * lam_op,        # op failure on a *different* drive: DDF
-        (2, 0): mu_restore,             # rebuild completes
-        (2, 4): n_data * lam_op,        # second op failure: DDF
-        (3, 0): mu_restore,             # DDF restored (shares the op restore)
-        (4, 0): mu_restore,
-    }
-    return ContinuousTimeMarkovChain(
-        5,
-        rates,
-        state_names=["fully_functional", "degraded_latent", "degraded_op", "ddf_latent_op", "ddf_op_op"],
+    spec = ddf_chain_spec(n_data, 1, models_latent=True, scrubbing=True)
+    return spec.chain(
+        {
+            "op": 1.0 / require_positive("op_mtbf_hours", op_mtbf_hours),
+            "latent": 1.0 / require_positive("latent_mtbf_hours", latent_mtbf_hours),
+            "restore": 1.0 / require_positive("restore_hours", restore_hours),
+            "scrub": 1.0 / require_positive("scrub_hours", scrub_hours),
+        }
     )

@@ -1,0 +1,193 @@
+"""Discrete-time transition-matrix solver for time-varying DDF chains.
+
+The CTMC builders in :mod:`repro.analytical.markov` require constant
+rates.  This module covers the middle ground mapped by the
+"Are Markov Models Effective?" critique: hazards that *vary in time but
+not by much* — a Weibull operational life with shape near 1, say — where
+Monte Carlo is overkill but the exponential closed form is subtly wrong.
+
+The method follows the Tahoe-LAFS ``reliability.py`` lineage: chop the
+horizon into ``n_steps`` intervals of width ``h``, freeze the hazards at
+each interval's midpoint, and build the exact one-step probability matrix
+of the *frozen* chain under the jump approximation::
+
+    P[i][j] = (1 - exp(-exit_i * h)) * R[i][j] / exit_i     (i != j)
+    P[i][i] = exp(-exit_i * h)
+
+where ``R[i][j]`` is the frozen rate and ``exit_i = sum_j R[i][j]``.
+Every row sums to exactly 1, so the scheme is unconditionally stable —
+stiff repair rates (MTTR of hours against missions of years) cannot blow
+it up the way forward Euler would.  The scheme is first-order in ``h``
+(multi-jump paths within one step are truncated), so the solver runs a
+half-resolution pass as well and Richardson-*extrapolates* the two
+curves, cancelling the leading error term; the raw fine-vs-coarse gap
+``|S_n - S_{n/2}|`` is reported as ``step_error`` — a deliberate
+overestimate of the extrapolated answer's residual, so the bound stays
+honest.
+
+Expected DDF entries accumulate the per-step flux into the DDF states of
+the renewing chain; the DDF *probability* curve comes from a parallel
+absorbing pass whose DDF rows are frozen to the identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_int, require_positive
+from ..exceptions import ParameterError
+
+#: Default number of discretization steps: fine enough that the midpoint-
+#: freezing error on near-exponential hazards is far below the structural
+#: allowance, cheap enough that a solve is milliseconds.
+DEFAULT_N_STEPS = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitionMatrixSolution:
+    """Result of one discrete-time solve.
+
+    ``expected_entries[k]`` is the cumulative expected number of DDF-state
+    entries by ``times[k]``; ``ddf_probability[k]`` is the probability the
+    absorbing variant has hit a DDF state by ``times[k]``.  Both curves
+    are Richardson-extrapolated from the ``n_steps`` and ``n_steps/2``
+    passes.  ``step_error`` is the raw fine-vs-coarse gap on the final
+    expected count — a config-specific discretization bound that
+    *overestimates* the extrapolated answer's residual.
+    """
+
+    times: np.ndarray
+    expected_entries: np.ndarray
+    ddf_probability: np.ndarray
+    n_steps: int
+    step_hours: float
+    step_error: float
+    max_degraded_occupancy: float
+
+    @property
+    def final_expected(self) -> float:
+        return float(self.expected_entries[-1])
+
+    @property
+    def final_probability(self) -> float:
+        return float(self.ddf_probability[-1])
+
+
+def _integrate(
+    rate_functions: Dict[Tuple[int, int], Callable[[np.ndarray], np.ndarray]],
+    n_states: int,
+    ddf_states: Sequence[int],
+    horizon_hours: float,
+    n_steps: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One full pass at a fixed resolution.
+
+    Returns (times, cumulative expected entries, DDF probability,
+    max degraded occupancy), each sampled at the step boundaries
+    (``n_steps + 1`` points including t=0).
+    """
+    h = horizon_hours / n_steps
+    midpoints = (np.arange(n_steps) + 0.5) * h
+    ddf = np.asarray(sorted(set(ddf_states)), dtype=int)
+    transient = np.setdiff1d(np.arange(n_states), ddf)
+
+    # Frozen rate tensor R[k, i, j]: per-step midpoint rates.
+    rates = np.zeros((n_steps, n_states, n_states))
+    for (i, j), fn in rate_functions.items():
+        if not (0 <= i < n_states and 0 <= j < n_states) or i == j:
+            raise ParameterError(f"invalid transition ({i}, {j})")
+        rates[:, i, j] = np.clip(np.asarray(fn(midpoints), dtype=float), 0.0, None)
+
+    exit_rates = rates.sum(axis=2)  # (n_steps, n_states)
+    # Jump-approximation step matrices: rows sum to exactly 1.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.where(exit_rates > 0.0, -np.expm1(-exit_rates * h) / exit_rates, h)
+    step = rates * frac[:, :, None]
+    diag = np.exp(-exit_rates * h)
+    step[:, np.arange(n_states), np.arange(n_states)] = diag
+
+    # Absorbing variant for the first-passage (probability) curve.
+    step_abs = step.copy()
+    step_abs[:, ddf, :] = 0.0
+    step_abs[:, ddf, ddf] = 1.0
+
+    p = np.zeros(n_states)
+    p[0] = 1.0
+    p_abs = p.copy()
+    times = np.linspace(0.0, horizon_hours, n_steps + 1)
+    entries = np.zeros(n_steps + 1)
+    probability = np.zeros(n_steps + 1)
+    max_degraded = 0.0
+    cumulative = 0.0
+    for k in range(n_steps):
+        # Flux into the DDF set uses the occupancy *before* the step.
+        cumulative += float(p[transient] @ step[k][np.ix_(transient, ddf)].sum(axis=1))
+        p = p @ step[k]
+        p_abs = p_abs @ step_abs[k]
+        entries[k + 1] = cumulative
+        probability[k + 1] = float(p_abs[ddf].sum())
+        max_degraded = max(max_degraded, 1.0 - float(p[0]))
+    return times, entries, np.clip(probability, 0.0, 1.0), max_degraded
+
+
+def solve_ddf_chain(
+    rate_functions: Dict[Tuple[int, int], Callable[[np.ndarray], np.ndarray]],
+    n_states: int,
+    ddf_states: Sequence[int],
+    horizon_hours: float,
+    n_steps: int = DEFAULT_N_STEPS,
+) -> TransitionMatrixSolution:
+    """Solve a DDF chain with time-varying rates over ``[0, horizon]``.
+
+    ``rate_functions`` maps ``(source, target)`` to a vectorized hazard
+    callable (typically from :meth:`ChainSpec.rate_functions
+    <repro.analytical.markov.ChainSpec.rate_functions>`).  ``n_steps``
+    must be at least 2 (odd values are rounded up to even so the
+    half-resolution pass aligns with every other fine step boundary).
+    """
+    require_int("n_states", n_states, minimum=2)
+    require_int("n_steps", n_steps, minimum=2)
+    require_positive("horizon_hours", horizon_hours)
+    if not ddf_states:
+        raise ParameterError("ddf_states must be non-empty")
+    if any(not (0 <= s < n_states) for s in ddf_states):
+        raise ParameterError(f"ddf_states {ddf_states!r} out of range")
+    if 0 in set(ddf_states):
+        raise ParameterError("state 0 (the initial state) cannot be a DDF state")
+    n_steps += n_steps % 2
+
+    times, fine_entries, fine_prob, max_degraded = _integrate(
+        rate_functions, n_states, ddf_states, horizon_hours, n_steps
+    )
+    _, coarse_entries, coarse_prob, _ = _integrate(
+        rate_functions, n_states, ddf_states, horizon_hours, n_steps // 2
+    )
+
+    # First-order Richardson extrapolation: the coarse boundaries land on
+    # every other fine boundary, so the correction is known there exactly
+    # and interpolated in between.  Extrapolation can locally overshoot,
+    # so re-impose the structural facts: entries are cumulative
+    # (non-decreasing, non-negative) and probabilities live in [0, 1].
+    def extrapolate(fine: np.ndarray, coarse: np.ndarray) -> np.ndarray:
+        correction = fine[::2] - coarse
+        return fine + np.interp(times, times[::2], correction)
+
+    entries = np.maximum.accumulate(
+        np.clip(extrapolate(fine_entries, coarse_entries), 0.0, None)
+    )
+    probability = np.clip(
+        np.maximum.accumulate(extrapolate(fine_prob, coarse_prob)), 0.0, 1.0
+    )
+    step_error = abs(float(fine_entries[-1]) - float(coarse_entries[-1]))
+    return TransitionMatrixSolution(
+        times=times,
+        expected_entries=entries,
+        ddf_probability=probability,
+        n_steps=n_steps,
+        step_hours=horizon_hours / n_steps,
+        step_error=step_error,
+        max_degraded_occupancy=max_degraded,
+    )

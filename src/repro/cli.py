@@ -68,12 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1, help="worker processes")
     run.add_argument(
         "--engine",
-        choices=["event", "batch", "auto"],
+        choices=["event", "batch", "auto", "solver"],
         default="event",
         help=(
             "simulation engine for stochastic experiments: the reference "
-            "per-group event loop, the vectorized batch engine, or auto "
-            "(batch when the config supports it)"
+            "per-group event loop, the vectorized batch engine, auto "
+            "(batch when the config supports it), or solver (the hybrid "
+            "analytical front-end, for experiments built on sweep/fig6)"
         ),
     )
     run.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
@@ -214,6 +215,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top-25 cumulative entries to stderr",
     )
 
+    solve_cmd = sub.add_parser(
+        "solve",
+        help=(
+            "answer one configuration through the hybrid analytical/"
+            "simulation front-end, with method selection and an explicit "
+            "error bound"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--config",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help=(
+            "path to a configuration JSON (the repro-bundle 'config' "
+            "payload); default: the paper base case shaped by the flags below"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--scrub",
+        type=str,
+        default="168",
+        help="base-case scrub characteristic life in hours, or 'none' (default 168)",
+    )
+    solve_cmd.add_argument(
+        "--mission-hours",
+        type=float,
+        default=87_600.0,
+        help="base-case mission length (default 87,600 h = 10 years)",
+    )
+    solve_cmd.add_argument(
+        "--raid6",
+        action="store_true",
+        help="base case as double parity without latent defects",
+    )
+    solve_cmd.add_argument(
+        "--no-latent",
+        action="store_true",
+        help="base case without the latent-defect process",
+    )
+    solve_cmd.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        metavar="HOURS",
+        help="evaluation horizon (default: the mission)",
+    )
+    solve_cmd.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="transition-matrix discretization steps (default 1024)",
+    )
+    solve_cmd.add_argument(
+        "--groups",
+        type=int,
+        default=None,
+        help="Monte Carlo fallback fleet size (default 2000)",
+    )
+    solve_cmd.add_argument("--seed", type=int, default=0, help="Monte Carlo seed")
+    solve_cmd.add_argument("--jobs", type=int, default=1, help="worker processes")
+    solve_cmd.add_argument(
+        "--method",
+        choices=["markov", "transition-matrix", "monte-carlo"],
+        default=None,
+        help="skip classification and force a solver tier",
+    )
+    solve_cmd.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the full answer (config, curve, error parts) as JSON",
+    )
+
     fuzz = sub.add_parser(
         "fuzz",
         help=(
@@ -264,6 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "replay a repro bundle (preferring its shrunk config) instead "
             "of fuzzing; exits non-zero if the failure reproduces"
+        ),
+    )
+    fuzz.add_argument(
+        "--analytical-bias",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "probability of drawing a solver-eligible configuration per "
+            "case (default 0; 1.0 restricts the campaign to the "
+            "solver-vs-batch engine pair)"
         ),
     )
     fuzz.add_argument(
@@ -358,6 +445,67 @@ def _run_simulate(args: argparse.Namespace) -> str:
     return format_table(["quantity", "value"], rows, title="Streaming fleet simulation")
 
 
+def _run_solve(args: argparse.Namespace) -> str:
+    from .solver import solve
+    from .solver.solve import DEFAULT_MC_GROUPS
+    from .analytical.transition_matrix import DEFAULT_N_STEPS
+
+    if args.config is not None:
+        import json
+
+        from .validation import config_from_dict
+
+        with open(args.config, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        # Accept either a bare config payload or a whole repro bundle.
+        config = config_from_dict(data.get("config", data))
+    else:
+        scrub: Optional[float]
+        if args.scrub.lower() in ("none", "off", "0"):
+            scrub = None
+        else:
+            scrub = float(args.scrub)
+        config = RaidGroupConfig.paper_base_case(
+            scrub_characteristic_hours=scrub,
+            mission_hours=args.mission_hours,
+        )
+        if args.no_latent or args.raid6:
+            config = config.without_latent_defects()
+        if args.raid6:
+            config = config.as_raid6()
+    answer = solve(
+        config,
+        horizon_hours=args.horizon,
+        n_steps=args.steps if args.steps is not None else DEFAULT_N_STEPS,
+        mc_groups=args.groups if args.groups is not None else DEFAULT_MC_GROUPS,
+        mc_seed=args.seed,
+        n_jobs=args.jobs,
+        method=args.method,
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(answer.to_dict(), handle, indent=2)
+    error = answer.error
+    rows: List[List[object]] = [
+        ["method", answer.method],
+        ["reason", answer.reason],
+        ["horizon (h)", answer.horizon_hours],
+        ["expected DDFs / group", answer.expected_ddfs],
+        ["DDFs / 1000 groups", 1000.0 * answer.expected_ddfs],
+        ["P(≥1 DDF)", answer.ddf_probability],
+        ["error bound", error.bound],
+        ["  structural", error.structural],
+        ["  discretization", error.step_error],
+        ["  statistical", error.statistical],
+        ["elapsed (s)", round(answer.elapsed_seconds, 4)],
+    ]
+    if answer.n_groups is not None:
+        rows.append(["MC groups", answer.n_groups])
+    return format_table(["quantity", "value"], rows, title="Hybrid solver answer")
+
+
 def _run_fuzz(args: argparse.Namespace) -> int:
     from .validation import (
         DifferentialFuzzer,
@@ -365,7 +513,12 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         run_fuzz_campaign,
     )
 
-    fuzzer = DifferentialFuzzer(n_groups=args.groups)
+    sampler = None
+    if args.analytical_bias:
+        from .validation import ConfigSampler
+
+        sampler = ConfigSampler(analytical_bias=args.analytical_bias)
+    fuzzer = DifferentialFuzzer(sampler=sampler, n_groups=args.groups)
     if args.replay is not None:
         config, seed, n_groups, data = load_bundle(args.replay)
         fuzzer.n_groups = n_groups
@@ -442,6 +595,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "fuzz":
         return _run_fuzz(args)
+    if args.command == "solve":
+        print(_run_solve(args))
+        return 0
     runner = _run_simulate if args.command == "simulate" else _run_experiment
     if getattr(args, "profile", False):
         from .reporting.profiling import profiled

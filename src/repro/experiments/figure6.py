@@ -87,9 +87,27 @@ def run(
     decade), so resolving the curves needs tens of thousands of groups.
     With ``until`` (a precision target), each variant's fleet instead
     grows until its DDF-rate CI is tight enough, capped at ``n_groups``.
+
+    ``engine="solver"`` answers each variant through the hybrid
+    front-end instead: all four Fig. 6 variants are analytically
+    eligible (the c-c variant routes to the exact CTMC, the Weibull
+    variants to the transition-matrix tier), so the whole figure
+    resolves in milliseconds with no sampling noise.
     """
     times = np.linspace(0.0, base_case.BASE_MISSION_HOURS, n_points + 1)[1:]
     curves: Dict[str, np.ndarray] = {}
+    if engine == "solver":
+        from ..solver import solve
+
+        for variant in VARIANTS:
+            answer = solve(variant_config(variant), mc_groups=n_groups, mc_seed=seed)
+            curves[variant] = answer.ddfs_per_thousand(times)
+        return Figure6Result(
+            times=times,
+            curves=curves,
+            mttdl=base_case.mttdl_line(times),
+            n_groups=0,
+        )
     max_fleet = 0
     for variant in VARIANTS:
         result = simulate_raid_groups(

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from .._validation import require_int
+from ..exceptions import ParameterError
 from .config import RaidGroupConfig
 from .monte_carlo import simulate_raid_groups
 from .results import SimulationResult
@@ -31,7 +32,9 @@ class SweepResult:
         Swept values, in input order.
     results:
         One fleet :class:`~repro.simulation.results.SimulationResult` per
-        value.
+        value (under ``engine="solver"``, an
+        :class:`~repro.solver.answer.AnalyticalFleetView` exposing the
+        same curve/first-year/total-DDF surface).
     engines:
         The concrete engine that simulated each value, parallel to
         ``values``.  Under ``engine="auto"`` resolution happens *per
@@ -105,7 +108,12 @@ def sweep(
         tightening between-configuration comparisons.  ``engine="auto"``
         resolves independently for every swept configuration; the
         per-value resolution is recorded on
-        :attr:`SweepResult.engines`.
+        :attr:`SweepResult.engines`.  ``engine="solver"`` routes every
+        swept configuration through the hybrid front-end
+        (:func:`repro.solver.solve`): analytically eligible values are
+        answered in milliseconds, the rest fall back to Monte Carlo with
+        ``n_groups`` as the fleet size, and the per-value tier is
+        recorded on :attr:`SweepResult.engines` as ``solver-<method>``.
     until:
         Optional :class:`~repro.simulation.streaming.Precision` target (or
         bare relative CI width): each swept fleet grows until its
@@ -115,6 +123,28 @@ def sweep(
     """
     require_int("n_groups", n_groups, minimum=1)
     values = list(values)
+    if engine == "solver":
+        if until is not None:
+            raise ParameterError(
+                "precision targets (until=...) require a simulation engine; "
+                "the solver front-end reports analytical error bounds instead"
+            )
+        # Imported lazily: repro.solver sits above the simulation layer
+        # in the import graph (it dispatches back into monte_carlo).
+        from ..solver import solve
+
+        results = [
+            solve(
+                config_builder(value),
+                mc_groups=n_groups,
+                mc_seed=seed,
+                n_jobs=n_jobs,
+            ).as_fleet_view()
+            for value in values
+        ]
+        return SweepResult(
+            parameter_name=parameter_name, values=values, results=results
+        )
     results = [
         simulate_raid_groups(
             config_builder(value),

@@ -1,0 +1,41 @@
+"""Hybrid analytical/simulation solver front-end.
+
+One entry point — :func:`solve` — classifies a
+:class:`~repro.simulation.config.RaidGroupConfig` and answers it with the
+cheapest model whose assumptions the configuration actually satisfies:
+
+* all-exponential → the exact CTMC transient solution
+  (:mod:`repro.analytical.markov`);
+* near-exponential hazards with short repairs → the discrete-time
+  transition-matrix solver with a step-size-controlled error bound
+  (:mod:`repro.analytical.transition_matrix`);
+* everything else → Monte Carlo via the existing ``engine="auto"`` path.
+
+Every answer is a :class:`SolverAnswer` carrying the method used and an
+explicit :class:`ErrorEstimate`; the analytical tiers are held to that
+bound by the golden-anchor tests and by the differential fuzzer, which
+runs solver-vs-batch as one more engine pair.
+"""
+
+from .answer import AnalyticalFleetView, ErrorEstimate, SolverAnswer
+from .classify import (
+    MAX_DELAY_MEAN_FRACTION,
+    MAX_HAZARD_VARIATION,
+    Classification,
+    classify,
+    hazard_variation_ratio,
+)
+from .solve import DEFAULT_MC_GROUPS, solve
+
+__all__ = [
+    "solve",
+    "classify",
+    "Classification",
+    "SolverAnswer",
+    "ErrorEstimate",
+    "AnalyticalFleetView",
+    "hazard_variation_ratio",
+    "MAX_HAZARD_VARIATION",
+    "MAX_DELAY_MEAN_FRACTION",
+    "DEFAULT_MC_GROUPS",
+]

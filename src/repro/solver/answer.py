@@ -1,0 +1,152 @@
+"""The solver front-end's answer type and its error-estimate contract.
+
+Every :func:`repro.solver.solve` call returns a :class:`SolverAnswer` no
+matter which tier produced it, carrying the method used, the expected-DDF
+curve, the DDF probability, and an :class:`ErrorEstimate` whose ``bound``
+is the solver's own claim about how far the answer may sit from the
+simulated truth.  The contract (held by the golden-anchor tests and the
+differential fuzzer): the Monte Carlo reference value lies within
+``bound`` of ``expected_ddfs``.
+
+The bound decomposes into named parts so a consumer can see *why* an
+answer is uncertain:
+
+* ``structural`` — the chain topologies aggregate per-drive state (the
+  simulator renews each drive individually; the chain renews the group),
+  an error that grows with the probability mass parked outside the
+  fully-functional state.  Modelled as
+  ``(0.05 + 0.5 * max_degraded_occupancy) * expected + 2e-3``.
+* ``step_error`` — the transition-matrix tier's Richardson fine-vs-coarse
+  gap (zero for the exact CTMC tier).
+* ``statistical`` — the Monte Carlo tier's ``4 * SE`` with the Poisson
+  floor used by the validation anchors (zero for analytical tiers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..simulation.config import RaidGroupConfig
+from ..simulation.results import SimulationResult
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorEstimate:
+    """Decomposed error bound on an answer's expected DDF count."""
+
+    kind: str  #: "structural", "discretization" or "statistical"
+    bound: float
+    structural: float = 0.0
+    step_error: float = 0.0
+    statistical: float = 0.0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverAnswer:
+    """One solved configuration, whichever tier answered it.
+
+    ``curve_times`` / ``curve_expected_ddfs`` sample the cumulative
+    expected-DDF-per-group curve over ``[0, horizon_hours]``;
+    ``ddf_probability`` is P(at least one DDF by the horizon).
+    """
+
+    config: RaidGroupConfig
+    method: str  #: "markov", "transition-matrix" or "monte-carlo"
+    reason: str
+    horizon_hours: float
+    expected_ddfs: float
+    ddf_probability: float
+    curve_times: np.ndarray
+    curve_expected_ddfs: np.ndarray
+    error: ErrorEstimate
+    elapsed_seconds: float
+    n_groups: Optional[int] = None
+    seed: Optional[int] = None
+    simulation: Optional[SimulationResult] = None
+
+    def expected_at(self, times: Sequence[float]) -> np.ndarray:
+        """Expected DDFs per group at each time (interpolated)."""
+        return np.interp(
+            np.asarray(times, dtype=float), self.curve_times, self.curve_expected_ddfs
+        )
+
+    def ddfs_per_thousand(self, times: Sequence[float]) -> np.ndarray:
+        """Cumulative DDFs per 1000 groups — the paper's Fig. 5/6 unit."""
+        return 1000.0 * self.expected_at(times)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (repro bundles, CLI --json output)."""
+        from ..validation.generator import config_to_dict
+
+        return {
+            "config": config_to_dict(self.config),
+            "method": self.method,
+            "reason": self.reason,
+            "horizon_hours": self.horizon_hours,
+            "expected_ddfs": self.expected_ddfs,
+            "ddf_probability": self.ddf_probability,
+            "error": self.error.to_dict(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "n_groups": self.n_groups,
+            "seed": self.seed,
+            "curve": {
+                "times": [float(t) for t in self.curve_times],
+                "expected_ddfs": [float(v) for v in self.curve_expected_ddfs],
+            },
+        }
+
+    def as_fleet_view(self) -> "AnalyticalFleetView":
+        """Adapt this answer to the fleet-result interface ``sweep`` uses."""
+        return AnalyticalFleetView(answer=self)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyticalFleetView:
+    """Duck-typed stand-in for a fleet
+    :class:`~repro.simulation.results.SimulationResult`.
+
+    Lets analytical answers flow through
+    :class:`~repro.simulation.sensitivity.SweepResult` (and anything else
+    consuming the curve/first-year/total-DDF surface) without teaching
+    those consumers about the solver.  The "fleet" is a nominal 1,000
+    groups carrying the *expected* counts as (non-integer) totals.
+    """
+
+    answer: SolverAnswer
+    n_groups: int = 1000
+
+    @property
+    def config(self) -> RaidGroupConfig:
+        return self.answer.config
+
+    @property
+    def engine(self) -> str:
+        return f"solver-{self.answer.method}"
+
+    @property
+    def mission_hours(self) -> float:
+        return self.answer.config.mission_hours
+
+    @property
+    def total_ddfs(self) -> float:
+        return self.answer.expected_ddfs * self.n_groups
+
+    def ddfs_within(self, hours: float) -> float:
+        return float(self.answer.expected_at([hours])[0]) * self.n_groups
+
+    def ddfs_per_thousand(self, times: Sequence[float]) -> np.ndarray:
+        return self.answer.ddfs_per_thousand(times)
+
+    def first_year_ddfs_per_thousand(self) -> float:
+        year = min(8760.0, self.answer.horizon_hours)
+        return float(self.answer.ddfs_per_thousand([year])[0])
+
+    def curve(self, n_points: int = 20) -> "tuple[np.ndarray, np.ndarray]":
+        times = np.linspace(0.0, self.answer.horizon_hours, n_points + 1)[1:]
+        return times, self.answer.ddfs_per_thousand(times)

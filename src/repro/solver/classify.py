@@ -1,0 +1,193 @@
+"""Per-config model selection: which solver tier can answer this config?
+
+The routing rules encode the findings of the "Are Markov Models
+Effective for Storage Reliability Modelling?" critique:
+
+* **markov** — every distribution is a location-free exponential and the
+  group shape matches one of the chain topologies in
+  :func:`repro.analytical.markov.ddf_chain_spec`.  The CTMC transient
+  solution is exact (up to the documented state-aggregation structure).
+* **transition-matrix** — the shape still matches a chain topology and
+  the hazards are *close enough* to constant: each failure process
+  (operational, latent) has a location-free hazard whose variation over
+  the horizon is bounded (``max/min <= MAX_HAZARD_VARIATION``), and each
+  delay process (restore, scrub) is short relative to the mission
+  (``mean <= MAX_DELAY_MEAN_FRACTION * mission``), so replacing it by its
+  rate-ized exponential only perturbs the DDF rate at second order.
+* **monte-carlo** — everything else: strong infant mortality (Weibull
+  shape well below 1), mixtures, lognormals with heavy hazard decay,
+  long repair floors, spare pools, age-anchored latent processes.  These
+  are exactly the regimes where the critique shows Markov-isation gives
+  the wrong answer, so the front-end refuses to pretend otherwise and
+  dispatches to the simulator.
+
+The classifier never imports :mod:`repro.validation` — the eligibility
+logic is reimplemented here at per-branch granularity so the solver
+package stays below the validation layer in the import graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..distributions import Distribution, Exponential
+from ..exceptions import ParameterError
+from ..simulation.config import RaidGroupConfig
+
+#: A failure hazard whose max/min ratio over the horizon window stays at
+#: or below this is "near-exponential" enough for the transition-matrix
+#: tier (a Weibull with shape 1.12 over a ~10-mission scale sits around
+#: 1.6; shape 1.3 already exceeds 3).
+MAX_HAZARD_VARIATION = 3.0
+
+#: A delay (restore/scrub) distribution may be rate-ized to 1/mean when
+#: its mean is at most this fraction of the horizon: to first order the
+#: DDF rate depends on the delay only through its mean.
+MAX_DELAY_MEAN_FRACTION = 0.05
+
+#: Hazard-variation window starts here (fraction of horizon) — hazards of
+#: location-free lives are evaluated away from t=0 where Weibull shapes
+#: > 1 have hazard 0 and any ratio would be infinite.
+HAZARD_WINDOW_START_FRACTION = 0.02
+
+#: Grid resolution for the hazard-variation scan.
+HAZARD_GRID_POINTS = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """Routing decision for one configuration.
+
+    ``route`` is ``"markov"``, ``"transition-matrix"`` or
+    ``"monte-carlo"``; ``reason`` is a human-readable justification and
+    ``details`` carries per-process diagnostics (hazard-variation ratios,
+    delay-mean fractions) for bundles and logs.
+    """
+
+    route: str
+    reason: str
+    details: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def is_analytical(self) -> bool:
+        return self.route in ("markov", "transition-matrix")
+
+
+def _is_plain_exponential(dist: Optional[Distribution]) -> bool:
+    return dist is None or (isinstance(dist, Exponential) and dist.location == 0.0)
+
+
+def hazard_variation_ratio(dist: Distribution, horizon_hours: float) -> float:
+    """Max/min hazard ratio over the classification window.
+
+    Returns ``inf`` when the hazard is non-positive or non-finite
+    anywhere on the grid (e.g. a Weibull shape > 1 at small t, or a
+    distribution with a location offset putting early hazard at zero) —
+    such processes cannot be represented by a bounded-variation rate.
+    """
+    lo = HAZARD_WINDOW_START_FRACTION * horizon_hours
+    grid = np.linspace(lo, horizon_hours, HAZARD_GRID_POINTS)
+    hazard = np.asarray(dist.hazard(grid), dtype=float)
+    if not np.all(np.isfinite(hazard)) or np.any(hazard <= 0.0):
+        return float("inf")
+    return float(hazard.max() / hazard.min())
+
+
+def _structural_reason(config: RaidGroupConfig) -> Optional[str]:
+    """Why no chain topology exists for this shape (None when one does)."""
+    if config.spare_pool is not None:
+        return "spare pool has no chain counterpart"
+    if config.latent_age_anchored:
+        return "age-anchored latent process has no chain counterpart"
+    if config.fault_tolerance == 1:
+        if config.models_latent_defects and not config.scrubbing_enabled:
+            return "no-scrub latent model has no chain counterpart"
+        return None
+    if config.fault_tolerance == 2 and not config.models_latent_defects:
+        return None
+    return (
+        f"no chain topology for fault tolerance {config.fault_tolerance} "
+        f"with this latent model"
+    )
+
+
+def classify(
+    config: RaidGroupConfig, horizon_hours: Optional[float] = None
+) -> Classification:
+    """Route a configuration to the cheapest trustworthy solver tier."""
+    if horizon_hours is None:
+        horizon_hours = config.mission_hours
+    if not (0.0 < horizon_hours <= config.mission_hours):
+        raise ParameterError(
+            f"horizon_hours must be in (0, mission_hours]; got {horizon_hours}"
+        )
+
+    structural = _structural_reason(config)
+    if structural is not None:
+        return Classification(route="monte-carlo", reason=structural)
+
+    failure_processes: Tuple[Tuple[str, Optional[Distribution]], ...] = (
+        ("time_to_op", config.time_to_op),
+        ("time_to_latent", config.time_to_latent),
+    )
+    delay_processes: Tuple[Tuple[str, Optional[Distribution]], ...] = (
+        ("time_to_restore", config.time_to_restore),
+        ("time_to_scrub", config.time_to_scrub),
+    )
+
+    if all(
+        _is_plain_exponential(dist)
+        for _, dist in failure_processes + delay_processes
+    ):
+        return Classification(
+            route="markov",
+            reason="all transitions are location-free exponentials; "
+            "the CTMC transient solution is exact",
+        )
+
+    details: Dict[str, float] = {}
+    for name, dist in failure_processes:
+        if dist is None:
+            continue
+        if getattr(dist, "location", 0.0) != 0.0:
+            return Classification(
+                route="monte-carlo",
+                reason=f"{name} has a location offset (zero early hazard)",
+                details=details,
+            )
+        ratio = hazard_variation_ratio(dist, horizon_hours)
+        details[f"{name}_hazard_variation"] = ratio
+        if not ratio <= MAX_HAZARD_VARIATION:
+            return Classification(
+                route="monte-carlo",
+                reason=(
+                    f"{name} hazard varies {ratio:.3g}x over the horizon "
+                    f"(limit {MAX_HAZARD_VARIATION:g}); Markov-isation is "
+                    f"untrustworthy here"
+                ),
+                details=details,
+            )
+    for name, dist in delay_processes:
+        if dist is None:
+            continue
+        fraction = dist.mean() / horizon_hours
+        details[f"{name}_mean_fraction"] = fraction
+        if fraction > MAX_DELAY_MEAN_FRACTION:
+            return Classification(
+                route="monte-carlo",
+                reason=(
+                    f"{name} mean is {fraction:.3g} of the horizon "
+                    f"(limit {MAX_DELAY_MEAN_FRACTION:g}); rate-izing the "
+                    f"delay would distort the exposure window"
+                ),
+                details=details,
+            )
+    return Classification(
+        route="transition-matrix",
+        reason="failure hazards have bounded variation and delays are "
+        "short relative to the horizon",
+        details=details,
+    )

@@ -1,0 +1,297 @@
+"""The hybrid solve front-end: classify, dispatch, wrap, bound.
+
+``solve(config)`` is the one call sites need: it routes the configuration
+through :func:`repro.solver.classify.classify`, runs the matching tier —
+exact CTMC, discrete-time transition matrix, or Monte Carlo through the
+existing ``engine="auto"`` path — and returns a
+:class:`~repro.solver.answer.SolverAnswer` with an explicit error bound.
+See :mod:`repro.solver.answer` for the bound's contract.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._validation import require_int, require_positive
+from ..analytical.markov import ChainSpec, ddf_chain_spec
+from ..analytical.transition_matrix import DEFAULT_N_STEPS, solve_ddf_chain
+from ..distributions import Distribution
+from ..exceptions import ParameterError
+from ..simulation.config import RaidGroupConfig
+from ..simulation.monte_carlo import simulate_raid_groups
+from .answer import ErrorEstimate, SolverAnswer
+from .classify import Classification, classify
+
+#: Fleet size for the Monte Carlo fallback tier (large enough that the
+#: statistical bound is informative, small enough to stay interactive).
+DEFAULT_MC_GROUPS = 2000
+
+#: Structural allowance: base relative slack for the chains' per-drive
+#: state aggregation, plus a term growing with the probability mass the
+#: chain parks outside the fully-functional state (where the aggregation
+#: actually bites).
+STRUCTURAL_RELATIVE_BASE = 0.05
+STRUCTURAL_OCCUPANCY_WEIGHT = 0.5
+
+#: Absolute floor so near-zero expectations carry a non-zero bound.
+ABSOLUTE_FLOOR = 2e-3
+
+#: Monte Carlo tier: this many standard errors.
+MC_Z = 4.0
+
+#: Points on the returned expected-DDF curve for the analytical tiers.
+DEFAULT_CURVE_POINTS = 64
+
+
+def _structural_bound(expected: float, max_degraded_occupancy: float) -> float:
+    relative = (
+        STRUCTURAL_RELATIVE_BASE
+        + STRUCTURAL_OCCUPANCY_WEIGHT * max_degraded_occupancy
+    )
+    return relative * expected + ABSOLUTE_FLOOR
+
+
+def _process_rates(config: RaidGroupConfig) -> Dict[str, float]:
+    """Constant per-process rates for the exact CTMC tier."""
+
+    def rate(name: str, dist: Distribution) -> float:
+        value = getattr(dist, "rate", None)
+        if value is None:
+            raise ParameterError(
+                f"{name} is not exponential; the markov tier needs "
+                f"constant rates (got {type(dist).__name__})"
+            )
+        return value
+
+    rates = {
+        "op": rate("time_to_op", config.time_to_op),
+        "restore": rate("time_to_restore", config.time_to_restore),
+    }
+    if config.time_to_latent is not None:
+        rates["latent"] = rate("time_to_latent", config.time_to_latent)
+    if config.time_to_scrub is not None:
+        rates["scrub"] = rate("time_to_scrub", config.time_to_scrub)
+    return rates
+
+
+def _process_hazards(config: RaidGroupConfig) -> Dict[str, "object"]:
+    """Per-process hazard callables for the transition-matrix tier.
+
+    Failure processes keep their true calendar-age hazard; delay
+    processes are rate-ized to ``1/mean`` (the classifier has already
+    checked the mean is short relative to the horizon).
+    """
+
+    def rateized(dist: Distribution):
+        rate = 1.0 / dist.mean()
+        return lambda t: np.full_like(np.asarray(t, dtype=float), rate)
+
+    hazards: Dict[str, object] = {
+        "op": config.time_to_op.hazard,
+        "restore": rateized(config.time_to_restore),
+    }
+    if config.time_to_latent is not None:
+        hazards["latent"] = config.time_to_latent.hazard
+    if config.time_to_scrub is not None:
+        hazards["scrub"] = rateized(config.time_to_scrub)
+    return hazards
+
+
+def _chain_spec(config: RaidGroupConfig) -> ChainSpec:
+    return ddf_chain_spec(
+        config.n_data,
+        config.fault_tolerance,
+        models_latent=config.models_latent_defects,
+        scrubbing=config.scrubbing_enabled,
+    )
+
+
+def _solve_markov(
+    config: RaidGroupConfig,
+    classification: Classification,
+    horizon_hours: float,
+    curve_points: int,
+) -> SolverAnswer:
+    started = time.perf_counter()
+    spec = _chain_spec(config)
+    rates = _process_rates(config)
+    chain = spec.chain(rates)
+    times = np.linspace(0.0, horizon_hours, curve_points + 1)
+    curve = chain.expected_entries(list(spec.ddf_states), times)
+    expected = float(curve[-1])
+    absorbing = spec.chain(rates, absorbing=True)
+    occupancy = chain.transient_probabilities(times)
+    max_degraded = float(np.max(1.0 - occupancy[:, 0]))
+    probability = float(
+        absorbing.transient_probabilities([horizon_hours])[0, list(spec.ddf_states)].sum()
+    )
+    structural = _structural_bound(expected, max_degraded)
+    return SolverAnswer(
+        config=config,
+        method="markov",
+        reason=classification.reason,
+        horizon_hours=horizon_hours,
+        expected_ddfs=expected,
+        ddf_probability=min(max(probability, 0.0), 1.0),
+        curve_times=times,
+        curve_expected_ddfs=np.asarray(curve, dtype=float),
+        error=ErrorEstimate(
+            kind="structural", bound=structural, structural=structural
+        ),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _solve_transition_matrix(
+    config: RaidGroupConfig,
+    classification: Classification,
+    horizon_hours: float,
+    n_steps: int,
+    curve_points: int,
+) -> SolverAnswer:
+    started = time.perf_counter()
+    spec = _chain_spec(config)
+    solution = solve_ddf_chain(
+        spec.rate_functions(_process_hazards(config)),
+        spec.n_states,
+        spec.ddf_states,
+        horizon_hours,
+        n_steps=n_steps,
+    )
+    times = np.linspace(0.0, horizon_hours, curve_points + 1)
+    curve = np.interp(times, solution.times, solution.expected_entries)
+    expected = solution.final_expected
+    structural = _structural_bound(expected, solution.max_degraded_occupancy)
+    return SolverAnswer(
+        config=config,
+        method="transition-matrix",
+        reason=classification.reason,
+        horizon_hours=horizon_hours,
+        expected_ddfs=expected,
+        ddf_probability=solution.final_probability,
+        curve_times=times,
+        curve_expected_ddfs=curve,
+        error=ErrorEstimate(
+            kind="discretization",
+            bound=structural + solution.step_error,
+            structural=structural,
+            step_error=solution.step_error,
+        ),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _solve_monte_carlo(
+    config: RaidGroupConfig,
+    classification: Classification,
+    horizon_hours: float,
+    mc_groups: int,
+    mc_seed: Optional[int],
+    n_jobs: int,
+    curve_points: int,
+) -> SolverAnswer:
+    started = time.perf_counter()
+    result = simulate_raid_groups(
+        config, n_groups=mc_groups, seed=mc_seed, n_jobs=n_jobs, engine="auto"
+    )
+    times = np.linspace(0.0, horizon_hours, curve_points + 1)
+    curve = result.ddfs_per_thousand(times) / 1000.0
+    expected = float(curve[-1])
+    counts = np.array(
+        [c.ddfs_before(horizon_hours) for c in result.chronologies], dtype=float
+    )
+    hits = float(np.mean(counts > 0))
+    sample_se = (
+        float(counts.std(ddof=1) / np.sqrt(counts.size)) if counts.size > 1 else 0.0
+    )
+    poisson_se = float(np.sqrt(max(expected, 0.0) / max(counts.size, 1)))
+    statistical = MC_Z * max(sample_se, poisson_se) + ABSOLUTE_FLOOR
+    return SolverAnswer(
+        config=config,
+        method="monte-carlo",
+        reason=classification.reason,
+        horizon_hours=horizon_hours,
+        expected_ddfs=expected,
+        ddf_probability=hits,
+        curve_times=times,
+        curve_expected_ddfs=curve,
+        error=ErrorEstimate(
+            kind="statistical", bound=statistical, statistical=statistical
+        ),
+        elapsed_seconds=time.perf_counter() - started,
+        n_groups=result.n_groups,
+        seed=mc_seed,
+        simulation=result,
+    )
+
+
+def solve(
+    config: RaidGroupConfig,
+    horizon_hours: Optional[float] = None,
+    n_steps: int = DEFAULT_N_STEPS,
+    mc_groups: int = DEFAULT_MC_GROUPS,
+    mc_seed: Optional[int] = 0,
+    n_jobs: int = 1,
+    curve_points: int = DEFAULT_CURVE_POINTS,
+    method: Optional[str] = None,
+) -> SolverAnswer:
+    """Answer a configuration with the cheapest trustworthy model.
+
+    Parameters
+    ----------
+    config:
+        The RAID group to solve.
+    horizon_hours:
+        Evaluation horizon; defaults to the mission.  Must lie in
+        ``(0, mission_hours]``.
+    n_steps:
+        Discretization resolution for the transition-matrix tier.
+    mc_groups, mc_seed, n_jobs:
+        Monte Carlo fallback fleet size / seed / parallelism.
+    curve_points:
+        Resolution of the returned expected-DDF curve.
+    method:
+        Optional routing override (``"markov"``, ``"transition-matrix"``
+        or ``"monte-carlo"``): skip classification and force a tier.
+        Useful for tests and for comparing tiers on one config; forcing
+        an analytical tier onto a structurally unsupported shape still
+        raises :class:`~repro.exceptions.ParameterError`.
+    """
+    if horizon_hours is None:
+        horizon_hours = config.mission_hours
+    require_positive("horizon_hours", horizon_hours)
+    if horizon_hours > config.mission_hours:
+        raise ParameterError(
+            f"horizon_hours {horizon_hours} exceeds mission_hours "
+            f"{config.mission_hours}"
+        )
+    require_int("curve_points", curve_points, minimum=2)
+    require_int("mc_groups", mc_groups, minimum=2)
+
+    if method is None:
+        classification = classify(config, horizon_hours)
+    else:
+        if method not in ("markov", "transition-matrix", "monte-carlo"):
+            raise ParameterError(f"unknown solver method {method!r}")
+        classification = Classification(
+            route=method, reason=f"method override: {method}"
+        )
+
+    if classification.route == "markov":
+        return _solve_markov(config, classification, horizon_hours, curve_points)
+    if classification.route == "transition-matrix":
+        return _solve_transition_matrix(
+            config, classification, horizon_hours, n_steps, curve_points
+        )
+    return _solve_monte_carlo(
+        config,
+        classification,
+        horizon_hours,
+        mc_groups,
+        mc_seed,
+        n_jobs,
+        curve_points,
+    )

@@ -9,6 +9,11 @@ Three independent oracles guard the two simulation engines:
 * :mod:`repro.validation.anchors` — closed-form Markov anchors for
   all-exponential configurations.
 
+A fourth check, solver-vs-batch, holds the hybrid analytical front-end
+(:mod:`repro.solver`) to the simulated truth on every analytically
+eligible case — its own error bound plus a statistical allowance is the
+tolerance.
+
 :mod:`repro.validation.generator` draws seeded random configurations
 spanning the supported feature space and
 :mod:`repro.validation.differential` wires everything into a
@@ -27,8 +32,10 @@ from .differential import (
     CaseResult,
     DifferentialFuzzer,
     FuzzReport,
+    SolverComparison,
     case_config_rng,
     case_seed,
+    compare_solver_answer,
     load_bundle,
     run_batch_engine,
     run_event_engine,
@@ -54,8 +61,10 @@ __all__ = [
     "CaseResult",
     "DifferentialFuzzer",
     "FuzzReport",
+    "SolverComparison",
     "case_config_rng",
     "case_seed",
+    "compare_solver_answer",
     "load_bundle",
     "run_batch_engine",
     "run_event_engine",

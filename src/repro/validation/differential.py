@@ -13,7 +13,15 @@ the validation battery:
    it counts as a divergence — fuzzing runs hundreds of cases, so the
    per-case false-positive probability must be tiny;
 3. all-exponential configurations are additionally pinned to the
-   closed-form Markov anchors (:mod:`repro.validation.anchors`).
+   closed-form Markov anchors (:mod:`repro.validation.anchors`);
+4. configurations the hybrid solver front-end classifies as analytically
+   eligible (:mod:`repro.solver`) are solved through it and the answer is
+   compared against the batch fleet's mean DDF count — the solver's own
+   error bound plus the statistical allowance sets the tolerance, and a
+   suspect comparison is confirmed on a larger independent fleet before
+   it counts (``solver-divergence``).  Monte-Carlo-routed configurations
+   skip this stage: that route *is* the pair of engines already under
+   test.
 
 A failing case is greedily shrunk to a minimal still-failing
 configuration and written as a JSON repro bundle
@@ -59,6 +67,60 @@ DEFAULT_P_FLOOR = 5e-4
 DEFAULT_Z_CEILING = 5.0
 
 Runner = Callable[[RaidGroupConfig, int, int], List[GroupChronology]]
+
+#: Statistical allowance for the solver-vs-batch comparison, in standard
+#: errors of the simulated mean (on top of the solver's own error bound).
+SOLVER_Z_ALLOWANCE = 5.0
+
+#: Discretization resolution for the fuzzer's transition-matrix solves —
+#: half the interactive default; the coarser step error simply widens the
+#: reported bound, which the comparison honours.
+SOLVER_N_STEPS = 512
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverComparison:
+    """Solver answer vs batch-fleet mean DDF count for one fuzz case.
+
+    ``allowance`` is the solver's claimed error bound plus
+    ``SOLVER_Z_ALLOWANCE`` standard errors of the simulated mean (with
+    the same Poisson floor the anchors use).
+    """
+
+    method: str
+    expected: float
+    bound: float
+    observed_mean: float
+    standard_error: float
+    allowance: float
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def compare_solver_answer(
+    answer, chronologies: Sequence[GroupChronology]
+) -> SolverComparison:
+    """Compare a :class:`~repro.solver.answer.SolverAnswer` against a
+    simulated fleet's mean DDF count."""
+    counts = np.array([c.n_ddfs for c in chronologies], dtype=float)
+    observed = float(counts.mean())
+    sample_se = (
+        float(counts.std(ddof=1) / np.sqrt(counts.size)) if counts.size > 1 else 0.0
+    )
+    poisson_se = float(np.sqrt(max(answer.expected_ddfs, 0.0) / max(counts.size, 1)))
+    se = max(sample_se, poisson_se)
+    allowance = answer.error.bound + SOLVER_Z_ALLOWANCE * se
+    return SolverComparison(
+        method=answer.method,
+        expected=answer.expected_ddfs,
+        bound=answer.error.bound,
+        observed_mean=observed,
+        standard_error=se,
+        allowance=allowance,
+        ok=abs(observed - answer.expected_ddfs) <= allowance,
+    )
 
 
 def run_event_engine(
@@ -122,11 +184,14 @@ class CaseResult:
     seed: int
     n_groups: int
     mode: str  # "differential" | "oracle-only"
-    status: str  # "ok" | "invariant-violation" | "divergence" | "anchor-mismatch"
+    # "ok" | "invariant-violation" | "divergence" | "anchor-mismatch"
+    # | "solver-divergence"
+    status: str
     detail: str = ""
     violations: List[InvariantViolation] = dataclasses.field(default_factory=list)
     comparison: Optional[FleetComparison] = None
     anchor: Optional[AnchorResult] = None
+    solver: Optional[SolverComparison] = None
     shrunk_config: Optional[RaidGroupConfig] = None
     shrink_evaluations: int = 0
     bundle_path: Optional[str] = None
@@ -150,6 +215,7 @@ class CaseResult:
             "violations": [v.to_dict() for v in self.violations[:20]],
             "comparison": self.comparison.to_dict() if self.comparison else None,
             "anchor": self.anchor.to_dict() if self.anchor else None,
+            "solver": self.solver.to_dict() if self.solver else None,
             "shrunk_config": (
                 config_to_dict(self.shrunk_config) if self.shrunk_config else None
             ),
@@ -247,6 +313,12 @@ class DifferentialFuzzer:
     max_shrink_evaluations:
         Budget for the greedy shrinker (each evaluation re-runs the
         battery on a candidate configuration).
+    solver_check:
+        Run the solver-vs-batch comparison on analytically eligible
+        configurations (stage 4).
+    solver_n_steps:
+        Discretization resolution for the transition-matrix tier during
+        fuzzing.
     """
 
     def __init__(
@@ -260,6 +332,8 @@ class DifferentialFuzzer:
         event_runner: Optional[Runner] = None,
         batch_runner: Optional[Runner] = None,
         max_shrink_evaluations: int = 24,
+        solver_check: bool = True,
+        solver_n_steps: int = SOLVER_N_STEPS,
     ) -> None:
         self.sampler = sampler or ConfigSampler()
         self.n_groups = n_groups
@@ -270,6 +344,8 @@ class DifferentialFuzzer:
         self.event_runner = event_runner or run_event_engine
         self.batch_runner = batch_runner or run_batch_engine
         self.max_shrink_evaluations = max_shrink_evaluations
+        self.solver_check = solver_check
+        self.solver_n_steps = solver_n_steps
 
     # -- one case ------------------------------------------------------
     def run_case(
@@ -353,7 +429,58 @@ class DifferentialFuzzer:
                         f"{anchor.expected:.4g} (tolerance {anchor.tolerance:.4g})"
                     )
                     return result
+
+            # 4. Hybrid solver vs batch (analytically eligible configs).
+            if self.solver_check:
+                solver_comparison = self._check_solver(config, batch, seed, n_groups)
+                if solver_comparison is not None:
+                    result.solver = solver_comparison
+                    if not solver_comparison.ok:
+                        result.status = "solver-divergence"
+                        result.detail = (
+                            f"solver ({solver_comparison.method}) expected "
+                            f"{solver_comparison.expected:.4g} vs simulated mean "
+                            f"{solver_comparison.observed_mean:.4g} "
+                            f"(allowance {solver_comparison.allowance:.4g})"
+                        )
+                        return result
         return result
+
+    def _check_solver(
+        self,
+        config: RaidGroupConfig,
+        batch: List[GroupChronology],
+        seed: int,
+        n_groups: int,
+    ) -> Optional[SolverComparison]:
+        """Stage 4: solver-vs-batch on analytically eligible configs.
+
+        Returns ``None`` for Monte-Carlo-routed configurations (nothing
+        independent to compare: that route is the engines under test).
+        A failing comparison is confirmed against a ``confirm_factor``×
+        batch fleet on an independent derived seed before it stands —
+        the analytical answer is deterministic, so only the simulated
+        side is re-drawn.
+        """
+        # Imported lazily: repro.solver depends on repro.simulation, and
+        # pulling it in at module level would cycle once the solver package
+        # grows validation-aware features.
+        from ..solver import classify, solve
+
+        if not classify(config).is_analytical:
+            return None
+        answer = solve(config, n_steps=self.solver_n_steps)
+        comparison = compare_solver_answer(answer, batch)
+        if comparison.ok:
+            return comparison
+        confirm_seed = int(
+            np.random.SeedSequence([seed, 0xA17]).generate_state(1)[0]
+        )
+        confirm_fleet = self.batch_runner(
+            config, n_groups * self.confirm_factor, confirm_seed
+        )
+        confirmed = compare_solver_answer(answer, confirm_fleet)
+        return confirmed
 
     def _confirm(
         self, config: RaidGroupConfig, seed: int, n_groups: int

@@ -201,6 +201,13 @@ class ConfigSampler:
         Probability that TTR (and TTScrub) use :class:`Deterministic`
         delays — these deliberately manufacture simultaneous events and
         stress the documented tie-break boundaries.
+    analytical_bias:
+        Probability of drawing from the *solver-eligible* regime instead
+        of the general feature space: configurations the hybrid solver
+        front-end (:mod:`repro.solver`) routes to an analytical tier, so
+        the solver-vs-batch engine pair exercises every campaign.  At
+        ``0.0`` (the default) the general stream is bit-identical to a
+        sampler without the knob.
 
     Notes
     -----
@@ -217,12 +224,18 @@ class ConfigSampler:
         p_age_anchored: float = 0.1,
         p_spare_pool: float = 0.15,
         p_deterministic_delay: float = 0.3,
+        analytical_bias: float = 0.0,
     ) -> None:
         self.p_no_latent = p_no_latent
         self.p_no_scrub = p_no_scrub
         self.p_age_anchored = p_age_anchored
         self.p_spare_pool = p_spare_pool
         self.p_deterministic_delay = p_deterministic_delay
+        if not 0.0 <= analytical_bias <= 1.0:
+            raise ParameterError(
+                f"analytical_bias must be in [0, 1]; got {analytical_bias}"
+            )
+        self.analytical_bias = analytical_bias
 
     # -- delay-family draws -------------------------------------------
     def _op_distribution(self, rng: np.random.Generator, mission: float) -> Distribution:
@@ -274,6 +287,11 @@ class ConfigSampler:
     # -- public API ----------------------------------------------------
     def sample(self, rng: np.random.Generator) -> RaidGroupConfig:
         """Draw one random configuration."""
+        # The bias roll is gated so a bias of 0.0 consumes no randomness
+        # and the general stream stays bit-identical to an unbiased
+        # sampler's (the determinism tests pin this).
+        if self.analytical_bias > 0.0 and rng.random() < self.analytical_bias:
+            return self.sample_solver_eligible(rng)
         mission = float(rng.uniform(20_000.0, 90_000.0))
         n_parity = int(rng.integers(1, 4))
         n_data = int(rng.integers(max(2, n_parity), 9))
@@ -305,6 +323,76 @@ class ConfigSampler:
             time_to_scrub=time_to_scrub,
             latent_age_anchored=age_anchored,
             spare_pool=spare_pool,
+        )
+
+    def sample_solver_eligible(self, rng: np.random.Generator) -> RaidGroupConfig:
+        """Draw a configuration the solver front-end answers analytically.
+
+        Spans both analytical tiers: all-exponential draws route to the
+        exact CTMC, while near-exponential Weibull/Gamma failure lives
+        (shape within ~10% of 1) and short deterministic / Weibull /
+        uniform repair delays route to the transition-matrix tier.  Every
+        parameter range sits strictly inside the classifier's gates
+        (hazard variation well under the limit, delay means well under
+        5% of the mission), so the draw is eligible by construction.
+        """
+        mission = float(rng.uniform(20_000.0, 60_000.0))
+        shape = int(rng.integers(0, 3))
+        n_parity = 2 if shape == 2 else 1
+        n_data = int(rng.integers(2, 9))
+
+        op_scale = mission * rng.uniform(4.0, 12.0)
+        roll = rng.random()
+        if roll < 0.4:
+            time_to_op: Distribution = Exponential(mean=op_scale)
+        elif roll < 0.8:
+            time_to_op = Weibull(shape=rng.uniform(0.9, 1.1), scale=op_scale)
+        else:
+            time_to_op = Gamma(shape=rng.uniform(0.95, 1.05), scale=op_scale)
+
+        roll = rng.random()
+        if roll < 0.35:
+            time_to_restore: Distribution = Exponential(mean=rng.uniform(8.0, 36.0))
+        elif roll < 0.6:
+            time_to_restore = Deterministic(value=float(rng.integers(6, 49)))
+        elif roll < 0.85:
+            time_to_restore = Weibull(
+                shape=rng.uniform(1.5, 3.0),
+                scale=rng.uniform(6.0, 24.0),
+                location=float(rng.integers(0, 13)),
+            )
+        else:
+            time_to_restore = Uniform(
+                low=rng.uniform(4.0, 10.0), high=rng.uniform(12.0, 48.0)
+            )
+
+        time_to_latent: Optional[Distribution] = None
+        time_to_scrub: Optional[Distribution] = None
+        if shape == 0:
+            latent_scale = mission * rng.uniform(0.1, 0.6)
+            if rng.random() < 0.5:
+                time_to_latent = Exponential(mean=latent_scale)
+            else:
+                time_to_latent = Weibull(
+                    shape=rng.uniform(0.9, 1.1), scale=latent_scale
+                )
+            roll = rng.random()
+            if roll < 0.4:
+                time_to_scrub = Exponential(mean=rng.uniform(24.0, 336.0))
+            elif roll < 0.7:
+                time_to_scrub = Deterministic(value=float(rng.integers(12, 337)))
+            else:
+                time_to_scrub = Weibull(
+                    shape=rng.uniform(1.5, 3.5), scale=rng.uniform(12.0, 336.0)
+                )
+        return RaidGroupConfig(
+            n_data=n_data,
+            n_parity=n_parity,
+            mission_hours=mission,
+            time_to_op=time_to_op,
+            time_to_restore=time_to_restore,
+            time_to_latent=time_to_latent,
+            time_to_scrub=time_to_scrub,
         )
 
     def sample_anchor(self, rng: np.random.Generator) -> RaidGroupConfig:

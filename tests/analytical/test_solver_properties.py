@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the analytical solver tiers.
+
+Physics the closed-form chains and the discrete-time transition-matrix
+solver must respect regardless of parameters:
+
+* expected DDF entries are monotone non-decreasing in the horizon;
+* more failure-prone drives (smaller MTBF) mean more DDFs;
+* faster repair (smaller MTTR) means fewer DDFs;
+* higher fault tolerance (RAID 6 vs RAID 5) means fewer data losses;
+* halving the transition-matrix step shrinks the reported error bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.markov import ddf_chain_spec, raid5_ctmc, raid6_ctmc
+from repro.analytical.transition_matrix import solve_ddf_chain
+from repro.distributions import Exponential, Weibull
+from repro.simulation.config import RaidGroupConfig
+from repro.solver import solve
+
+#: Anchor-regime parameter ranges: lives a few missions long, repairs
+#: short — where the chains are far from saturation, so the monotone
+#: orderings hold with clear margins rather than inside numerical noise.
+mtbfs = st.floats(min_value=100_000.0, max_value=2_000_000.0)
+mttrs = st.floats(min_value=1.0, max_value=100.0)
+n_datas = st.integers(min_value=2, max_value=8)
+horizons = st.floats(min_value=1_000.0, max_value=87_600.0)
+
+
+def expected_raid5(n_data, mtbf, mttr, horizon):
+    return float(raid5_ctmc(n_data, mtbf, mttr).expected_entries([2], [horizon])[0])
+
+
+def expected_raid6(n_data, mtbf, mttr, horizon):
+    return float(raid6_ctmc(n_data, mtbf, mttr).expected_entries([3], [horizon])[0])
+
+
+class TestMarkovProperties:
+    @given(n_data=n_datas, mtbf=mtbfs, mttr=mttrs, h1=horizons, h2=horizons)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_horizon(self, n_data, mtbf, mttr, h1, h2):
+        lo, hi = sorted((h1, h2))
+        assert expected_raid5(n_data, mtbf, mttr, lo) <= expected_raid5(
+            n_data, mtbf, mttr, hi
+        ) * (1.0 + 1e-9) + 1e-12
+
+    @given(n_data=n_datas, mtbf1=mtbfs, mtbf2=mtbfs, mttr=mttrs, horizon=horizons)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_failure_rate(self, n_data, mtbf1, mtbf2, mttr, horizon):
+        frail, robust = sorted((mtbf1, mtbf2))
+        assert expected_raid5(n_data, frail, mttr, horizon) >= expected_raid5(
+            n_data, robust, mttr, horizon
+        ) * (1.0 - 1e-9) - 1e-12
+
+    @given(n_data=n_datas, mtbf=mtbfs, mttr1=mttrs, mttr2=mttrs, horizon=horizons)
+    @settings(max_examples=60, deadline=None)
+    def test_non_increasing_in_repair_rate(self, n_data, mtbf, mttr1, mttr2, horizon):
+        quick, slow = sorted((mttr1, mttr2))
+        assert expected_raid5(n_data, mtbf, quick, horizon) <= expected_raid5(
+            n_data, mtbf, slow, horizon
+        ) * (1.0 + 1e-9) + 1e-12
+
+    @given(n_data=n_datas, mtbf=mtbfs, mttr=mttrs, horizon=horizons)
+    @settings(max_examples=60, deadline=None)
+    def test_non_increasing_in_tolerance(self, n_data, mtbf, mttr, horizon):
+        # Same drives, one extra parity: strictly harder to lose data.
+        assert expected_raid6(n_data, mtbf, mttr, horizon) <= expected_raid5(
+            n_data, mtbf, mttr, horizon
+        ) * (1.0 + 1e-9) + 1e-12
+
+
+def _tm_solution(n_data, mtbf, mttr, horizon, n_steps):
+    spec = ddf_chain_spec(n_data, 1)
+    rates = {"op": 1.0 / mtbf, "restore": 1.0 / mttr}
+    fns = spec.rate_functions(
+        {
+            name: (lambda t, r=rate: np.full_like(np.asarray(t, dtype=float), r))
+            for name, rate in rates.items()
+        }
+    )
+    return solve_ddf_chain(fns, spec.n_states, spec.ddf_states, horizon, n_steps=n_steps)
+
+
+class TestTransitionMatrixProperties:
+    @given(n_data=n_datas, mtbf=mtbfs, mttr=mttrs, horizon=horizons)
+    @settings(max_examples=40, deadline=None)
+    def test_curves_are_monotone_and_bounded(self, n_data, mtbf, mttr, horizon):
+        solution = _tm_solution(n_data, mtbf, mttr, horizon, n_steps=128)
+        assert np.all(np.diff(solution.expected_entries) >= -1e-12)
+        assert np.all(solution.expected_entries >= 0.0)
+        assert np.all(solution.ddf_probability >= 0.0)
+        assert np.all(solution.ddf_probability <= 1.0)
+        assert np.all(np.diff(solution.ddf_probability) >= -1e-12)
+
+    @given(n_data=n_datas, mtbf=mtbfs, mttr=mttrs, horizon=horizons)
+    @settings(max_examples=40, deadline=None)
+    def test_step_halving_shrinks_error_bound(self, n_data, mtbf, mttr, horizon):
+        coarse = _tm_solution(n_data, mtbf, mttr, horizon, n_steps=64)
+        fine = _tm_solution(n_data, mtbf, mttr, horizon, n_steps=128)
+        assert fine.step_error <= coarse.step_error * (1.0 + 1e-9) + 1e-15
+
+    @given(n_data=n_datas, mtbf=mtbfs, mttr=mttrs, horizon=horizons)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_ctmc_within_step_error(self, n_data, mtbf, mttr, horizon):
+        # Constant rates: the CTMC transient solution is the exact answer
+        # the discretization converges to.
+        solution = _tm_solution(n_data, mtbf, mttr, horizon, n_steps=256)
+        exact = expected_raid5(n_data, mtbf, mttr, horizon)
+        assert abs(solution.final_expected - exact) <= solution.step_error + 1e-9
+
+
+@pytest.fixture(scope="module")
+def weibull_config():
+    return RaidGroupConfig(
+        n_data=7,
+        mission_hours=40_000.0,
+        time_to_op=Weibull(shape=1.08, scale=350_000.0),
+        time_to_restore=Exponential(mean=24.0),
+    )
+
+
+class TestSolverAnswerProperties:
+    def test_expected_monotone_in_horizon(self, weibull_config):
+        answers = [
+            solve(weibull_config, horizon_hours=h, n_steps=128).expected_ddfs
+            for h in (10_000.0, 20_000.0, 40_000.0)
+        ]
+        assert answers == sorted(answers)
+
+    def test_step_halving_shrinks_answer_bound(self, weibull_config):
+        coarse = solve(weibull_config, n_steps=64, method="transition-matrix")
+        fine = solve(weibull_config, n_steps=128, method="transition-matrix")
+        assert fine.error.step_error <= coarse.error.step_error * (1.0 + 1e-9)
+        assert fine.error.bound <= coarse.error.bound * (1.0 + 1e-9)

@@ -127,6 +127,17 @@ class TestFigure6:
         with pytest.raises(KeyError):
             figure6.variant_config("bogus")
 
+    def test_solver_engine_reproduces_the_validation_claim(self):
+        # Answered analytically: the c-c variant is the paper's model
+        # validation against MTTDL, and the hybrid solver makes that
+        # comparison exact-vs-closed-form instead of sampled.
+        result = figure6.run(engine="solver")
+        assert set(result.curves) == set(figure6.VARIANTS)
+        for curve in result.curves.values():
+            assert np.all(np.diff(curve) >= -1e-9)
+        ratio = result.curves["c-c"][-1] / result.mttdl[-1]
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
 
 class TestFigure7:
     @pytest.fixture(scope="class")

@@ -219,6 +219,40 @@ class TestSweep:
         # Both fleets simulated the full size despite the engine split.
         assert [r.n_groups for r in out.results] == [30, 30]
 
+    def test_sweep_solver_engine_answers_analytically(self):
+        def build(mttr):
+            return RaidGroupConfig(
+                n_data=3,
+                time_to_op=Exponential(200_000.0),
+                time_to_restore=Exponential(float(mttr)),
+                mission_hours=40_000.0,
+            )
+
+        out = sweep("mttr", [24.0, 96.0], build, n_groups=100, seed=0, engine="solver")
+        # All-exponential points route to the exact chain; the fleet views
+        # report which tier answered each one.
+        assert out.engines == ["solver-markov", "solver-markov"]
+        totals = out.mission_ddfs_per_thousand()
+        assert totals[96.0] > totals[24.0]
+        curves = out.curves(n_points=5)
+        assert curves[24.0][0].shape == (5,)
+        assert 24.0 in out.first_year_ddfs_per_thousand()
+
+    def test_sweep_solver_engine_rejects_precision_stopping(self, hot_config):
+        from repro.exceptions import ParameterError
+        from repro.simulation.streaming import Precision
+
+        with pytest.raises(ParameterError):
+            sweep(
+                "x",
+                [1],
+                lambda _v: hot_config,
+                n_groups=10,
+                seed=0,
+                engine="solver",
+                until=Precision(rel_ci_width=0.1),
+            )
+
     def test_sweep_curves_and_first_year(self, hot_config):
         out = sweep(
             "x",

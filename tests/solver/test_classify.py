@@ -1,0 +1,159 @@
+"""Unit tests for the solver front-end's routing rules.
+
+Every branch of :func:`repro.solver.classify.classify` gets a
+configuration engineered to land in it, including the planted-misroute
+case: strong infant mortality (Weibull shape well below 1) must NOT be
+sent to an analytical tier, however tempting the rest of the
+configuration looks.
+"""
+
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    Weibull,
+)
+from repro.exceptions import ParameterError
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.spares import SparePoolConfig
+from repro.solver import MAX_HAZARD_VARIATION, classify, hazard_variation_ratio
+
+MISSION = 40_000.0
+
+
+def config(**overrides):
+    base = dict(
+        n_data=7,
+        mission_hours=MISSION,
+        time_to_op=Exponential(mean=300_000.0),
+        time_to_restore=Exponential(mean=24.0),
+    )
+    base.update(overrides)
+    return RaidGroupConfig(**base)
+
+
+class TestMarkovRoute:
+    def test_all_exponential_raid5(self):
+        c = classify(config())
+        assert c.route == "markov"
+        assert c.is_analytical
+
+    def test_all_exponential_raid5_latent_scrub(self):
+        cfg = config(
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        assert classify(cfg).route == "markov"
+
+    def test_all_exponential_raid6(self):
+        assert classify(config(n_parity=2)).route == "markov"
+
+    def test_exponential_with_location_is_not_markov(self):
+        cfg = config(time_to_restore=Exponential(mean=24.0, location=6.0))
+        # Location on a *delay* is fine for the transition-matrix tier
+        # (only the mean matters) but disqualifies the exact CTMC.
+        assert classify(cfg).route == "transition-matrix"
+
+
+class TestTransitionMatrixRoute:
+    def test_near_exponential_weibull(self):
+        cfg = config(time_to_op=Weibull(shape=1.1, scale=300_000.0))
+        c = classify(cfg)
+        assert c.route == "transition-matrix"
+        assert 1.0 < c.details["time_to_op_hazard_variation"] <= MAX_HAZARD_VARIATION
+
+    def test_deterministic_repair(self):
+        cfg = config(time_to_restore=Deterministic(value=24.0))
+        assert classify(cfg).route == "transition-matrix"
+
+    def test_paper_base_case(self):
+        assert classify(RaidGroupConfig.paper_base_case()).route == "transition-matrix"
+
+
+class TestMonteCarloFallback:
+    def test_infant_mortality_is_not_analytical(self):
+        # The planted misroute: shape 0.55 has a steeply *decreasing*
+        # hazard — the regime where the Markov critique shows constant-
+        # rate models get DDF rates wrong by integer factors.
+        cfg = config(time_to_op=Weibull(shape=0.55, scale=300_000.0))
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert not c.is_analytical
+        assert "time_to_op" in c.reason
+        assert hazard_variation_ratio(cfg.time_to_op, MISSION) > MAX_HAZARD_VARIATION
+
+    def test_strongly_wearing_out_weibull(self):
+        cfg = config(time_to_op=Weibull(shape=1.6, scale=300_000.0))
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_mixture_falls_back(self):
+        weak = Weibull(shape=0.6, scale=20_000.0)
+        strong = Weibull(shape=1.4, scale=600_000.0)
+        cfg = config(time_to_op=Mixture(components=[weak, strong], weights=[0.3, 0.7]))
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_lognormal_falls_back(self):
+        cfg = config(time_to_op=LogNormal(mu=12.6, sigma=0.8))
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_long_repair_falls_back(self):
+        cfg = config(time_to_restore=Uniform(low=2_000.0, high=6_000.0))
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert "time_to_restore" in c.reason
+
+    def test_op_location_falls_back(self):
+        cfg = config(time_to_op=Exponential(mean=300_000.0, location=1_000.0))
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_spare_pool_is_structural(self):
+        cfg = config(spare_pool=SparePoolConfig(n_spares=2, replenishment_hours=100.0))
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert "spare pool" in c.reason
+
+    def test_age_anchored_latent_is_structural(self):
+        cfg = config(
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+            latent_age_anchored=True,
+        )
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_no_scrub_latent_is_structural(self):
+        cfg = config(time_to_latent=Exponential(mean=10_000.0))
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert "no-scrub" in c.reason
+
+    def test_triple_parity_is_structural(self):
+        cfg = config(n_parity=3)
+        assert classify(cfg).route == "monte-carlo"
+
+    def test_raid6_with_latent_is_structural(self):
+        cfg = config(
+            n_parity=2,
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        assert classify(cfg).route == "monte-carlo"
+
+
+class TestHorizonHandling:
+    def test_invalid_horizon_raises(self):
+        with pytest.raises(ParameterError):
+            classify(config(), horizon_hours=0.0)
+        with pytest.raises(ParameterError):
+            classify(config(), horizon_hours=MISSION * 2)
+
+    def test_short_horizon_can_admit_longer_repairs(self):
+        # A 2,500 h repair is 6% of the mission (rejected) but the same
+        # delay against the full mission of a longer-mission variant
+        # would pass; conversely a *shorter* horizon tightens the gate.
+        cfg = config(time_to_restore=Uniform(low=2_000.0, high=3_000.0))
+        assert classify(cfg).route == "monte-carlo"
+        assert classify(cfg, horizon_hours=MISSION).route == "monte-carlo"

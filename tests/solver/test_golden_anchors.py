@@ -1,0 +1,75 @@
+"""Golden anchors: ``solve()`` vs committed Monte Carlo references.
+
+``golden_anchors.json`` pins the paper's operating points (the four
+Fig. 6 variants, the Table 2 base case with its 168 h scrub, a RAID 6
+variant, and an all-exponential latent+scrub case) to fleet means
+simulated once at 16k-20k groups.  The acceptance contract: every
+analytical answer lies within *its own reported error bound* of the
+reference (plus the reference's sampling allowance), and the classifier
+routes each config to the expected tier.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.solver import solve
+from repro.validation import config_from_dict
+
+ANCHORS_PATH = os.path.join(os.path.dirname(__file__), "golden_anchors.json")
+
+#: Allowance for the *reference's* sampling noise, in standard errors.
+REFERENCE_Z = 3.0
+
+
+def load_anchors():
+    with open(ANCHORS_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+ANCHORS = load_anchors()
+
+
+@pytest.mark.parametrize("name", sorted(ANCHORS))
+class TestGoldenAnchors:
+    def test_routed_to_expected_method(self, name):
+        anchor = ANCHORS[name]
+        answer = solve(config_from_dict(anchor["config"]))
+        assert answer.method == anchor["expected_method"]
+
+    def test_expected_ddfs_within_own_error_bound(self, name):
+        anchor = ANCHORS[name]
+        answer = solve(config_from_dict(anchor["config"]))
+        reference = anchor["mean_ddfs_per_group"]
+        # The reference itself is a finite-fleet estimate: allow its
+        # sampling noise (with the Poisson floor) on top of the solver's
+        # own claimed bound.
+        se = max(
+            anchor["standard_error"],
+            float(np.sqrt(max(reference, answer.expected_ddfs) / anchor["n_groups"])),
+        )
+        tolerance = answer.error.bound + REFERENCE_Z * se
+        assert abs(answer.expected_ddfs - reference) <= tolerance, (
+            f"{name}: solver {answer.expected_ddfs:.6g} vs reference "
+            f"{reference:.6g} (tolerance {tolerance:.6g})"
+        )
+
+    def test_ddf_probability_within_bound(self, name):
+        anchor = ANCHORS[name]
+        answer = solve(config_from_dict(anchor["config"]))
+        reference = anchor["ddf_probability"]
+        p = max(reference, answer.ddf_probability, 1.0 / anchor["n_groups"])
+        se = float(np.sqrt(p * (1.0 - min(p, 1.0)) / anchor["n_groups"]))
+        tolerance = answer.error.bound + REFERENCE_Z * se
+        assert abs(answer.ddf_probability - reference) <= tolerance
+
+    def test_answer_is_internally_consistent(self, name):
+        anchor = ANCHORS[name]
+        answer = solve(config_from_dict(anchor["config"]))
+        # P(>=1 DDF) can never exceed E[DDFs]; curves end at the answer.
+        assert answer.ddf_probability <= answer.expected_ddfs + 1e-12
+        assert answer.curve_expected_ddfs[-1] == pytest.approx(answer.expected_ddfs)
+        assert np.all(np.diff(answer.curve_expected_ddfs) >= -1e-12)
+        assert answer.error.bound > 0.0

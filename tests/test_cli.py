@@ -350,3 +350,123 @@ class TestFuzzCommand:
         captured = capsys.readouterr()
         assert "Repro bundle replay" in captured.out
         assert "ok" in captured.out
+
+    def test_analytical_bias_flag_parsed(self):
+        args = build_parser().parse_args(["fuzz", "--analytical-bias", "0.8"])
+        assert args.analytical_bias == 0.8
+        assert build_parser().parse_args(["fuzz"]).analytical_bias == 0.0
+
+    def test_biased_campaign_exercises_the_solver_stage(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--cases", "4",
+                    "--min-cases", "4",
+                    "--budget", "0",
+                    "--groups", "32",
+                    "--analytical-bias", "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        failures_row = next(
+            line for line in out.splitlines() if line.startswith("failures")
+        )
+        assert failures_row.split("|")[-1].strip() == "0"
+
+
+class TestSolveCommand:
+    def test_solve_parser_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.config is None
+        assert args.scrub == "168"
+        assert args.mission_hours == 87_600.0
+        assert (args.horizon, args.steps, args.groups) == (None, None, None)
+        assert args.method is None
+        assert args.json is None
+
+    def test_solve_parser_full_options(self):
+        args = build_parser().parse_args(
+            [
+                "solve",
+                "--config", "c.json",
+                "--horizon", "40000",
+                "--steps", "256",
+                "--groups", "500",
+                "--seed", "7",
+                "--jobs", "2",
+                "--method", "monte-carlo",
+                "--json", "out.json",
+            ]
+        )
+        assert args.config == "c.json"
+        assert (args.horizon, args.steps) == (40_000.0, 256)
+        assert (args.groups, args.seed, args.jobs) == (500, 7, 2)
+        assert args.method == "monte-carlo"
+        assert args.json == "out.json"
+
+    def test_solve_parser_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--method", "magic"])
+
+    def test_base_case_routes_to_transition_matrix(self, capsys):
+        assert main(["solve", "--steps", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid solver answer" in out
+        assert "transition-matrix" in out
+        assert "error bound" in out
+        assert "discretization" in out
+
+    def test_config_file_and_json_output_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.distributions import Exponential
+        from repro.simulation.config import RaidGroupConfig
+        from repro.validation import config_to_dict
+
+        config = RaidGroupConfig(
+            n_data=7,
+            mission_hours=40_000.0,
+            time_to_op=Exponential(mean=300_000.0),
+            time_to_restore=Exponential(mean=24.0),
+        )
+        config_path = tmp_path / "config.json"
+        # Wrap like a repro bundle: the solve command accepts both forms.
+        config_path.write_text(json.dumps({"config": config_to_dict(config)}))
+        out_path = tmp_path / "answer.json"
+
+        assert (
+            main(
+                ["solve", "--config", str(config_path), "--json", str(out_path)]
+            )
+            == 0
+        )
+        assert "markov" in capsys.readouterr().out
+
+        payload = json.loads(out_path.read_text())
+        assert payload["method"] == "markov"
+        assert payload["config"]["time_to_op"]["family"] == "exponential"
+        assert payload["error"]["bound"] > 0.0
+        assert len(payload["curve"]["times"]) == len(
+            payload["curve"]["expected_ddfs"]
+        )
+
+    def test_forced_monte_carlo_reports_fleet_size(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--method", "monte-carlo",
+                    "--groups", "64",
+                    "--mission-hours", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "monte-carlo" in out
+        assert "MC groups" in out
+        assert "statistical" in out

@@ -4,13 +4,14 @@ shrunk, and written as replayable repro bundles."""
 import dataclasses
 import json
 
-from repro.distributions import Exponential
+from repro.distributions import Exponential, Weibull
 from repro.simulation.config import RaidGroupConfig
 from repro.simulation.raid_simulator import DDFType
 from repro.validation import (
     DifferentialFuzzer,
     load_bundle,
     run_batch_engine,
+    run_event_engine,
     run_fuzz_campaign,
 )
 
@@ -117,6 +118,100 @@ class TestPlantedMutation:
         assert result.status == "invariant-violation"
         assert result.violations
         assert result.detail.startswith("batch engine")
+
+
+#: A transition-matrix-routed hot configuration: near-exponential Weibull
+#: lives barely longer than the mission make DDFs common, while the
+#: non-exponential TTOp keeps it out of the closed-form anchor regime —
+#: so the hybrid solver is the only absolute-rate oracle covering it.
+SOLVER_HOT = RaidGroupConfig(
+    n_data=7,
+    mission_hours=40_000.0,
+    time_to_op=Weibull(shape=1.05, scale=33_000.0),
+    time_to_restore=Exponential(mean=24.0),
+)
+
+
+def slow_restores(runner):
+    """Planted absolute-rate bug: both engines silently simulate a 10x
+    slower rebuild.  The engines stay in perfect mutual agreement and
+    every per-trace invariant holds, so the statistical battery and the
+    oracle are blind to it — only an independent absolute-rate model
+    (the solver) can notice the fleet is losing data 8x too often."""
+
+    def run(config, n_groups, seed):
+        slowed = dataclasses.replace(
+            config,
+            time_to_restore=Exponential(mean=config.time_to_restore.mean() * 10.0),
+        )
+        return runner(slowed, n_groups, seed)
+
+    return run
+
+
+class TestSolverEnginePair:
+    def test_clean_engines_pass_the_solver_check(self):
+        fuzzer = DifferentialFuzzer(n_groups=128, n_traces=4)
+        result = fuzzer.run_case(SOLVER_HOT, seed=20, index=0)
+        assert result.status == "ok"
+        assert result.solver is not None
+        assert result.solver.ok
+        assert result.solver.method == "transition-matrix"
+
+    def test_consistent_rate_bug_is_caught_only_by_the_solver(self, tmp_path):
+        fuzzer = DifferentialFuzzer(
+            n_groups=128,
+            n_traces=4,
+            event_runner=slow_restores(run_event_engine),
+            batch_runner=slow_restores(run_batch_engine),
+        )
+        result = fuzzer.run_case(SOLVER_HOT, seed=20, index=1)
+
+        assert result.status == "solver-divergence"
+        # The engines agreed with each other — the cross-engine battery
+        # did not flag — and the case is anchor-ineligible; the solver
+        # comparison (confirmed on an independent larger fleet) is what
+        # failed.
+        assert result.comparison is not None
+        assert not result.comparison.suspect(fuzzer.p_floor, fuzzer.z_ceiling)
+        assert result.anchor is None
+        assert result.solver is not None
+        assert not result.solver.ok
+        assert result.solver.observed_mean > result.solver.expected
+
+        path = fuzzer.write_bundle(result, str(tmp_path))
+        with open(path, "r", encoding="utf-8") as fh:
+            bundle = json.load(fh)
+        assert bundle["status"] == "solver-divergence"
+        assert bundle["solver"]["method"] == "transition-matrix"
+        assert bundle["solver"]["ok"] is False
+
+        config, seed, _, _ = load_bundle(path)
+        replay = fuzzer.run_case(config, seed, shrink=False)
+        assert replay.status == "solver-divergence"
+
+    def test_solver_check_can_be_disabled(self):
+        fuzzer = DifferentialFuzzer(
+            n_groups=128,
+            n_traces=4,
+            event_runner=slow_restores(run_event_engine),
+            batch_runner=slow_restores(run_batch_engine),
+            solver_check=False,
+        )
+        result = fuzzer.run_case(SOLVER_HOT, seed=20, index=1, shrink=False)
+        # Without stage 4 the consistent bug sails through: that is the
+        # coverage gap the solver pair exists to close.
+        assert result.status == "ok"
+        assert result.solver is None
+
+    def test_monte_carlo_routed_configs_skip_the_solver_stage(self):
+        fuzzer = DifferentialFuzzer(n_groups=64, n_traces=2)
+        infant = dataclasses.replace(
+            SOLVER_HOT, time_to_op=Weibull(shape=0.55, scale=33_000.0)
+        )
+        result = fuzzer.run_case(infant, seed=5, shrink=False)
+        assert result.solver is None
+        assert result.status == "ok"
 
 
 class TestCampaign:

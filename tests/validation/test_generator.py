@@ -107,3 +107,64 @@ class TestConfigSampler:
             shapes.add((config.fault_tolerance, config.models_latent_defects))
         # All three CTMC shapes get exercised.
         assert shapes == {(1, True), (1, False), (2, False)}
+
+
+class TestAnalyticalBias:
+    def test_biased_samples_are_solver_eligible(self):
+        from repro.solver import classify
+
+        sampler = ConfigSampler(analytical_bias=1.0)
+        rng = np.random.default_rng(31)
+        routes = set()
+        for _ in range(200):
+            config = sampler.sample(rng)
+            classification = classify(config)
+            assert classification.is_analytical, classification.reason
+            routes.add(classification.route)
+        # Both analytical tiers get exercised.
+        assert routes == {"markov", "transition-matrix"}
+
+    def test_biased_stream_spans_chain_shapes_and_families(self):
+        sampler = ConfigSampler(analytical_bias=1.0)
+        rng = np.random.default_rng(8)
+        configs = [sampler.sample(rng) for _ in range(200)]
+        shapes = {(c.fault_tolerance, c.models_latent_defects) for c in configs}
+        assert shapes == {(1, True), (1, False), (2, False)}
+        assert any(isinstance(c.time_to_op, Weibull) for c in configs)
+        assert any(isinstance(c.time_to_restore, Deterministic) for c in configs)
+        assert all(c.supports_batch_engine for c in configs)
+
+    def test_partial_bias_mixes_regimes(self):
+        from repro.solver import classify
+
+        sampler = ConfigSampler(analytical_bias=0.5)
+        rng = np.random.default_rng(13)
+        analytic = sum(
+            classify(sampler.sample(rng)).is_analytical for _ in range(200)
+        )
+        # 0.5 bias plus the general stream's own occasional eligible
+        # draws: well away from both extremes.
+        assert 60 <= analytic <= 160
+
+    def test_biased_samples_round_trip_json_exactly(self):
+        import json
+
+        sampler = ConfigSampler(analytical_bias=1.0)
+        rng = np.random.default_rng(99)
+        for _ in range(300):
+            config = sampler.sample(rng)
+            payload = json.dumps(config_to_dict(config))
+            assert repr(config_from_dict(json.loads(payload))) == repr(config)
+
+    def test_zero_bias_stream_is_unchanged(self):
+        rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+        plain, knobbed = ConfigSampler(), ConfigSampler(analytical_bias=0.0)
+        baseline = [plain.sample(rng_a) for _ in range(20)]
+        stream = [knobbed.sample(rng_b) for _ in range(20)]
+        assert [repr(c) for c in stream] == [repr(c) for c in baseline]
+
+    def test_bias_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ConfigSampler(analytical_bias=1.5)
+        with pytest.raises(ParameterError):
+            ConfigSampler(analytical_bias=-0.1)
