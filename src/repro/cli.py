@@ -358,6 +358,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="one status line per case on stderr",
     )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help=(
+            "serve reliability queries over HTTP with tiered answering: "
+            "analytical solver, mergeable Monte Carlo result cache, "
+            "coalesced background refinement"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8790, help="bind port (default 8790; 0 = ephemeral)"
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent background simulations (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard worker processes per simulation (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--engine",
+        choices=["auto", "batch", "event"],
+        default="auto",
+        help="simulation engine (default auto)",
+    )
+    serve_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="service seed; per-config fleet seeds derive from it (default 0)",
+    )
+    serve_cmd.add_argument(
+        "--shard-size",
+        type=int,
+        default=256,
+        help="groups per simulation shard (default 256)",
+    )
+    serve_cmd.add_argument(
+        "--max-groups",
+        type=int,
+        default=100_000,
+        help="hard per-query fleet-size cap (default 100,000)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist cached results as checkpoints in this directory "
+            "(default: in-memory only)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        help="in-memory cache entry bound (default 1024)",
+    )
     return parser
 
 
@@ -597,6 +664,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_fuzz(args)
     if args.command == "solve":
         print(_run_solve(args))
+        return 0
+    if args.command == "serve":
+        from .service import serve
+
+        serve(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_entries=args.cache_entries,
+            max_workers=args.workers,
+            engine=args.engine,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            shard_size=args.shard_size,
+            max_groups=args.max_groups,
+        )
         return 0
     runner = _run_simulate if args.command == "simulate" else _run_experiment
     if getattr(args, "profile", False):

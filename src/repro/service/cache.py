@@ -1,0 +1,275 @@
+"""Mergeable result cache for the reliability query service.
+
+Entries are **accumulator checkpoints**, not final numbers: a cached
+result for ``(fingerprint, horizon)`` carries the full serialized
+:class:`~repro.simulation.streaming.FleetAccumulator` plus the shard
+cursor (``RunCheckpoint``), so a query arriving with a *tighter*
+precision target than the entry achieved does not recompute from
+scratch — it **resumes** the cached run (the accumulator keeps folding
+shards in exactly where it stopped, the FleetAccumulator merge
+semantics) and the refreshed entry replaces the stale one.
+
+Lookup semantics for a query at precision ``P``:
+
+``hit``
+    An entry exists and its achieved relative CI width already meets
+    ``P`` (at the same confidence) — serve it directly.
+``extend``
+    An entry exists but is looser than ``P`` — hand its checkpoint to
+    the simulation tier as the resume point.
+``miss``
+    Nothing cached — simulate cold.
+
+Entries are keyed by the **canonical config fingerprint**
+(:func:`repro.validation.fingerprint`) and the query horizon; the
+precision axis of the conceptual ``(fingerprint, horizon, precision)``
+key is resolved by the achieved-width comparison above, which is what
+makes entries mergeable rather than duplicated per precision level.
+
+With a ``cache_dir``, every entry is also persisted as an atomic JSON
+checkpoint file and survives a service restart.  Disk entries are loaded
+through :func:`repro.simulation.checkpoint.load_checkpoint` with the
+query's expected fingerprint, so a moved, renamed, or hand-edited
+checkpoint is rejected with an actionable error instead of silently
+merging into the wrong design's statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import logging
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import SimulationError
+from ..simulation.checkpoint import (
+    RunCheckpoint,
+    atomic_write_text,
+    load_checkpoint,
+)
+from ..simulation.streaming import Precision
+
+logger = logging.getLogger("repro.service")
+
+#: Default in-memory entry bound (LRU eviction beyond it).
+DEFAULT_MAX_ENTRIES = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cacheable query: which design, over which window.
+
+    ``fingerprint`` is the canonical config fingerprint
+    (:func:`repro.validation.fingerprint`); ``horizon_hours`` is part of
+    the key because the accumulator's data-loss time grid is a pure
+    function of the horizon and accumulators over different grids do not
+    merge.
+    """
+
+    fingerprint: str
+    horizon_hours: float
+
+    def filename(self) -> str:
+        """Stable on-disk name for this key's persisted checkpoint."""
+        digest = hashlib.sha256(
+            f"{self.fingerprint}:{self.horizon_hours!r}".encode("utf-8")
+        ).hexdigest()
+        return f"cache-{digest[:32]}.json"
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One cached run: its resume point plus the precision it achieved."""
+
+    key: CacheKey
+    checkpoint: RunCheckpoint
+    confidence: float
+    achieved_rel_ci_width: float
+
+    @property
+    def groups(self) -> int:
+        """Groups accumulated into this entry so far."""
+        return self.checkpoint.groups_completed
+
+    def satisfies(self, precision: Precision) -> bool:
+        """Whether this entry already meets a requested precision.
+
+        Conservative on the confidence axis: an entry only *hits* on
+        achieved width for the confidence level it was computed at
+        (widths at different levels are not comparable without
+        rescaling).  An entry whose fleet already reached the request's
+        ``max_groups`` cap is also a hit — no further shard could be
+        simulated for it, so "extending" would be a no-op job.
+        """
+        if (
+            self.confidence == precision.confidence
+            and self.achieved_rel_ci_width <= precision.rel_ci_width
+        ):
+            return True
+        return precision.max_groups is not None and self.groups >= precision.max_groups
+
+
+class ResultCache:
+    """Bounded LRU of mergeable accumulator checkpoints, optionally on disk.
+
+    Thread-safe: the service's request handlers and simulation worker
+    threads share one instance.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise SimulationError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+        self.disk_loads = 0
+        self.integrity_rejections = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        key: CacheKey,
+        precision: Precision,
+        expected_run_fingerprint: Optional[str] = None,
+    ) -> "Tuple[str, Optional[CacheEntry]]":
+        """Resolve a query against the cache.
+
+        Returns ``("hit", entry)``, ``("extend", entry)`` or
+        ``("miss", None)``.  Disk entries (when a ``cache_dir`` is
+        configured) back the in-memory map transparently.
+
+        ``expected_run_fingerprint`` is the repr-based
+        :func:`~repro.simulation.checkpoint.config_fingerprint` of the
+        query's configuration, known to the caller: a persisted
+        checkpoint whose recorded fingerprint disagrees — the file was
+        moved, renamed, or hand-edited — is rejected by
+        :func:`~repro.simulation.checkpoint.load_checkpoint`, counted in
+        :attr:`integrity_rejections`, logged with the actionable error,
+        and treated as a miss (so the service recomputes rather than
+        merging into the wrong design's statistics).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            entry = self._load_from_disk(key, expected_run_fingerprint)
+        if entry is None:
+            return "miss", None
+        if entry.satisfies(precision):
+            return "hit", entry
+        return "extend", entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert or refresh an entry (and persist it when configured).
+
+        An extension never *loosens* an entry: a stored entry with more
+        accumulated groups than the incoming one is kept (two coalesced
+        misses racing to store resolve to the larger run).
+        """
+        with self._lock:
+            existing = self._entries.get(entry.key)
+            if existing is not None and existing.groups > entry.groups:
+                return
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        self._persist(entry)
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: CacheKey) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, key.filename())
+
+    def _persist(self, entry: CacheEntry) -> None:
+        path = self._entry_path(entry.key)
+        if path is None:
+            return
+        # The file is a plain run checkpoint plus a service envelope; the
+        # envelope keys are ignored by RunCheckpoint.from_dict, so the
+        # file round-trips through load_checkpoint unchanged.
+        payload = entry.checkpoint.to_dict()
+        payload["service"] = {
+            "key_fingerprint": entry.key.fingerprint,
+            "horizon_hours": entry.key.horizon_hours,
+            "confidence": entry.confidence,
+            "achieved_rel_ci_width": entry.achieved_rel_ci_width,
+        }
+        import json
+
+        atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+    def _load_from_disk(
+        self, key: CacheKey, expected_run_fingerprint: Optional[str]
+    ) -> Optional[CacheEntry]:
+        path = self._entry_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        import json
+
+        try:
+            checkpoint = load_checkpoint(
+                path, expected_fingerprint=expected_run_fingerprint
+            )
+            with open(path) as handle:
+                envelope = json.load(handle).get("service", {})
+        except SimulationError as exc:
+            with self._lock:
+                self.integrity_rejections += 1
+            logger.warning("rejecting cache entry %s: %s", path, exc)
+            return None
+        if envelope.get("key_fingerprint") != key.fingerprint:
+            with self._lock:
+                self.integrity_rejections += 1
+            logger.warning(
+                "rejecting cache entry %s: envelope fingerprint %r does not "
+                "match cache key %r (file moved or hand-edited)",
+                path,
+                str(envelope.get("key_fingerprint"))[:12],
+                key.fingerprint[:12],
+            )
+            return None
+        entry = CacheEntry(
+            key=key,
+            checkpoint=checkpoint,
+            confidence=float(envelope.get("confidence", 0.95)),
+            achieved_rel_ci_width=float(
+                envelope.get("achieved_rel_ci_width", float("inf"))
+            ),
+        )
+        with self._lock:
+            self.disk_loads += 1
+            self._entries.setdefault(key, entry)
+            self._entries.move_to_end(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe cache telemetry for ``/stats``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "evictions": self.evictions,
+                "disk_loads": self.disk_loads,
+                "integrity_rejections": self.integrity_rejections,
+                "persistent": self.cache_dir is not None,
+            }

@@ -191,13 +191,23 @@ def save_checkpoint(path: str, checkpoint: RunCheckpoint) -> None:
     atomic_write_text(path, json.dumps(checkpoint.to_dict(), sort_keys=True))
 
 
-def load_checkpoint(path: str) -> RunCheckpoint:
+def load_checkpoint(
+    path: str, expected_fingerprint: Optional[str] = None
+) -> RunCheckpoint:
     """Read a checkpoint file written by :func:`save_checkpoint`.
 
     Empty or truncated files — possible only if the checkpoint was
     produced by something other than :func:`save_checkpoint`'s atomic
     writer, e.g. a partial copy off a dying machine — are reported with
     an actionable message instead of a bare JSON parse error.
+
+    ``expected_fingerprint`` pins the checkpoint to a specific
+    configuration *at load time*: callers that map a config to a
+    checkpoint path themselves (the service result cache keys entries by
+    fingerprint) pass the expected :func:`config_fingerprint`, and a file
+    whose recorded fingerprint disagrees — moved, renamed, or hand-edited
+    — is rejected here with an actionable error instead of being merged
+    silently into the wrong design's statistics.
     """
     try:
         with open(path) as handle:
@@ -219,4 +229,16 @@ def load_checkpoint(path: str) -> RunCheckpoint:
             "or partial copy; delete it and resume from an intact checkpoint, "
             "or restart the run"
         ) from exc
-    return RunCheckpoint.from_dict(state)
+    checkpoint = RunCheckpoint.from_dict(state)
+    if (
+        expected_fingerprint is not None
+        and checkpoint.fingerprint != expected_fingerprint
+    ):
+        raise SimulationError(
+            f"checkpoint {path!r} belongs to a different configuration: its "
+            f"fingerprint {checkpoint.fingerprint[:12]}… does not match the "
+            f"expected {expected_fingerprint[:12]}… — the file was moved, "
+            "renamed, or hand-edited; delete the stale file or point this "
+            "run at the checkpoint that matches its configuration"
+        )
+    return checkpoint

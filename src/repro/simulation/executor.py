@@ -266,7 +266,14 @@ class PipelinedShardExecutor:
             for task in tasks:
                 while next_submit < len(tasks) and len(pending) < self.n_jobs:
                     queued = tasks[next_submit]
-                    pending[queued.index] = self._submit(queued)
+                    try:
+                        pending[queued.index] = self._submit(queued)
+                    except BrokenProcessPool:
+                        # A worker died between the last result and this
+                        # submit, so the break surfaces here instead of
+                        # in result(); recover and retry on the new pool.
+                        self._recover(tasks, pending, retries)
+                        continue
                     next_submit += 1
                 while True:
                     try:

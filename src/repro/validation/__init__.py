@@ -42,6 +42,12 @@ from .differential import (
     run_event_engine_traced,
     run_fuzz_campaign,
 )
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_config_dict,
+    canonical_config_json,
+    fingerprint,
+)
 from .generator import (
     ConfigSampler,
     config_from_dict,
@@ -70,6 +76,10 @@ __all__ = [
     "run_event_engine",
     "run_event_engine_traced",
     "run_fuzz_campaign",
+    "FINGERPRINT_VERSION",
+    "canonical_config_dict",
+    "canonical_config_json",
+    "fingerprint",
     "ConfigSampler",
     "config_from_dict",
     "config_to_dict",

@@ -1,0 +1,74 @@
+"""Canonical configuration fingerprinting.
+
+The service layer (and anything else that needs to recognise "the same
+design" across processes, machines, and JSON producers) keys results by a
+**canonical fingerprint**: the SHA-256 of a canonical JSON serialization
+of the configuration, built on the fuzzer's exact round-trip
+(:func:`~repro.validation.generator.config_to_dict` /
+:func:`~repro.validation.generator.config_from_dict`).
+
+Canonicalisation handles every representation freedom JSON allows:
+
+* **dict-key order** — ``json.dumps(..., sort_keys=True)``;
+* **float formatting** — payloads are normalised *through the dataclass*
+  (``config_from_dict`` then ``config_to_dict``), so ``1e3``, ``1000.0``
+  and ``1000.00`` all land on the same Python float and serialize as its
+  shortest round-trip ``repr``;
+* **defaulted fields** — the round-trip materialises every optional key
+  (``location``, ``spare_pool`` …), so an omitted default and an explicit
+  one hash identically.
+
+Two configurations with equal fingerprints therefore simulate (and
+solve) identically, and any parameter mutation changes the digest.  This
+is deliberately distinct from
+:func:`repro.simulation.checkpoint.config_fingerprint`, which hashes the
+dataclass ``repr`` and so covers *every* distribution family — the
+canonical fingerprint requires the JSON-serializable families but is
+stable across processes and independent of Python ``repr`` details.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping, Union
+
+from ..simulation.config import RaidGroupConfig
+from .generator import config_from_dict, config_to_dict
+
+#: Version tag mixed into the digest so a serialization-schema change can
+#: never silently collide with fingerprints minted under the old schema.
+FINGERPRINT_VERSION = "repro-config-fingerprint/1"
+
+
+def canonical_config_dict(config: Union[RaidGroupConfig, Mapping]) -> dict:
+    """The canonical JSON-safe payload of a configuration.
+
+    Accepts either a :class:`~repro.simulation.config.RaidGroupConfig` or
+    a JSON payload (as produced by ``config_to_dict`` or hand-written);
+    payloads are normalised through an exact dataclass round-trip so
+    formatting variants collapse onto one canonical form.
+    """
+    if isinstance(config, RaidGroupConfig):
+        return config_to_dict(config)
+    return config_to_dict(config_from_dict(dict(config)))
+
+
+def canonical_config_json(config: Union[RaidGroupConfig, Mapping]) -> str:
+    """Canonical serialization: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        canonical_config_dict(config),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def fingerprint(config: Union[RaidGroupConfig, Mapping]) -> str:
+    """SHA-256 hex digest of the canonical serialization.
+
+    Stable across processes, Python versions, and JSON producers; equal
+    iff the configurations are parameter-for-parameter identical.
+    """
+    payload = FINGERPRINT_VERSION + "\n" + canonical_config_json(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

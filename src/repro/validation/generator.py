@@ -84,34 +84,44 @@ def distribution_to_dict(dist: Distribution) -> dict:
 
 
 def distribution_from_dict(data: dict) -> Distribution:
-    """Inverse of :func:`distribution_to_dict`."""
+    """Inverse of :func:`distribution_to_dict`.
+
+    Numeric parameters are coerced to ``float`` so a JSON producer's
+    spelling (``1000`` vs ``1000.0``) cannot leak integer-typed fields
+    into the dataclasses — reprs, and therefore fingerprints, would
+    otherwise differ for the same distribution.
+    """
     family = data.get("family")
     if family == "exponential":
-        return Exponential(mean=data["mean"], location=data.get("location", 0.0))
+        return Exponential(
+            mean=float(data["mean"]), location=float(data.get("location", 0.0))
+        )
     if family == "weibull":
         return Weibull(
-            shape=data["shape"],
-            scale=data["scale"],
-            location=data.get("location", 0.0),
+            shape=float(data["shape"]),
+            scale=float(data["scale"]),
+            location=float(data.get("location", 0.0)),
         )
     if family == "deterministic":
-        return Deterministic(value=data["value"])
+        return Deterministic(value=float(data["value"]))
     if family == "lognormal":
         return LogNormal(
-            mu=data["mu"], sigma=data["sigma"], location=data.get("location", 0.0)
+            mu=float(data["mu"]),
+            sigma=float(data["sigma"]),
+            location=float(data.get("location", 0.0)),
         )
     if family == "gamma":
         return Gamma(
-            shape=data["shape"],
-            scale=data["scale"],
-            location=data.get("location", 0.0),
+            shape=float(data["shape"]),
+            scale=float(data["scale"]),
+            location=float(data.get("location", 0.0)),
         )
     if family == "uniform":
-        return Uniform(low=data["low"], high=data["high"])
+        return Uniform(low=float(data["low"]), high=float(data["high"]))
     if family == "mixture":
         return Mixture(
             components=[distribution_from_dict(c) for c in data["components"]],
-            weights=data["weights"],
+            weights=[float(w) for w in data["weights"]],
         )
     raise ParameterError(f"unknown distribution family {family!r}")
 
@@ -147,13 +157,13 @@ def config_to_dict(config: RaidGroupConfig) -> dict:
 
 
 def config_from_dict(data: dict) -> RaidGroupConfig:
-    """Inverse of :func:`config_to_dict`."""
+    """Inverse of :func:`config_to_dict` (numeric fields type-coerced)."""
     spare = data.get("spare_pool")
     return RaidGroupConfig(
-        n_data=data["n_data"],
-        n_parity=data.get("n_parity", 1),
-        mission_hours=data["mission_hours"],
-        latent_age_anchored=data.get("latent_age_anchored", False),
+        n_data=int(data["n_data"]),
+        n_parity=int(data.get("n_parity", 1)),
+        mission_hours=float(data["mission_hours"]),
+        latent_age_anchored=bool(data.get("latent_age_anchored", False)),
         time_to_op=distribution_from_dict(data["time_to_op"]),
         time_to_restore=distribution_from_dict(data["time_to_restore"]),
         time_to_latent=(
@@ -168,8 +178,8 @@ def config_from_dict(data: dict) -> RaidGroupConfig:
         ),
         spare_pool=(
             SparePoolConfig(
-                n_spares=spare["n_spares"],
-                replenishment_hours=spare["replenishment_hours"],
+                n_spares=int(spare["n_spares"]),
+                replenishment_hours=float(spare["replenishment_hours"]),
             )
             if spare is not None
             else None

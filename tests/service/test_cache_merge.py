@@ -1,0 +1,239 @@
+"""Mergeable result cache: extend ≡ cold, and integrity at the disk edge.
+
+The cache's load-bearing promise is that *extending* a cached
+accumulator checkpoint to a tighter precision is indistinguishable from
+having run the tighter fleet cold — bit-identical statistics, both
+engines.  The property tests pin that through the service's own
+simulation path (derived seed, canonical time grid, shard cursor).
+
+The disk edge gets the adversarial treatment: a checkpoint file that was
+moved, renamed, or hand-edited must be rejected with an actionable error
+and treated as a miss, never merged into the wrong design's statistics.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Weibull
+from repro.exceptions import SimulationError
+from repro.service import CacheEntry, CacheKey, JobManager, QuerySpec, ResultCache
+from repro.service.jobs import derive_seed, service_time_grid
+from repro.simulation.checkpoint import (
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.simulation.config import RaidGroupConfig
+from repro.simulation.streaming import Precision
+from repro.validation import fingerprint
+
+SHARD = 16
+
+
+def mc_config(mission_hours: float = 8_760.0) -> RaidGroupConfig:
+    """A config the classifier routes to Monte Carlo (strong wear-out:
+    Weibull shape 2 puts the hazard-variation ratio far over the
+    transition-matrix gate) that both engines support."""
+    return RaidGroupConfig(
+        n_data=7,
+        time_to_op=Weibull(shape=2.0, scale=200_000.0),
+        time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+        time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+        time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+        mission_hours=mission_hours,
+    )
+
+
+CONFIG = mc_config()
+
+
+def make_spec(total_groups: int, jobs: JobManager) -> QuerySpec:
+    precision = Precision(
+        rel_ci_width=1e-9,  # unattainable: the run always fills max_groups
+        confidence=0.95,
+        max_groups=total_groups,
+        min_groups=SHARD,
+    )
+    return QuerySpec(CONFIG, fingerprint(CONFIG), CONFIG.mission_hours, precision)
+
+
+def canonical(accumulator) -> str:
+    return json.dumps(accumulator.to_dict(), sort_keys=True)
+
+
+class TestExtendEqualsCold:
+    @pytest.mark.parametrize("engine", ["batch", "event"])
+    @given(
+        k=st.integers(min_value=1, max_value=3),
+        extra=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_cache_extend_is_bit_identical_to_cold_run(self, engine, k, extra, seed):
+        """Resume a k-shard cache entry to m total shards == cold m-shard
+        run: identical serialized accumulators, identical cursors."""
+        m = k + extra
+        jobs = JobManager(
+            ResultCache(), max_workers=1, engine=engine, seed=seed, shard_size=SHARD
+        )
+        try:
+            # Cold run truncated at k shards becomes the cache entry.
+            partial_spec = make_spec(m * SHARD, jobs)
+            partial = jobs.run_simulation(partial_spec, stop_after_shards=k)
+            entry = jobs.entry_from_result(partial_spec, partial)
+            assert entry.groups == k * SHARD
+
+            extended = jobs.run_simulation(
+                partial_spec, resume_checkpoint=entry.checkpoint
+            )
+            cold = jobs.run_simulation(make_spec(m * SHARD, jobs))
+
+            assert extended.groups == cold.groups == m * SHARD
+            assert extended.shards_run == cold.shards_run
+            assert canonical(extended.accumulator) == canonical(cold.accumulator)
+        finally:
+            jobs.shutdown()
+
+    def test_derived_seed_is_stable_and_config_sensitive(self):
+        fp = fingerprint(CONFIG)
+        assert derive_seed(7, fp) == derive_seed(7, fp)
+        assert derive_seed(7, fp) != derive_seed(8, fp)
+        assert derive_seed(7, fp) != derive_seed(7, fingerprint(CONFIG.as_raid6()))
+
+    def test_time_grid_is_a_pure_function_of_horizon(self):
+        a = service_time_grid(8_760.0)
+        b = service_time_grid(8_760.0)
+        assert a.tolist() == b.tolist()
+        assert a[0] > 0.0 and a[-1] == 8_760.0
+        assert service_time_grid(17_520.0).tolist() != a.tolist()
+
+
+class TestLookupSemantics:
+    def entry(self, groups: int, width: float, confidence: float = 0.95) -> CacheEntry:
+        jobs = JobManager(ResultCache(), max_workers=1, seed=0, shard_size=SHARD)
+        try:
+            spec = make_spec(groups, jobs)
+            streaming = jobs.run_simulation(spec)
+            built = jobs.entry_from_result(spec, streaming)
+        finally:
+            jobs.shutdown()
+        built.confidence = confidence
+        built.achieved_rel_ci_width = width
+        return built
+
+    def test_hit_extend_miss(self):
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        loose = Precision(rel_ci_width=0.5, max_groups=10_000)
+        tight = Precision(rel_ci_width=0.05, max_groups=10_000)
+
+        assert cache.lookup(key, loose) == ("miss", None)
+        cache.put(self.entry(SHARD, width=0.3))
+        status, entry = cache.lookup(key, loose)
+        assert status == "hit" and entry is not None
+        status, entry = cache.lookup(key, tight)
+        assert status == "extend" and entry is not None
+
+    def test_capped_entry_hits_instead_of_noop_extending(self):
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        cache.put(self.entry(2 * SHARD, width=float("inf")))
+        capped = Precision(rel_ci_width=0.05, max_groups=2 * SHARD)
+        status, _ = cache.lookup(key, capped)
+        assert status == "hit"
+
+    def test_put_never_loosens(self):
+        cache = ResultCache()
+        big = self.entry(2 * SHARD, width=0.2)
+        small = self.entry(SHARD, width=0.9)
+        cache.put(big)
+        cache.put(small)  # racing smaller run must not clobber
+        _, entry = cache.lookup(big.key, Precision(rel_ci_width=1e-9))
+        assert entry is not None and entry.groups == 2 * SHARD
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ResultCache(max_entries=2)
+        for horizon in (1_000.0, 2_000.0, 3_000.0):
+            entry = self.entry(SHARD, width=0.5)
+            entry.key = CacheKey(entry.key.fingerprint, horizon)
+            cache.put(entry)
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+
+class TestDiskIntegrity:
+    """Satellite: the checkpoint ➜ cache-entry path must reject files
+    whose fingerprint does not match what the caller expects."""
+
+    def make_entry(self, tmp_path) -> CacheEntry:
+        cache = ResultCache(cache_dir=str(tmp_path))
+        jobs = JobManager(cache, max_workers=1, seed=3, shard_size=SHARD)
+        try:
+            spec = make_spec(SHARD, jobs)
+            entry = jobs.entry_from_result(spec, jobs.run_simulation(spec))
+            cache.put(entry)
+        finally:
+            jobs.shutdown()
+        return entry
+
+    def test_load_checkpoint_rejects_foreign_fingerprint(self, tmp_path):
+        entry = self.make_entry(tmp_path)
+        path = os.path.join(str(tmp_path), entry.key.filename())
+        other = config_fingerprint(CONFIG.as_raid6())
+        with pytest.raises(SimulationError) as excinfo:
+            load_checkpoint(path, expected_fingerprint=other)
+        message = str(excinfo.value)
+        assert "different configuration" in message
+        assert "moved" in message and "delete" in message
+
+    def test_load_checkpoint_accepts_matching_fingerprint(self, tmp_path):
+        entry = self.make_entry(tmp_path)
+        path = os.path.join(str(tmp_path), entry.key.filename())
+        loaded = load_checkpoint(
+            path, expected_fingerprint=config_fingerprint(CONFIG)
+        )
+        assert loaded.groups_completed == entry.groups
+
+    def test_cache_counts_rejection_as_miss(self, tmp_path):
+        entry = self.make_entry(tmp_path)
+        # A fresh cache over the same directory simulates a restart; the
+        # caller expects a *different* design at this key (the file was
+        # hand-edited or swapped underneath the service).
+        reopened = ResultCache(cache_dir=str(tmp_path))
+        status, found = reopened.lookup(
+            entry.key,
+            Precision(rel_ci_width=0.5),
+            expected_run_fingerprint=config_fingerprint(CONFIG.as_raid6()),
+        )
+        assert (status, found) == ("miss", None)
+        assert reopened.stats()["integrity_rejections"] == 1
+        assert reopened.stats()["disk_loads"] == 0
+
+    def test_cache_rejects_renamed_entry_file(self, tmp_path):
+        entry = self.make_entry(tmp_path)
+        src = os.path.join(str(tmp_path), entry.key.filename())
+        foreign_key = CacheKey(fingerprint(CONFIG.as_raid6()), CONFIG.mission_hours)
+        os.rename(src, os.path.join(str(tmp_path), foreign_key.filename()))
+        reopened = ResultCache(cache_dir=str(tmp_path))
+        status, found = reopened.lookup(foreign_key, Precision(rel_ci_width=0.5))
+        assert (status, found) == ("miss", None)
+        assert reopened.stats()["integrity_rejections"] == 1
+
+    def test_cache_survives_restart_and_extends_from_disk(self, tmp_path):
+        entry = self.make_entry(tmp_path)
+        reopened = ResultCache(cache_dir=str(tmp_path))
+        status, found = reopened.lookup(
+            entry.key,
+            Precision(rel_ci_width=1e-9, max_groups=10_000),
+            expected_run_fingerprint=config_fingerprint(CONFIG),
+        )
+        assert status == "extend" and found is not None
+        assert found.groups == entry.groups
+        assert json.dumps(found.checkpoint.to_dict(), sort_keys=True) == json.dumps(
+            entry.checkpoint.to_dict(), sort_keys=True
+        )
+        assert reopened.stats()["disk_loads"] == 1

@@ -1,0 +1,158 @@
+"""Canonical config fingerprinting: determinism across every freedom.
+
+The service cache keys results by :func:`repro.validation.fingerprint`;
+a digest that shifted under dict-key order, float formatting, defaulted
+fields, or process boundaries would silently split (or worse, merge)
+cache lines.  These tests pin each freedom separately.
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.distributions import Weibull
+from repro.simulation.config import RaidGroupConfig
+from repro.validation import (
+    FINGERPRINT_VERSION,
+    ConfigSampler,
+    canonical_config_json,
+    config_to_dict,
+    fingerprint,
+)
+
+BASE = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+
+
+def shuffled(payload: dict, rng: np.random.Generator) -> dict:
+    """The same payload with every dict's key order permuted."""
+    keys = list(payload)
+    rng.shuffle(keys)
+    return {
+        k: (shuffled(payload[k], rng) if isinstance(payload[k], dict) else payload[k])
+        for k in keys
+    }
+
+
+class TestCanonicalForm:
+    def test_config_and_payload_agree(self):
+        assert fingerprint(BASE) == fingerprint(config_to_dict(BASE))
+
+    def test_dict_key_order_is_irrelevant(self):
+        payload = config_to_dict(BASE)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            assert fingerprint(shuffled(payload, rng)) == fingerprint(payload)
+
+    def test_float_formatting_variants_collapse(self):
+        payload = config_to_dict(BASE)
+        # The same numbers through different JSON spellings: integer
+        # form, exponent form, and trailing-zero decimals all parse to
+        # the same Python floats and must hash identically.
+        text = json.dumps(payload)
+        variant = json.loads(
+            text.replace("461386.0", "4.61386e5").replace("8760.0", "8760")
+        )
+        # The int spelling really differs on the wire (Python dict
+        # equality would hide it: 8760 == 8760.0).
+        assert json.dumps(variant, sort_keys=True) != json.dumps(payload, sort_keys=True)
+        assert fingerprint(variant) == fingerprint(payload)
+
+    def test_omitted_defaults_hash_like_explicit_ones(self):
+        payload = config_to_dict(BASE)
+        trimmed = dict(payload)
+        for key, default in [
+            ("n_parity", 1),
+            ("latent_age_anchored", False),
+            ("spare_pool", None),
+        ]:
+            assert payload.get(key) == default
+            trimmed.pop(key, None)
+        assert fingerprint(trimmed) == fingerprint(payload)
+
+    def test_canonical_json_is_minimal_and_sorted(self):
+        text = canonical_config_json(BASE)
+        assert ": " not in text and ", " not in text
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)
+
+    def test_version_tag_is_part_of_the_digest(self):
+        assert FINGERPRINT_VERSION.startswith("repro-config-fingerprint/")
+
+
+class TestMutationsChangeHash:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda c: dataclasses.replace(c, n_data=c.n_data + 1),
+            lambda c: dataclasses.replace(c, n_parity=2),
+            lambda c: dataclasses.replace(c, mission_hours=c.mission_hours * 2),
+            lambda c: dataclasses.replace(c, latent_age_anchored=True),
+            lambda c: c.without_latent_defects(),
+            lambda c: dataclasses.replace(
+                c,
+                time_to_op=Weibull(
+                    shape=c.time_to_op.shape,
+                    scale=c.time_to_op.scale + 1.0,
+                    location=c.time_to_op.location,
+                ),
+            ),
+        ],
+        ids=["n_data", "n_parity", "mission", "age_anchored", "no_latent", "op_scale"],
+    )
+    def test_parameter_mutation_changes_digest(self, mutate):
+        assert fingerprint(mutate(BASE)) != fingerprint(BASE)
+
+
+class TestSampledRoundTrip:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sampler_configs_round_trip_stably(self, seed):
+        """Every sampled config: dataclass, payload, and a JSON wire
+        round-trip (the formatting freedom a real client exercises) all
+        land on one digest."""
+        config = ConfigSampler().sample(np.random.default_rng(seed))
+        payload = config_to_dict(config)
+        wire = json.loads(json.dumps(payload))
+        assert fingerprint(config) == fingerprint(payload) == fingerprint(wire)
+
+    @given(
+        seed_a=st.integers(min_value=0, max_value=2**20),
+        seed_b=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_samples_rarely_collide(self, seed_a, seed_b):
+        sampler = ConfigSampler()
+        a = sampler.sample(np.random.default_rng(seed_a))
+        b = sampler.sample(np.random.default_rng(seed_b))
+        if repr(a) != repr(b):
+            assert fingerprint(a) != fingerprint(b)
+        else:
+            assert fingerprint(a) == fingerprint(b)
+
+
+class TestCrossProcess:
+    def test_fingerprint_is_stable_across_processes(self):
+        """A fresh interpreter computes the identical digest (no
+        PYTHONHASHSEED / repr / dict-order dependence)."""
+        src = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "from repro.simulation.config import RaidGroupConfig\n"
+            "from repro.validation import fingerprint\n"
+            "print(fingerprint(RaidGroupConfig.paper_base_case(mission_hours=8760.0)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": "31337", "PATH": "/usr/bin:/bin"},
+        )
+        assert out.stdout.strip() == fingerprint(BASE)

@@ -1,0 +1,313 @@
+"""The query service end-to-end over HTTP: tiering, coalescing, extension.
+
+``TestBurstDemo`` is the PR's acceptance demo: a duplicate-heavy
+200-query burst against the in-process HTTP server where
+
+a. solver-eligible configurations answer in under 10 ms each,
+b. coalescing collapses the duplicate Monte Carlo queries onto one
+   simulation per distinct configuration (asserted via ``/stats``), and
+c. a precision-upgrade query *extends* the cached accumulator instead of
+   recomputing from scratch,
+
+all deterministic under a fixed service seed.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+requests = pytest.importorskip("requests")
+
+from repro.distributions import Weibull
+from repro.service import (
+    JobManager,
+    ReliabilityService,
+    ResultCache,
+    ServiceThread,
+)
+from repro.simulation.config import RaidGroupConfig
+from repro.validation import config_to_dict, fingerprint
+
+SHARD = 64
+MC_CAP = 512
+
+
+def mc_config(op_scale: float = 200_000.0) -> RaidGroupConfig:
+    """Monte-Carlo-routed (strong wear-out) and batch-engine friendly."""
+    return RaidGroupConfig(
+        n_data=7,
+        time_to_op=Weibull(shape=2.0, scale=op_scale),
+        time_to_restore=Weibull(shape=2.0, scale=12.0, location=6.0),
+        time_to_latent=Weibull(shape=1.0, scale=9_259.0),
+        time_to_scrub=Weibull(shape=3.0, scale=168.0, location=6.0),
+        mission_hours=8_760.0,
+    )
+
+
+def solver_configs() -> list:
+    """Four distinct analytically answerable designs (Table 2 shapes)."""
+    return [
+        RaidGroupConfig.paper_base_case(scrub_characteristic_hours=s, mission_hours=8_760.0)
+        for s in (12.0, 48.0, 168.0, 336.0)
+    ]
+
+
+def mc_query(config: RaidGroupConfig, max_groups: int = MC_CAP) -> dict:
+    return {
+        "config": config_to_dict(config),
+        "precision": {
+            "rel_ci_width": 1e-9,  # unattainable: deterministic group count
+            "min_groups": SHARD,
+            "max_groups": max_groups,
+        },
+    }
+
+
+def make_service(**overrides) -> ReliabilityService:
+    kwargs = dict(
+        max_workers=2,
+        engine="batch",
+        n_jobs=1,
+        seed=20_260_808,
+        shard_size=SHARD,
+        max_groups=4_096,
+    )
+    kwargs.update(overrides)
+    return ReliabilityService(cache=ResultCache(), **kwargs)
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def handle(self):
+        with ServiceThread(make_service()) as h:
+            yield h
+
+    def test_healthz(self, handle):
+        r = requests.get(handle.url("/healthz"))
+        assert r.status_code == 200 and r.json() == {"status": "ok"}
+
+    def test_unknown_route_is_404(self, handle):
+        assert requests.get(handle.url("/nope")).status_code == 404
+        assert requests.post(handle.url("/healthz"), json={}).status_code == 404
+
+    def test_bad_json_is_400(self, handle):
+        r = requests.post(
+            handle.url("/query"),
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        assert r.status_code == 400
+        assert "JSON" in r.json()["error"]
+
+    def test_missing_config_is_400(self, handle):
+        r = requests.post(handle.url("/query"), json={"horizon_hours": 100.0})
+        assert r.status_code == 400
+        assert "config" in r.json()["error"]
+
+    def test_bad_horizon_is_400(self, handle):
+        payload = {"config": config_to_dict(mc_config()), "horizon_hours": -5.0}
+        r = requests.post(handle.url("/query"), json=payload)
+        assert r.status_code == 400
+        assert "horizon_hours" in r.json()["error"]
+
+    def test_errors_are_counted(self, handle):
+        requests.post(handle.url("/query"), json={"horizon_hours": 1.0})
+        stats = requests.get(handle.url("/stats")).json()
+        assert stats["service"]["errors"] == 1
+
+    def test_solver_tier_answers_and_memoises(self, handle):
+        payload = {"config": config_to_dict(solver_configs()[0])}
+        first = requests.post(handle.url("/query"), json=payload).json()
+        assert first["status"] == "complete" and first["source"] == "solver"
+        assert first["route"] in ("markov", "transition-matrix")
+        assert first["answer"]["expected_ddfs"] > 0.0
+        second = requests.post(handle.url("/query"), json=payload).json()
+        assert second["source"] == "solver-cache"
+        assert second["answer"] == first["answer"]
+
+    def test_simulated_answer_has_curve_and_ci(self, handle):
+        d = requests.post(handle.url("/query"), json=mc_query(mc_config())).json()
+        assert d["status"] == "complete" and d["source"] == "simulated"
+        assert d["route"] == "monte-carlo"
+        answer = d["answer"]
+        assert answer["groups"] == MC_CAP
+        assert len(answer["curve_times"]) == len(answer["curve_ddfs_per_1000"])
+        assert answer["curve_times"][-1] == 8_760.0
+        lo, hi = answer["ddfs_per_1000_ci"]
+        assert lo <= answer["ddfs_per_1000_mission"] <= hi
+        assert d["fingerprint"] == fingerprint(mc_config())
+
+
+class TestDeterminism:
+    def test_same_seed_same_answer_across_service_instances(self):
+        """The whole pipeline (derived seed, canonical grid, shard plan)
+        is a pure function of (service seed, config): two fresh services
+        return byte-identical Monte Carlo answers."""
+        answers = []
+        for _ in range(2):
+            with ServiceThread(make_service()) as h:
+                d = requests.post(h.url("/query"), json=mc_query(mc_config())).json()
+            answers.append(json.dumps(d["answer"], sort_keys=True))
+        assert answers[0] == answers[1]
+
+
+class GateObserver:
+    """Blocks the simulation after its first committed shard until released."""
+
+    def __init__(self):
+        self.reached = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, event) -> None:
+        self.reached.set()
+        assert self.release.wait(timeout=60.0), "gate was never released"
+
+
+class TestCoalescing:
+    def test_duplicates_share_one_job_deterministically(self):
+        """With the simulation gated mid-flight, duplicate queries
+        *provably* coalesce (no timing luck involved) and a non-blocking
+        query reads the partial accumulator."""
+        gate = GateObserver()
+        service = make_service(max_workers=1, extra_observers=(gate,))
+        query = mc_query(mc_config())
+        try:
+            ready, job1, ctx1 = service.begin(query)
+            assert ready is None and ctx1.source == "simulated"
+            assert gate.reached.wait(timeout=60.0)
+
+            ready, job2, ctx2 = service.begin(query)
+            assert ready is None and ctx2.source == "coalesced"
+            assert job2 is job1
+
+            partial = service.partial(ctx2, job2)
+            assert partial["status"] in ("refining", "pending")
+            assert partial["source"] == "partial"
+            assert partial["answer"]["groups"] >= SHARD
+
+            gate.release.set()
+            streaming = job1.future.result(timeout=120.0)
+            a1 = service.finish(ctx1, streaming)
+            a2 = service.finish(ctx2, streaming)
+            assert a1["answer"] == a2["answer"]
+            assert service.jobs.simulations_started == 1
+            assert service.jobs.coalesced_total == 1
+        finally:
+            gate.release.set()
+            service.close()
+
+    def test_nonblocking_http_query_reports_refinement(self):
+        gate = GateObserver()
+        service = make_service(max_workers=1, extra_observers=(gate,))
+        query = mc_query(mc_config())
+        try:
+            with ServiceThread(service) as h:
+                fire = dict(query, wait=False)
+                first = requests.post(h.url("/query"), json=fire).json()
+                assert first["status"] in ("pending", "refining")
+                assert gate.reached.wait(timeout=60.0)
+                second = requests.post(h.url("/query"), json=fire).json()
+                assert second["status"] == "refining"
+                assert second["answer"]["groups"] >= SHARD
+                gate.release.set()
+                done = requests.post(h.url("/query"), json=query).json()
+                assert done["status"] == "complete"
+        finally:
+            gate.release.set()
+
+
+class TestBurstDemo:
+    """The acceptance demo: 200 duplicate-heavy queries, fixed seed."""
+
+    N_SOLVER_DUPS = 40
+    N_MC_DUPS = 20
+
+    def test_burst(self):
+        service = make_service()
+        solver_payloads = [{"config": config_to_dict(c)} for c in solver_configs()]
+        mc_payloads = [mc_query(mc_config(200_000.0)), mc_query(mc_config(150_000.0))]
+        burst = solver_payloads * self.N_SOLVER_DUPS + mc_payloads * self.N_MC_DUPS
+        assert len(burst) == 200
+
+        with ServiceThread(service) as h:
+            url = h.url("/query")
+            # Prime the solver memo: the first solve of a config costs
+            # ~20 ms; every burst answer must then be served from it.
+            for payload in solver_payloads:
+                primed = requests.post(url, json=payload).json()
+                assert primed["source"] == "solver"
+
+            session_local = threading.local()
+
+            def post(payload):
+                client = getattr(session_local, "s", None)
+                if client is None:
+                    client = session_local.s = requests.Session()
+                return post_once(client, payload)
+
+            def post_once(client, payload):
+                r = client.post(url, json=payload)
+                assert r.status_code == 200
+                return r.json()
+
+            with ThreadPoolExecutor(max_workers=32) as pool:
+                responses = list(pool.map(post, burst))
+            stats = requests.get(h.url("/stats")).json()
+
+            # (c) runs against the same live service further below; the
+            # burst assertions only read the snapshot taken here.
+            upgrade = mc_query(mc_config(200_000.0), max_groups=2 * MC_CAP)
+            upgraded = requests.post(url, json=upgrade).json()
+            upgraded_stats = requests.get(h.url("/stats")).json()
+
+        solver_responses = [r for r in responses if r["route"] != "monte-carlo"]
+        mc_responses = [r for r in responses if r["route"] == "monte-carlo"]
+        assert len(solver_responses) == 160 and len(mc_responses) == 40
+
+        # (a) every solver-eligible query answers from the memo in <10ms.
+        assert all(r["source"] == "solver-cache" for r in solver_responses)
+        slowest = max(r["server_seconds"] for r in solver_responses)
+        assert slowest < 0.010, f"slowest solver answer took {slowest * 1e3:.2f} ms"
+
+        # (b) the 40 Monte Carlo queries collapse onto exactly one
+        # simulation per distinct config; every duplicate either
+        # coalesced onto the in-flight job or hit the cache it filled.
+        assert all(r["status"] == "complete" for r in mc_responses)
+        jobs = stats["jobs"]
+        assert jobs["simulations_started"] == 2
+        assert jobs["simulations_completed"] == 2
+        by_source = {
+            src: slot["count"] for src, slot in stats["service"]["by_source"].items()
+        }
+        assert by_source.get("simulated", 0) == 2
+        assert by_source.get("coalesced", 0) + by_source.get("cache", 0) == 38
+        assert by_source.get("cache-extend", 0) == 0
+        # Duplicates agree exactly with the job's single answer (the
+        # run bookkeeping keys — converged/stop_reason — only ride on
+        # fresh simulation responses, so compare the statistics).
+        def statistics(answer: dict) -> str:
+            return json.dumps(
+                {
+                    k: v
+                    for k, v in answer.items()
+                    if k not in ("converged", "stop_reason")
+                },
+                sort_keys=True,
+            )
+
+        for payload in mc_payloads:
+            fp = fingerprint(payload["config"])
+            answers = {
+                statistics(r["answer"]) for r in mc_responses if r["fingerprint"] == fp
+            }
+            assert len(answers) == 1
+        assert jobs["groups_simulated"] == 2 * MC_CAP
+
+        # (c) a precision upgrade extends the cached accumulator: only
+        # the *delta* fleet is simulated, never the full 2×cap rerun.
+        assert upgraded["source"] == "cache-extend"
+        assert upgraded["answer"]["groups"] == 2 * MC_CAP
+        assert upgraded_stats["jobs"]["simulations_started"] == 3
+        assert upgraded_stats["jobs"]["groups_simulated"] == 2 * MC_CAP + MC_CAP

@@ -9,6 +9,7 @@ shard is reseeded from its index and retried).
 
 import json
 import os
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
@@ -188,6 +189,26 @@ class TestWorkerFaultTolerance:
                 _shard_worker=always_crash_worker,
             )
 
+    def test_break_surfacing_at_submit_is_recovered(self):
+        """A worker death can surface at ``submit()`` instead of
+        ``result()`` when it lands between the last consumed result and
+        the next submission; the executor must recover there too instead
+        of letting BrokenProcessPool escape the run."""
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        root_state = _seed_state(np.random.SeedSequence(11))
+        plan = shard_plan(0, 0, 4 * SHARD, SHARD)
+
+        clean = PipelinedShardExecutor(config, root_state, "batch", n_jobs=2)
+        reference = [outcome.chronologies for outcome in clean.outcomes(plan)]
+
+        broken = _SubmitBreakExecutor(
+            config, root_state, "batch", n_jobs=2, break_at_submit=3
+        )
+        outcomes = list(broken.outcomes(plan))
+        assert [outcome.task.index for outcome in outcomes] == [0, 1, 2, 3]
+        assert broken.pool_breaks == 1
+        assert [outcome.chronologies for outcome in outcomes] == reference
+
     def test_deterministic_worker_exception_not_retried(self):
         def failing_runner(shard_index, n):
             raise ValueError("boom")
@@ -205,3 +226,20 @@ class TestWorkerFaultTolerance:
 
 def _raise_value_error(task):
     raise ValueError("deterministic failure")
+
+
+class _SubmitBreakExecutor(PipelinedShardExecutor):
+    """Real pool, but the break surfaces at the Nth ``_submit`` call —
+    the window a worker death opens when the pool's broken flag is set
+    between a consumed result and the next submission."""
+
+    def __init__(self, *args, break_at_submit: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._submit_calls = 0
+        self._break_at = break_at_submit
+
+    def _submit(self, task):
+        self._submit_calls += 1
+        if self._submit_calls == self._break_at:
+            raise BrokenProcessPool("worker died before this submit")
+        return super()._submit(task)
