@@ -286,7 +286,15 @@ def ddf_chain_spec(
     * tolerance 1, no latent defects — the classic 3-state (N+1) chain;
     * tolerance 1 with latent defects *and* scrubbing — the Fig. 4
       5-state diagram;
-    * tolerance 2, no latent defects — the 4-state double-parity chain.
+    * tolerance 2, no latent defects — the 4-state double-parity chain;
+    * tolerance >= 3, no latent defects — the k-of-n birth-death chain
+      (:func:`kofn_chain_spec`).
+
+    The tolerance-1/-2 topologies are kept verbatim (single-rate repair,
+    the prior-art convention the closed-form comparisons and goldens
+    pin); the k-of-n chain models per-drive repair clocks faithfully
+    (``j`` drives down repair at ``j * mu``), which matters once several
+    repairs can be in flight.
     """
     require_int("n_data", n_data, minimum=1)
     require_int("fault_tolerance", fault_tolerance, minimum=1)
@@ -346,9 +354,51 @@ def ddf_chain_spec(
                 ChainTransition(3, 0, "restore"),
             ),
         )
+    if fault_tolerance >= 3 and not models_latent:
+        return kofn_chain_spec(n_data, fault_tolerance)
     raise ParameterError(
         f"no chain topology for fault tolerance {fault_tolerance} with "
         f"models_latent={models_latent}"
+    )
+
+
+def kofn_chain_spec(n_data: int, fault_tolerance: int) -> ChainSpec:
+    """Birth-death chain for a k-of-n group with immediate repair.
+
+    State ``j`` (``0 <= j <= m`` with ``m = fault_tolerance``) holds
+    ``j`` drives simultaneously dead; the failure that would make
+    ``m + 1`` enters the absorbing-or-renewing ``data_loss`` state.
+    Failures arrive at ``(n_total - j) * lambda`` (each surviving drive
+    fails independently); repairs complete at ``j * mu`` — every dead
+    drive runs its own exponential restore clock, matching both
+    simulation engines' immediate-repair semantics, where the first of
+    ``j`` in-flight restores finishes at the ``j``-fold rate.  The
+    data-loss state renews at ``mu`` (the shared DDF window: one
+    concluding restoration returns the whole group to service, and no
+    further DDF is counted inside the window).
+
+    This is the closed-form anchor family for the fuzzer's k-of-n
+    campaigns and the Markov tier for high-tolerance configurations;
+    only the periodic-checker policy has no CTMC counterpart (its check
+    clock is deterministic, not exponential).
+    """
+    require_int("n_data", n_data, minimum=1)
+    require_int("fault_tolerance", fault_tolerance, minimum=1)
+    m = fault_tolerance
+    n_total = n_data + m
+    names = tuple(f"{j}_failed" for j in range(m + 1)) + ("data_loss",)
+    transitions = []
+    for j in range(m):
+        transitions.append(ChainTransition(j, j + 1, "op", n_total - j))
+    transitions.append(ChainTransition(m, m + 1, "op", n_total - m))
+    for j in range(1, m + 1):
+        transitions.append(ChainTransition(j, j - 1, "restore", j))
+    transitions.append(ChainTransition(m + 1, 0, "restore"))
+    return ChainSpec(
+        n_states=m + 2,
+        state_names=names,
+        ddf_states=(m + 1,),
+        transitions=tuple(transitions),
     )
 
 

@@ -36,10 +36,11 @@ _HEADERS = {
     "fig9": ["scrub hours", "DDFs/1000 @ 10y", "DDFs/1000 @ 1y"],
     "fig10": ["TTOp shape", "DDFs/1000 @ 10y", "ratio to beta=1"],
     "tab3": ["assumptions", "DDFs in 1st year /1000", "ratio to MTTDL"],
+    "kofn": ["scenario", "P(survive 1y)", "P(survive 10y)", "losses/1000 @ 10y"],
 }
 
 #: Keyword arguments each stochastic runner accepts.
-_TAKES_GROUPS = {"fig6", "fig7", "fig8", "fig9", "fig10", "tab3"}
+_TAKES_GROUPS = {"fig6", "fig7", "fig8", "fig9", "fig10", "tab3", "kofn"}
 _TAKES_SEED = _TAKES_GROUPS | {"fig1", "fig2"}
 
 
@@ -354,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fuzz.add_argument(
+        "--kn-bias",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "probability of drawing a wide k-of-n erasure-coded "
+            "configuration per case, half with a checker/repairer "
+            "policy (default 0)"
+        ),
+    )
+    fuzz.add_argument(
         "--progress",
         action="store_true",
         help="one status line per case on stderr",
@@ -581,10 +593,12 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     )
 
     sampler = None
-    if args.analytical_bias:
+    if args.analytical_bias or args.kn_bias:
         from .validation import ConfigSampler
 
-        sampler = ConfigSampler(analytical_bias=args.analytical_bias)
+        sampler = ConfigSampler(
+            analytical_bias=args.analytical_bias, kn_bias=args.kn_bias
+        )
     fuzzer = DifferentialFuzzer(sampler=sampler, n_groups=args.groups)
     if args.replay is not None:
         config, seed, n_groups, data = load_bundle(args.replay)

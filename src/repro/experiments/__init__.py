@@ -9,7 +9,18 @@ measured for each.
 Use :data:`~repro.experiments.registry.EXPERIMENTS` to enumerate them.
 """
 
-from . import figure1, figure2, figure6, figure7, figure8, figure9, figure10, table1, table3
+from . import (
+    figure1,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    share_survival,
+    table1,
+    table3,
+)
 from .base_case import (
     BASE_MISSION_HOURS,
     BASE_N_DATA,
@@ -31,6 +42,7 @@ __all__ = [
     "figure8",
     "figure9",
     "figure10",
+    "share_survival",
     "table1",
     "table3",
     "EXPERIMENTS",

@@ -5,7 +5,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict
 
-from . import figure1, figure2, figure6, figure7, figure8, figure9, figure10, table1, table3
+from . import (
+    figure1,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    share_survival,
+    table1,
+    table3,
+)
 from ..exceptions import ExperimentError
 
 
@@ -99,6 +110,13 @@ EXPERIMENTS: Dict[str, ExperimentInfo] = {
             "First-year DDF comparisons vs MTTDL",
             "Table 3",
             table3.run,
+            True,
+        ),
+        ExperimentInfo(
+            "kofn",
+            "k-of-n share survival vs checker period, pinned to the CTMC",
+            "extension (Tahoe-style erasure coding)",
+            share_survival.run,
             True,
         ),
     )

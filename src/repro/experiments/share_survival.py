@@ -1,0 +1,192 @@
+"""k-of-n share-survival curves under a checker/repairer policy.
+
+A Tahoe-LAFS-style erasure-coded file: ``K_DATA`` data shares out of
+``N_TOTAL`` total, readable while any ``K_DATA`` shares survive.  A
+periodic checker probes the file every ``check_interval`` hours and a
+repairer regenerates *all* missing shares — but only when the surviving
+count has dropped below the repair threshold ``R``.  Slower checking
+lets share failures accumulate between repairs, so file survival decays
+with the check interval; the sweep reproduces the qualitative
+survival-vs-checker-period curves of the Tahoe reliability model on top
+of this repo's RAID engines (the group *is* the file, a drive slot a
+share, a DDF the loss instant).
+
+Two immediate-repair variants ride along:
+
+* a fast-repair reference (the policy-free ceiling of the sweep), and
+* a slow-repair **anchor operating point**: all-exponential and
+  policy-free, so the k-of-n birth-death CTMC
+  (:func:`repro.analytical.markov.kofn_chain_spec`) gives its expected
+  loss count in closed form and the fleet is checked against it with the
+  fuzzer's anchor allowance (:func:`repro.validation.anchors.check_anchor`).
+  The closed-form survival curve is reported alongside the simulated one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analytical.markov import kofn_chain_spec
+from ..distributions import Exponential
+from ..simulation import simulate_raid_groups
+from ..simulation.config import RaidGroupConfig, RepairPolicyConfig
+from ..validation.anchors import AnchorResult, check_anchor
+
+#: The Tahoe reliability model's default shape: 3-of-10 shares, repair
+#: when fewer than 7 survive.
+K_DATA = 3
+N_TOTAL = 10
+REPAIR_THRESHOLD = 7
+
+#: Swept checker periods, hours (weekly, monthly, quarterly).
+CHECK_INTERVAL_HOURS = (168.0, 720.0, 2160.0)
+
+#: Share lifetime: exponential, six-month mean.
+SHARE_LIFETIME_HOURS = 4_380.0
+
+#: Repair duration for the sweep and the fast-repair reference.
+REPAIR_HOURS = 200.0
+
+#: Repair duration at the anchor operating point — slow enough that the
+#: closed-form expected loss count is well off zero at fleet size.
+ANCHOR_REPAIR_HOURS = 1_500.0
+
+MISSION_HOURS = 87_600.0
+
+
+def _config(
+    repair_mean: float, policy: Optional[RepairPolicyConfig]
+) -> RaidGroupConfig:
+    return RaidGroupConfig.k_of_n(
+        K_DATA,
+        N_TOTAL,
+        time_to_op=Exponential(mean=SHARE_LIFETIME_HOURS),
+        time_to_restore=Exponential(mean=repair_mean),
+        repair_policy=policy,
+        mission_hours=MISSION_HOURS,
+    )
+
+
+def _survival(chronologies, times: np.ndarray) -> np.ndarray:
+    """Fraction of groups with no data loss by each time."""
+    first = np.array(
+        [c.ddf_times[0] if c.ddf_times else np.inf for c in chronologies]
+    )
+    return (first[None, :] > times[:, None]).mean(axis=1)
+
+
+@dataclasses.dataclass
+class ShareSurvivalResult:
+    """Survival curves per scenario plus the CTMC anchor comparison."""
+
+    times: np.ndarray
+    survival: Dict[str, np.ndarray]
+    mean_ddfs: Dict[str, float]
+    anchor: AnchorResult
+    anchor_survival: np.ndarray
+    n_groups: int
+
+    def rows(self) -> List[List[object]]:
+        """Scenario, P(survive 1y), P(survive 10y), DDFs/1000 @ 10y."""
+        i1 = int(np.argmin(np.abs(self.times - 8_760.0)))
+        out: List[List[object]] = []
+        for label, curve in self.survival.items():
+            out.append(
+                [
+                    label,
+                    float(curve[i1]),
+                    float(curve[-1]),
+                    1000.0 * self.mean_ddfs[label],
+                ]
+            )
+        out.append(
+            [
+                "k-of-n CTMC (closed form, anchor point)",
+                float(self.anchor_survival[i1]),
+                float(self.anchor_survival[-1]),
+                1000.0 * self.anchor.expected,
+            ]
+        )
+        out.append(
+            [
+                "anchor check",
+                "-",
+                "-",
+                (
+                    f"{'ok' if self.anchor.ok else 'MISMATCH'} "
+                    f"(|{self.anchor.observed_mean:.4g} - "
+                    f"{self.anchor.expected:.4g}| <= {self.anchor.tolerance:.4g})"
+                ),
+            ]
+        )
+        return out
+
+
+def run(
+    n_groups: int = 2_000,
+    seed: int = 0,
+    n_points: int = 20,
+    n_jobs: int = 1,
+    engine: str = "batch",
+    until=None,
+) -> ShareSurvivalResult:
+    """Sweep the checker period and pin the anchor point to the CTMC.
+
+    ``until`` is accepted for CLI uniformity and ignored: the anchor
+    comparison needs the full fixed-size fleet on both sides.
+    """
+    del until
+    times = np.linspace(0.0, MISSION_HOURS, n_points + 1)[1:]
+    survival: Dict[str, np.ndarray] = {}
+    mean_ddfs: Dict[str, float] = {}
+
+    scenarios: List["tuple[str, RaidGroupConfig]"] = [
+        (
+            f"check every {int(interval)} h (R={REPAIR_THRESHOLD})",
+            _config(
+                REPAIR_HOURS,
+                RepairPolicyConfig(
+                    check_interval_hours=interval,
+                    repair_threshold=REPAIR_THRESHOLD,
+                ),
+            ),
+        )
+        for interval in CHECK_INTERVAL_HOURS
+    ]
+    scenarios.append(("immediate repair", _config(REPAIR_HOURS, None)))
+    anchor_config = _config(ANCHOR_REPAIR_HOURS, None)
+    scenarios.append(("immediate, slow repair (anchor point)", anchor_config))
+
+    anchor: Optional[AnchorResult] = None
+    for label, config in scenarios:
+        result = simulate_raid_groups(
+            config, n_groups=n_groups, seed=seed, n_jobs=n_jobs, engine=engine
+        )
+        survival[label] = _survival(result.chronologies, times)
+        mean_ddfs[label] = float(
+            np.mean([c.n_ddfs for c in result.chronologies])
+        )
+        if config is anchor_config:
+            anchor = check_anchor(config, result.chronologies)
+
+    assert anchor is not None
+    spec = kofn_chain_spec(K_DATA, N_TOTAL - K_DATA)
+    rates = {
+        "op": 1.0 / SHARE_LIFETIME_HOURS,
+        "restore": 1.0 / ANCHOR_REPAIR_HOURS,
+    }
+    absorbing = spec.chain(rates, absorbing=True)
+    occupancy = absorbing.transient_probabilities(times)
+    anchor_survival = 1.0 - occupancy[:, list(spec.ddf_states)].sum(axis=1)
+
+    return ShareSurvivalResult(
+        times=times,
+        survival=survival,
+        mean_ddfs=mean_ddfs,
+        anchor=anchor,
+        anchor_survival=np.asarray(anchor_survival, dtype=float),
+        n_groups=n_groups,
+    )

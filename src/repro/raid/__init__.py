@@ -10,6 +10,8 @@ itself so reconstruction is exercised rather than assumed:
   model's (N+1) groups use;
 * :mod:`~repro.raid.reed_solomon` — P+Q (RAID 6) encode/recover, the code
   the paper's conclusion says will "eventually be required";
+* :mod:`~repro.raid.mcheck` — general m-check-drive Cauchy MDS codec, the
+  k-of-n regime beyond fixed P+Q (any ``<= m`` erasures recoverable);
 * :mod:`~repro.raid.rdp` — Row-Diagonal Parity [Corbett et al., FAST '04,
   paper ref. 24], NetApp's own double-failure-correcting code;
 * :mod:`~repro.raid.stripe` — logical-block to (disk, stripe) mapping;
@@ -20,6 +22,7 @@ itself so reconstruction is exercised rather than assumed:
 from .array_model import BlockArray, ScrubReport
 from .geometry import RaidGeometry, RaidLevel
 from .gf256 import GF256
+from .mcheck import MCheckCodec
 from .parity import reconstruct_single, xor_parity
 from .rdp import RdpArray
 from .reconstruction import (
@@ -39,6 +42,7 @@ __all__ = [
     "xor_parity",
     "reconstruct_single",
     "RaidSixCodec",
+    "MCheckCodec",
     "RdpArray",
     "StripeMap",
     "RebuildTimeModel",

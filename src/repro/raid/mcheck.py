@@ -1,0 +1,188 @@
+"""General m-check-drive erasure codec over GF(2^8).
+
+:class:`MCheckCodec` generalizes the fixed P+Q layout of
+:class:`~repro.raid.reed_solomon.RaidSixCodec` to an arbitrary number of
+check drives: ``k`` data blocks are encoded into ``m`` check blocks such
+that **any** ``m`` erasures — data, check, or a mix — are recoverable.
+This is the k-of-n regime of "An Argument for More Check Drives"
+(PAPERS.md) and of Tahoe-LAFS-style k-of-n share placement: a group
+survives as long as any ``k`` of its ``k + m`` blocks survive.
+
+The code is a systematic MDS code built from a **Cauchy matrix**.  With
+field points ``x_i = k + i`` for check row ``i`` and ``y_j = j`` for
+data column ``j``, the check matrix is ``C[i][j] = 1 / (x_i XOR y_j)``.
+Every square submatrix of a Cauchy matrix is nonsingular, so every
+``k × k`` submatrix of the systematic generator ``[I; C]`` is invertible
+— the defining MDS property that guarantees recovery from any ``m``
+erasures, not just the patterns a Vandermonde construction happens to
+cover at large ``m``.  The construction needs ``k + m`` distinct field
+points, bounding the group at ``k + m <= 256`` blocks.
+
+Decoding solves the ``k × k`` GF(2^8) linear system formed by the first
+``k`` surviving generator rows via Gaussian elimination (exact table
+arithmetic, no floating point), then re-encodes any erased check blocks
+from the recovered data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import RaidConfigurationError, ReconstructionError
+from .gf256 import GF256
+
+#: Hard ceiling on blocks per group: the Cauchy construction needs
+#: ``n_data + n_check`` distinct GF(2^8) points.
+MAX_TOTAL_BLOCKS = 256
+
+
+class MCheckCodec:
+    """Systematic Cauchy MDS codec: ``n_data`` data + ``n_check`` check blocks.
+
+    Blocks are 1-D ``uint8`` arrays of one shared length.  Indices
+    ``0 .. n_data-1`` address data blocks and ``n_data .. n_data+n_check-1``
+    address check blocks, so an erasure pattern is just a set of integers
+    in ``range(n_total)``.
+    """
+
+    def __init__(self, n_data: int, n_check: int) -> None:
+        if n_data < 1:
+            raise RaidConfigurationError(f"n_data must be >= 1, got {n_data!r}")
+        if n_check < 1:
+            raise RaidConfigurationError(f"n_check must be >= 1, got {n_check!r}")
+        if n_data + n_check > MAX_TOTAL_BLOCKS:
+            raise RaidConfigurationError(
+                f"n_data + n_check must be <= {MAX_TOTAL_BLOCKS} for the "
+                f"GF(2^8) Cauchy construction, got {n_data + n_check}"
+            )
+        self.n_data = n_data
+        self.n_check = n_check
+        self.n_total = n_data + n_check
+        # Check rows of the systematic generator [I; C].
+        self._check_matrix = np.array(
+            [
+                [int(GF256.inverse((n_data + i) ^ j)) for j in range(n_data)]
+                for i in range(n_check)
+            ],
+            dtype=np.uint8,
+        )
+
+    # ------------------------------------------------------------------
+    def _generator_row(self, index: int) -> np.ndarray:
+        """Row ``index`` of the systematic generator ``[I; C]``."""
+        if index < self.n_data:
+            row = np.zeros(self.n_data, dtype=np.uint8)
+            row[index] = 1
+            return row
+        return self._check_matrix[index - self.n_data]
+
+    @staticmethod
+    def _as_block(block: Sequence[int], length: int) -> np.ndarray:
+        data = np.asarray(block, dtype=np.uint8)
+        if data.ndim != 1 or data.shape[0] != length:
+            raise ReconstructionError(
+                f"all blocks must be 1-D of one shared length {length}, "
+                f"got shape {data.shape}"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    def encode(self, data_blocks: Sequence[Sequence[int]]) -> List[np.ndarray]:
+        """Compute the ``n_check`` check blocks for ``n_data`` data blocks."""
+        if len(data_blocks) != self.n_data:
+            raise ReconstructionError(
+                f"expected {self.n_data} data blocks, got {len(data_blocks)}"
+            )
+        first = np.asarray(data_blocks[0], dtype=np.uint8)
+        blocks = [self._as_block(b, first.shape[0]) for b in data_blocks]
+        checks = []
+        for i in range(self.n_check):
+            acc = np.zeros(first.shape[0], dtype=np.uint8)
+            for j, block in enumerate(blocks):
+                acc ^= GF256.multiply(self._check_matrix[i, j], block)
+            checks.append(acc)
+        return checks
+
+    def recover(
+        self,
+        present: Mapping[int, Sequence[int]],
+        erased: Sequence[int],
+    ) -> Dict[int, np.ndarray]:
+        """Reconstruct every erased block from the surviving ones.
+
+        ``present`` maps surviving block index -> block contents;
+        ``erased`` lists the lost indices.  Returns ``{index: block}``
+        for each erased index.  Raises :class:`ReconstructionError` when
+        more than ``n_check`` blocks are erased (beyond the code's MDS
+        bound) or when the survivors are inconsistent with the layout.
+        """
+        erased_set = set(int(e) for e in erased)
+        for index in erased_set:
+            if not 0 <= index < self.n_total:
+                raise ReconstructionError(
+                    f"erased index {index} outside group of {self.n_total} blocks"
+                )
+        if len(erased_set) > self.n_check:
+            raise ReconstructionError(
+                f"{len(erased_set)} erasures exceed the {self.n_check}-erasure "
+                f"correction capability of this {self.n_data}+{self.n_check} code"
+            )
+        if erased_set & set(int(i) for i in present):
+            raise ReconstructionError("a block cannot be both present and erased")
+
+        survivors = sorted(int(i) for i in present if int(i) not in erased_set)
+        usable = [i for i in survivors if 0 <= i < self.n_total][: self.n_data]
+        if len(usable) < self.n_data:
+            raise ReconstructionError(
+                f"need {self.n_data} surviving blocks to decode, got {len(usable)}"
+            )
+
+        length = np.asarray(present[usable[0]], dtype=np.uint8).shape[0]
+        matrix = np.stack([self._generator_row(i) for i in usable])
+        rhs = np.stack([self._as_block(present[i], length) for i in usable])
+        data = _gf_solve(matrix, rhs)
+
+        out: Dict[int, np.ndarray] = {}
+        for index in sorted(erased_set):
+            if index < self.n_data:
+                out[index] = data[index].copy()
+            else:
+                row = self._check_matrix[index - self.n_data]
+                acc = np.zeros(length, dtype=np.uint8)
+                for j in range(self.n_data):
+                    acc ^= GF256.multiply(row[j], data[j])
+                out[index] = acc
+        return out
+
+
+def _gf_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A @ X = B`` over GF(2^8) by Gaussian elimination.
+
+    ``matrix`` is ``(k, k)`` uint8, ``rhs`` is ``(k, L)`` uint8; returns
+    the ``(k, L)`` solution.  The systematic-Cauchy caller guarantees a
+    nonsingular system; a zero pivot therefore means corrupted inputs
+    and raises :class:`ReconstructionError`.
+    """
+    a = matrix.astype(np.uint8).copy()
+    b = rhs.astype(np.uint8).copy()
+    k = a.shape[0]
+    for col in range(k):
+        pivot_row = next((r for r in range(col, k) if a[r, col]), None)
+        if pivot_row is None:
+            raise ReconstructionError(
+                "singular decode system: surviving blocks are inconsistent"
+            )
+        if pivot_row != col:
+            a[[col, pivot_row]] = a[[pivot_row, col]]
+            b[[col, pivot_row]] = b[[pivot_row, col]]
+        inv = GF256.inverse(int(a[col, col]))
+        a[col] = GF256.multiply(inv, a[col])
+        b[col] = GF256.multiply(inv, b[col])
+        for row in range(k):
+            if row != col and a[row, col]:
+                factor = int(a[row, col])
+                a[row] ^= GF256.multiply(factor, a[col])
+                b[row] ^= GF256.multiply(factor, b[col])
+    return b

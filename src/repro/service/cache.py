@@ -14,6 +14,13 @@ Lookup semantics for a query at precision ``P``:
 ``hit``
     An entry exists and its achieved relative CI width already meets
     ``P`` (at the same confidence) — serve it directly.
+``hit_rescaled``
+    An entry computed at a *different* confidence level still meets
+    ``P`` once its achieved width is re-expressed at the request's
+    confidence.  The CI is ``mean ± z·se`` throughout, so the width
+    scales exactly by the ratio of two-sided normal quantiles — the
+    stored moments are served at the query's confidence with no
+    resimulation.
 ``extend``
     An entry exists but is looser than ``P`` — hand its checkpoint to
     the simulation tier as the resume point.
@@ -50,7 +57,7 @@ from ..simulation.checkpoint import (
     atomic_write_text,
     load_checkpoint,
 )
-from ..simulation.streaming import Precision
+from ..simulation.streaming import Precision, normal_two_sided_z
 
 logger = logging.getLogger("repro.service")
 
@@ -94,15 +101,25 @@ class CacheEntry:
         """Groups accumulated into this entry so far."""
         return self.checkpoint.groups_completed
 
-    def satisfies(self, precision: Precision) -> bool:
-        """Whether this entry already meets a requested precision.
+    def rescaled_width(self, confidence: float) -> float:
+        """Achieved relative CI width re-expressed at another confidence.
 
-        Conservative on the confidence axis: an entry only *hits* on
-        achieved width for the confidence level it was computed at
-        (widths at different levels are not comparable without
-        rescaling).  An entry whose fleet already reached the request's
-        ``max_groups`` cap is also a hit — no further shard could be
-        simulated for it, so "extending" would be a no-op job.
+        The accumulator's interval is ``mean ± z·se``, so the relative
+        width is proportional to the two-sided normal quantile and the
+        rescaling is exact — no approximation, no resimulation.
+        """
+        return self.achieved_rel_ci_width * (
+            normal_two_sided_z(confidence) / normal_two_sided_z(self.confidence)
+        )
+
+    def satisfies(self, precision: Precision) -> bool:
+        """Whether this entry already meets a requested precision as-is.
+
+        Strict on the confidence axis: the achieved width is compared
+        only at the confidence level the entry was computed at.  An
+        entry whose fleet already reached the request's ``max_groups``
+        cap is also a hit — no further shard could be simulated for it,
+        so "extending" would be a no-op job.
         """
         if (
             self.confidence == precision.confidence
@@ -110,6 +127,15 @@ class CacheEntry:
         ):
             return True
         return precision.max_groups is not None and self.groups >= precision.max_groups
+
+    def satisfies_rescaled(self, precision: Precision) -> bool:
+        """Whether this entry meets the target after exact z-rescaling.
+
+        Covers the cross-confidence case :meth:`satisfies` refuses: an
+        entry achieved at e.g. 99% confidence whose width, rescaled to
+        the query's 95% ``z``, already fits the requested width.
+        """
+        return self.rescaled_width(precision.confidence) <= precision.rel_ci_width
 
 
 class ResultCache:
@@ -149,9 +175,10 @@ class ResultCache:
     ) -> "Tuple[str, Optional[CacheEntry]]":
         """Resolve a query against the cache.
 
-        Returns ``("hit", entry)``, ``("extend", entry)`` or
-        ``("miss", None)``.  Disk entries (when a ``cache_dir`` is
-        configured) back the in-memory map transparently.
+        Returns ``("hit", entry)``, ``("hit_rescaled", entry)``,
+        ``("extend", entry)`` or ``("miss", None)``.  Disk entries (when
+        a ``cache_dir`` is configured) back the in-memory map
+        transparently.
 
         ``expected_run_fingerprint`` is the repr-based
         :func:`~repro.simulation.checkpoint.config_fingerprint` of the
@@ -173,6 +200,8 @@ class ResultCache:
             return "miss", None
         if entry.satisfies(precision):
             return "hit", entry
+        if entry.satisfies_rescaled(precision):
+            return "hit_rescaled", entry
         return "extend", entry
 
     def put(self, entry: CacheEntry) -> None:

@@ -124,6 +124,7 @@ class ReliabilityService:
         self.requests = 0
         self.errors = 0
         self.cache_hits = 0
+        self.cache_rescaled_hits = 0
         self._by_source: Dict[str, Dict[str, float]] = {}
 
     # -- observability -------------------------------------------------
@@ -144,6 +145,7 @@ class ReliabilityService:
                 "requests": self.requests,
                 "errors": self.errors,
                 "cache_hits": self.cache_hits,
+                "cache_rescaled_hits": self.cache_rescaled_hits,
                 "by_source": by_source,
                 "solver_memo_entries": len(self._solver_memo),
                 "uptime_seconds": time.monotonic() - self._started,
@@ -229,11 +231,15 @@ class ReliabilityService:
         disposition, entry = self.cache.lookup(
             spec.cache_key, precision, expected_run_fingerprint=config_fingerprint(config)
         )
-        if disposition == "hit":
+        if disposition in ("hit", "hit_rescaled"):
             assert entry is not None
-            ctx = _RequestContext(spec, "cache", route, reason, started, wait, timeout)
+            source = "cache" if disposition == "hit" else "cache-rescaled"
+            ctx = _RequestContext(spec, source, route, reason, started, wait, timeout)
             with self._lock:
-                self.cache_hits += 1
+                if disposition == "hit":
+                    self.cache_hits += 1
+                else:
+                    self.cache_rescaled_hits += 1
             return self._entry_response(ctx, entry), None, ctx
 
         job, coalesced = self.jobs.submit(
@@ -279,6 +285,9 @@ class ReliabilityService:
     def _entry_response(
         self, ctx: _RequestContext, entry: CacheEntry
     ) -> Dict[str, object]:
+        # Answered at the *query's* confidence: the accumulator stores
+        # full moments, so the interval at any level is exact — this is
+        # what makes cross-confidence ("cache-rescaled") hits honest.
         accumulator = entry.checkpoint.accumulator()
         return self._respond(
             ctx.spec.fingerprint,
@@ -287,7 +296,7 @@ class ReliabilityService:
             source=ctx.source,
             route=ctx.route,
             reason=ctx.reason,
-            answer=_accumulator_answer(accumulator, entry.confidence),
+            answer=_accumulator_answer(accumulator, ctx.spec.precision.confidence),
             started=ctx.started,
         )
 

@@ -35,7 +35,7 @@ time-to-scrub distributions — none of which needs to be exponential.
 from .availability import AvailabilityReport
 from .batch import BATCH_SHARD_SIZE, simulate_groups_batch
 from .checkpoint import RunCheckpoint, load_checkpoint, save_checkpoint
-from .config import RaidGroupConfig
+from .config import RaidGroupConfig, RepairPolicyConfig
 from .executor import (
     DEFAULT_MAX_SHARD_RETRIES,
     PipelinedShardExecutor,
@@ -64,6 +64,7 @@ __all__ = [
     "ENGINES",
     "RaidGroupConfig",
     "RaidGroupSimulator",
+    "RepairPolicyConfig",
     "simulate_groups_batch",
     "GroupChronology",
     "DDFType",

@@ -79,6 +79,7 @@ import numpy as np
 
 from ..exceptions import SimulationError
 from .config import RaidGroupConfig
+from .predicate import loss_predicate_for
 from .raid_simulator import DDFType, GroupChronology
 
 #: Groups per vectorized kernel invocation.  Fixed (rather than derived
@@ -101,13 +102,20 @@ COMPACT_RATIO = 0.75
 COMPACT_MIN_ROWS = 64
 
 # Column-block order of the fused state buffer == tie-break priority at
-# equal event times (argmin returns the lowest flat index).
+# equal event times (argmin returns the lowest flat index).  With a
+# repair policy a single group-wide CHECK column sits between the scrub
+# and latent-arrival blocks — checks after recoveries, before new
+# problems, matching EventKind.CHECK's rank in KIND_PRIORITY — and the
+# LD/OP blocks shift right by one; without a policy the layout (and
+# therefore every existing byte-identity fingerprint) is unchanged.
 _K_RESTORE = 0
 _K_CLEAR = 1
 _K_SCRUB = 2
 _K_LD = 3
 _K_OP = 4
 _N_KINDS = 5
+#: Sentinel kind code for the policy CHECK column (not a slot block).
+_K_CHECK = 5
 
 _INF = float("inf")
 
@@ -214,7 +222,14 @@ def simulate_groups_batch(
 
     n_slots = config.n_drives
     mission = config.mission_hours
-    tolerance = config.fault_tolerance
+    predicate = loss_predicate_for(config)
+    policy = config.repair_policy
+    has_check = policy is not None
+    # LD/OP column-block starts shift past the CHECK column when present.
+    check_flat = 3 * n_slots
+    shift = 1 if has_check else 0
+    ld_start = _K_LD * n_slots + shift
+    op_start = _K_OP * n_slots + shift
 
     ttop = _BlockSampler(config.time_to_op, rng)
     ttr = _BlockSampler(config.time_to_restore, rng)
@@ -233,17 +248,35 @@ def simulate_groups_batch(
     # index order is exactly the kind-then-slot tie-break.  The per-kind
     # "arrays" below are views into this buffer; every state update
     # writes straight into the next argmin's input.
-    state = np.full((n_groups, _N_KINDS * n_slots), _INF)
+    state = np.full((n_groups, _N_KINDS * n_slots + shift), _INF)
 
     def _views(buf: np.ndarray):
-        return [buf[:, k * n_slots : (k + 1) * n_slots] for k in range(_N_KINDS)]
+        return (
+            buf[:, 0:n_slots],  # restore
+            buf[:, n_slots : 2 * n_slots],  # clear
+            buf[:, 2 * n_slots : 3 * n_slots],  # scrub
+            buf[:, ld_start : ld_start + n_slots],  # latent arrival
+            buf[:, op_start : op_start + n_slots],  # operational failure
+            buf[:, check_flat : check_flat + shift],  # check (empty w/o policy)
+        )
 
-    t_restore, t_clear, t_scrub, t_ld, t_op = _views(state)
+    def _kinds(flat: np.ndarray) -> np.ndarray:
+        """Kind codes for flat argmin indices (the no-policy fast path is
+        the plain kind-major division the fingerprints pin)."""
+        if not has_check:
+            return flat // n_slots
+        kinds = (flat - (flat > check_flat)) // n_slots
+        kinds[flat == check_flat] = _K_CHECK
+        return kinds
+
+    t_restore, t_clear, t_scrub, t_ld, t_op, t_check = _views(state)
     op_up = np.ones((n_groups, n_slots), dtype=bool)
     exposed = np.zeros((n_groups, n_slots), dtype=bool)
     t_op[:] = ttop.take(n_groups * n_slots).reshape(n_groups, n_slots)
     if ttld is not None:
         t_ld[:] = ttld.take(n_groups * n_slots).reshape(n_groups, n_slots)
+    if has_check:
+        t_check[:] = policy.check_interval_hours
 
     # Per-group rolling state (compacted alongside the fused buffer).
     ddf_until = np.full(n_groups, -_INF)
@@ -256,6 +289,8 @@ def simulate_groups_batch(
     n_latent_defects = np.zeros(n_groups, dtype=np.int64)
     n_scrub_repairs = np.zeros(n_groups, dtype=np.int64)
     n_restores = np.zeros(n_groups, dtype=np.int64)
+    n_checks = np.zeros(n_groups, dtype=np.int64)
+    n_policy_repairs = np.zeros(n_groups, dtype=np.int64)
     ddf_times: List[List[float]] = [[] for _ in range(n_groups)]
     ddf_types: List[List[DDFType]] = [[] for _ in range(n_groups)]
 
@@ -280,7 +315,7 @@ def simulate_groups_batch(
             # streams the uncompacted kernel would.
             keep = active.nonzero()[0]
             state = np.ascontiguousarray(state[keep])
-            t_restore, t_clear, t_scrub, t_ld, t_op = _views(state)
+            t_restore, t_clear, t_scrub, t_ld, t_op, t_check = _views(state)
             op_up = op_up[keep]
             exposed = exposed[keep]
             ddf_until = ddf_until[keep]
@@ -290,45 +325,63 @@ def simulate_groups_batch(
             rows = n_active
             active = np.ones(rows, dtype=bool)
             g_act = row_ix_all[:rows]
-            kind_act = flat_ix // n_slots
+            kind_act = _kinds(flat_ix)
         elif n_active == rows:
             g_act = row_ix
-            kind_act = flat_ix // n_slots
+            kind_act = _kinds(flat_ix)
         else:
             g_act = active.nonzero()[0]
-            kind_act = flat_ix[g_act] // n_slots
+            kind_act = _kinds(flat_ix[g_act])
 
         # ----------------------------------------------------- OP_FAIL
         g = g_act[kind_act == _K_OP]
         if g.size:
-            s = flat_ix[g] - _K_OP * n_slots
+            s = flat_ix[g] - op_start
             t = t_next[g]
             k = g.size
             go = orig[g]
             n_op_failures[go] += 1
-            completion = t + ttr.take(k)
+            if policy is None:
+                completion = t + ttr.take(k)
+            else:
+                # Deferred repair: the missing share waits for the
+                # periodic checker; only data losses draw a TTR below.
+                completion = np.full(k, _INF)
 
             eligible = t >= ddf_until[g]
             # Other drives still inside their restore window (the failing
-            # slot is up, so it never counts itself).
+            # slot is up, so it never counts itself).  Checker-deferred
+            # failures (restore time inf) always overlap.
             overlap = ~op_up[g] & (t_restore[g] > t[:, None])
             n_failed_others = overlap.sum(axis=1)
             exposed_others = exposed[g]  # advanced indexing: already a copy
             exposed_others[row_ix_all[:k], s] = False
 
-            is_double = eligible & (n_failed_others >= tolerance)
+            # The shared data-loss predicate (repro.simulation.predicate):
+            # one rule for RAID N+m and k-of-n groups.
+            is_double = eligible & predicate.direct_loss(n_failed_others)
             is_latent = (
                 eligible
                 & ~is_double
-                & (n_failed_others == tolerance - 1)
+                & predicate.exposure_boundary(n_failed_others)
                 & exposed_others.any(axis=1)
             )
             is_ddf = is_double | is_latent
             if is_ddf.any():
+                if policy is not None:
+                    # Emergency repair at data loss: TTR draws for the
+                    # DDF rows only, in row order (the draw schedule is
+                    # deterministic for a fixed (config, n_groups, seed)).
+                    ddf_rows = is_ddf.nonzero()[0]
+                    completion[ddf_rows] = t[ddf_rows] + ttr.take(ddf_rows.size)
                 # The group returns to service when the *latest* involved
                 # restoration completes; every overlapping restore (and
                 # this failure's own) is extended to that instant.
-                other_max = np.where(overlap, t_restore[g], -_INF).max(axis=1)
+                # Pending (inf) restores take the shared completion
+                # rather than extending it.
+                other_max = np.where(
+                    overlap & (t_restore[g] < _INF), t_restore[g], -_INF
+                ).max(axis=1)
                 window_end = np.maximum(completion, other_max)
                 completion = np.where(is_ddf, window_end, completion)
                 rws, cols = (overlap & is_ddf[:, None]).nonzero()
@@ -372,7 +425,7 @@ def simulate_groups_batch(
         # --------------------------------------------------- LD_ARRIVE
         g = g_act[kind_act == _K_LD]
         if g.size:
-            s = flat_ix[g] - _K_LD * n_slots
+            s = flat_ix[g] - ld_start
             exposed[g, s] = True
             n_latent_defects[orig[g]] += 1
             t_ld[g, s] = _INF
@@ -402,6 +455,27 @@ def simulate_groups_batch(
             if ttld is not None:
                 t_ld[g, s] = t_next[g] + ttld.take(g.size)
 
+        # -------------------------------------------------------- CHECK
+        if has_check:
+            g = g_act[kind_act == _K_CHECK]
+            if g.size:
+                t = t_next[g]
+                n_checks[orig[g]] += 1
+                # Shares awaiting repair: down with no restore scheduled.
+                pending = ~op_up[g] & np.isinf(t_restore[g])
+                surviving = op_up[g].sum(axis=1)
+                trigger = (surviving < policy.repair_threshold) & pending.any(
+                    axis=1
+                )
+                rows_t = trigger.nonzero()[0]
+                if rows_t.size:
+                    n_policy_repairs[orig[g[rows_t]]] += 1
+                    # One shared TTR draw per triggered repair pass.
+                    repair_completion = t[rows_t] + ttr.take(rows_t.size)
+                    rws, cols = pending[rows_t].nonzero()
+                    t_restore[g[rows_t][rws], cols] = repair_completion[rws]
+                t_check[g, 0] = t + policy.check_interval_hours
+
     return [
         GroupChronology(
             ddf_times=times,
@@ -411,14 +485,18 @@ def simulate_groups_batch(
             n_scrub_repairs=scrubs,
             n_restores=restores,
             mission_hours=mission,
+            n_checks=checks,
+            n_policy_repairs=repairs,
         )
-        for times, types, ops, lds, scrubs, restores in zip(
+        for times, types, ops, lds, scrubs, restores, checks, repairs in zip(
             ddf_times,
             ddf_types,
             n_op_failures.tolist(),
             n_latent_defects.tolist(),
             n_scrub_repairs.tolist(),
             n_restores.tolist(),
+            n_checks.tolist(),
+            n_policy_repairs.tolist(),
         )
     ]
 

@@ -22,6 +22,50 @@ from .spares import SparePoolConfig
 #: The paper's mission: 87,600 hours = 10 years.
 DEFAULT_MISSION_HOURS = 87_600.0
 
+#: Hard ceiling on drive slots per group.  The general m-check erasure
+#: codec (:class:`repro.raid.mcheck.MCheckCodec`) needs ``n_data +
+#: n_parity`` distinct GF(2^8) points with one reserved, so a group a
+#: codec cannot actually encode is rejected at configuration time rather
+#: than simulated as if redundancy were free.
+MAX_GROUP_DRIVES = 255
+
+#: Highest fault tolerance the deterministic validation artifacts
+#: exercise: the DDF boundary goldens
+#: (``tests/simulation/test_ddf_boundaries.py``) pin hand-computed
+#: chronologies up to this ``m``, and the fuzzer's general configuration
+#: stream (:class:`repro.validation.generator.ConfigSampler`) samples
+#: ``n_parity`` from ``1..EXERCISED_TOLERANCE_MAX``.  Both sides import
+#: this constant so the sampled space and the golden-validated space can
+#: never silently desync.
+EXERCISED_TOLERANCE_MAX = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairPolicyConfig:
+    """Tahoe-style checker/repairer policy for k-of-n share groups.
+
+    The paper's model repairs every failure immediately (a failure's TTR
+    clock starts at the failure); distributed k-of-n systems instead run
+    a **checker** every ``check_interval_hours`` and trigger the
+    **repairer** only when the check finds fewer than
+    ``repair_threshold`` surviving shares — the ``R`` of Tahoe-LAFS's
+    ``reliability.py`` model (SNIPPETS.md).  A triggered repair
+    regenerates *all* missing shares in one pass: the pending failures
+    share a single TTR draw, mirroring the shared-restore-completion
+    rule of the DDF window.
+
+    A data-loss event itself still repairs immediately (the operator
+    notices data loss without a checker); between checks, ordinary
+    failures simply accumulate as missing shares.
+    """
+
+    check_interval_hours: float
+    repair_threshold: int
+
+    def __post_init__(self) -> None:
+        require_positive("check_interval_hours", self.check_interval_hours)
+        require_int("repair_threshold", self.repair_threshold, minimum=1)
+
 
 @dataclasses.dataclass(frozen=True)
 class RaidGroupConfig:
@@ -65,6 +109,14 @@ class RaidGroupConfig:
         (the paper's implicit assumption) means a spare is always in
         hand; with a pool, a failure finding the shelf empty waits for
         the next replenishment before its TTR clock starts.
+    repair_policy:
+        Optional :class:`RepairPolicyConfig`.  ``None`` (the paper's
+        model) repairs every failure immediately; with a policy, ordinary
+        failures wait for the periodic checker to notice the group has
+        dropped below the repair threshold (data-loss events still
+        repair immediately).  Mutually exclusive with ``spare_pool`` —
+        the shelf models *supply* delay on immediate repair, the policy
+        models *detection* delay.
     """
 
     n_data: int
@@ -76,15 +128,37 @@ class RaidGroupConfig:
     n_parity: int = 1
     latent_age_anchored: bool = False
     spare_pool: Optional["SparePoolConfig"] = None
+    repair_policy: Optional[RepairPolicyConfig] = None
 
     def __post_init__(self) -> None:
         require_int("n_data", self.n_data, minimum=1)
         require_int("n_parity", self.n_parity, minimum=1)
         require_positive("mission_hours", self.mission_hours)
+        if self.n_data + self.n_parity > MAX_GROUP_DRIVES:
+            raise ParameterError(
+                f"n_data + n_parity = {self.n_data + self.n_parity} exceeds "
+                f"{MAX_GROUP_DRIVES}, the largest group a GF(2^8) erasure "
+                f"code can lay out"
+            )
         if self.time_to_scrub is not None and self.time_to_latent is None:
             raise ParameterError(
                 "time_to_scrub given without time_to_latent: nothing to scrub"
             )
+        if self.repair_policy is not None:
+            if self.spare_pool is not None:
+                raise ParameterError(
+                    "repair_policy and spare_pool are mutually exclusive: "
+                    "deferred detection and deferred supply of the same "
+                    "repair are not composable"
+                )
+            threshold = self.repair_policy.repair_threshold
+            if not self.n_data <= threshold <= self.n_drives:
+                raise ParameterError(
+                    f"repair_threshold must lie in [n_data, n_drives] = "
+                    f"[{self.n_data}, {self.n_drives}] so the repairer can "
+                    f"trigger while the data is still recoverable; got "
+                    f"{threshold}"
+                )
 
     @property
     def n_drives(self) -> int:
@@ -173,6 +247,37 @@ class RaidGroupConfig:
             mission_hours=mission_hours,
         )
 
+    @classmethod
+    def k_of_n(
+        cls,
+        k: int,
+        n: int,
+        time_to_op: Distribution,
+        time_to_restore: Distribution,
+        repair_policy: Optional[RepairPolicyConfig] = None,
+        mission_hours: float = DEFAULT_MISSION_HOURS,
+        **kwargs,
+    ) -> "RaidGroupConfig":
+        """A k-of-n erasure-coded share group (Tahoe's default is 3-of-10).
+
+        ``k`` shares suffice to recover the data, so the group tolerates
+        ``n - k`` simultaneous share losses — ``n_data = k``,
+        ``n_parity = n - k`` in RAID terms.
+        """
+        require_int("k", k, minimum=1)
+        require_int("n", n, minimum=2)
+        if n <= k:
+            raise ParameterError(f"k-of-n needs n > k, got k={k}, n={n}")
+        return cls(
+            n_data=k,
+            n_parity=n - k,
+            time_to_op=time_to_op,
+            time_to_restore=time_to_restore,
+            repair_policy=repair_policy,
+            mission_hours=mission_hours,
+            **kwargs,
+        )
+
     def without_latent_defects(self) -> "RaidGroupConfig":
         """A copy with the latent-defect process disabled (Fig. 6 variants)."""
         return dataclasses.replace(self, time_to_latent=None, time_to_scrub=None)
@@ -201,4 +306,9 @@ class RaidGroupConfig:
             )
         else:
             parts.append("no latent defects")
+        if self.repair_policy is not None:
+            parts.append(
+                f"check every {self.repair_policy.check_interval_hours:g}h, "
+                f"repair below {self.repair_policy.repair_threshold} shares"
+            )
         return ", ".join(parts)

@@ -29,6 +29,10 @@ class EventKind(enum.Enum):
     SCRUB_DONE = "scrub_done"
     #: Post-DDF cleanup clears an exposed drive's defect.
     LD_CLEARED = "ld_cleared"
+    #: The periodic checker of a repair-threshold policy inspects the
+    #: group (and triggers the repairer when shares have dropped below
+    #: the threshold).  Group-wide: the slot field is unused.
+    CHECK = "check"
 
 
 #: Resolution order for events scheduled at the same instant: recoveries
@@ -38,13 +42,18 @@ class EventKind(enum.Enum):
 #: events — reachable only through discrete-support distributions such as
 #: :class:`~repro.distributions.Deterministic` — resolve identically on
 #: both engines.  A failure landing exactly at a recovery instant
-#: therefore finds the group already recovered.
+#: therefore finds the group already recovered.  A policy CHECK sits
+#: between the recoveries and the new problems: a check at a recovery
+#: instant sees the recovered state (nothing left to repair), and a
+#: failure at a check instant lands *after* the check (it waits for the
+#: next one) — the same already-recovered boundary convention.
 KIND_PRIORITY = {
     EventKind.OP_RESTORED: 0,
     EventKind.LD_CLEARED: 1,
     EventKind.SCRUB_DONE: 2,
-    EventKind.LD_ARRIVE: 3,
-    EventKind.OP_FAIL: 4,
+    EventKind.CHECK: 3,
+    EventKind.LD_ARRIVE: 4,
+    EventKind.OP_FAIL: 5,
 }
 
 

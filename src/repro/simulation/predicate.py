@@ -1,0 +1,77 @@
+"""Pluggable data-loss predicate shared by both simulation engines.
+
+The Fig. 4/5 DDF rule asks one question at every operational failure:
+given how many *other* drives are simultaneously dead and whether any
+surviving drive carries an unscrubbed latent defect, is data lost?  Both
+engines — the per-group event loop in
+:mod:`~repro.simulation.raid_simulator` and the vectorized kernel in
+:mod:`~repro.simulation.batch` — and the trace-replay oracle
+(:mod:`repro.validation.oracle`) previously hard-coded the same two
+comparisons against ``fault_tolerance``; this module is the single
+implementation they now share, so the RAID N+m groups of the paper and
+k-of-n erasure-coded share groups run through **one kernel** with one
+boundary semantics.
+
+The threshold predicate covers every MDS code: a group with tolerance
+``m`` (``m = n_parity`` for RAID N+m, ``m = n - k`` for a k-of-n code —
+see :class:`~repro.raid.mcheck.MCheckCodec`) loses data outright when a
+failure makes ``m + 1`` drives simultaneously dead, and loses data
+through the latent pathway when it makes exactly ``m`` dead while an
+unscrubbed defect sits on a surviving drive (the defect costs one more
+erasure on its stripe than the code can absorb).  Non-MDS layouts (e.g.
+locality-limited codes where *which* drives die matters) would subclass
+with set-valued rather than count-valued tests; everything else in the
+engines — tie-breaks, DDF windows, shared restore completions — is
+predicate-agnostic.
+
+Both methods accept scalars or numpy arrays: the comparisons broadcast,
+so the event engine's per-failure call and the batch kernel's masked
+per-iteration call run the same expression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..exceptions import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdLossPredicate:
+    """Count-threshold data-loss rule for MDS redundancy.
+
+    Parameters
+    ----------
+    tolerance:
+        Erasures the code absorbs: ``n_parity`` for RAID N+m,
+        ``n - k`` for k-of-n erasure coding.
+    """
+
+    tolerance: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tolerance, int) or isinstance(self.tolerance, bool):
+            raise ParameterError(
+                f"tolerance must be an int, got {self.tolerance!r}"
+            )
+        if self.tolerance < 1:
+            raise ParameterError(
+                f"tolerance must be >= 1, got {self.tolerance!r}"
+            )
+
+    def direct_loss(self, n_failed_others):
+        """Data lost outright: the new failure is the ``tolerance + 1``-th
+        (or later) simultaneous dead drive — the DOUBLE_OP pathway."""
+        return n_failed_others >= self.tolerance
+
+    def exposure_boundary(self, n_failed_others):
+        """Redundancy exactly exhausted: with the new failure every
+        erasure the code absorbs is spent, so any latent defect on a
+        surviving drive is unreadable — the LATENT_THEN_OP pathway
+        (when a defect is in fact exposed)."""
+        return n_failed_others == self.tolerance - 1
+
+
+def loss_predicate_for(config) -> ThresholdLossPredicate:
+    """The data-loss predicate of a :class:`RaidGroupConfig`."""
+    return ThresholdLossPredicate(tolerance=config.fault_tolerance)

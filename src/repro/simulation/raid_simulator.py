@@ -63,9 +63,12 @@ import numpy as np
 from ..exceptions import SimulationError
 from .config import RaidGroupConfig
 from .events import EventKind, EventQueue
+from .predicate import loss_predicate_for
 from .rng import SampleBuffer
 from .spares import SparePool
 from .trace import TimelineRecorder
+
+_INF = float("inf")
 
 
 class DDFType(enum.Enum):
@@ -102,6 +105,10 @@ class GroupChronology:
         Failures that found the spare shelf empty (0 without a pool).
     spare_wait_hours:
         Total hours failures spent waiting for replenishment.
+    n_checks:
+        Periodic checker inspections (0 without a repair policy).
+    n_policy_repairs:
+        Checker inspections that triggered the repairer.
     """
 
     ddf_times: List[float]
@@ -113,6 +120,8 @@ class GroupChronology:
     mission_hours: float
     n_spare_waits: int = 0
     spare_wait_hours: float = 0.0
+    n_checks: int = 0
+    n_policy_repairs: int = 0
 
     @property
     def n_ddfs(self) -> int:
@@ -192,6 +201,8 @@ class RaidGroupSimulator:
         queue = EventQueue()
         ddf_until = -1.0
         pool = SparePool(cfg.spare_pool) if cfg.spare_pool is not None else None
+        policy = cfg.repair_policy
+        predicate = loss_predicate_for(cfg)
 
         def next_latent_arrival(slot_state: "_Slot", now: float) -> float:
             """Absolute time of the slot's next latent-defect arrival.
@@ -210,17 +221,44 @@ class RaidGroupSimulator:
                 return float("inf")  # past the distribution's support
             return now + float(cfg.time_to_latent.sample_conditional(rng, age))
 
+        def shared_window_end(completion: float, failed_others: List[int]) -> float:
+            """Latest involved restore completion: the instant the whole
+            group returns to service after a data loss.  Pending
+            (checker-deferred, ``inf``) restores take the shared
+            completion rather than extending it."""
+            finite = [
+                slots[j].restore_until
+                for j in failed_others
+                if slots[j].restore_until < _INF
+            ]
+            if finite:
+                return max(completion, max(finite))
+            return completion
+
+        def align_restores(window_end: float, failed_others: List[int]) -> None:
+            """Shift every involved restore to the shared window end
+            (scheduling completions for checker-deferred slots that had
+            none)."""
+            for j in failed_others:
+                if slots[j].restore_until >= _INF:
+                    queue.push(window_end, EventKind.OP_RESTORED, j)
+                slots[j].restore_until = window_end
+
         ddf_times: List[float] = []
         ddf_types: List[DDFType] = []
         n_op_failures = 0
         n_latent_defects = 0
         n_scrub_repairs = 0
         n_restores = 0
+        n_checks = 0
+        n_policy_repairs = 0
 
         for i in range(n):
             queue.push(ttop.draw(), EventKind.OP_FAIL, i)
             if ttld is not None:
                 queue.push(ttld.draw(), EventKind.LD_ARRIVE, i, generation=0)
+        if policy is not None:
+            queue.push(policy.check_interval_hours, EventKind.CHECK, 0)
 
         while queue:
             event = queue.pop()
@@ -234,16 +272,22 @@ class RaidGroupSimulator:
                 if not slot.op_up:  # pragma: no cover - defensive; cannot occur
                     raise SimulationError("operational failure on a failed slot")
                 n_op_failures += 1
-                # Reconstruction cannot start before a spare is in hand.
-                spare_ready = pool.take_spare(t) if pool is not None else t
-                completion = spare_ready + ttr.draw()
+                if policy is None:
+                    # Reconstruction cannot start before a spare is in hand.
+                    spare_ready = pool.take_spare(t) if pool is not None else t
+                    completion = spare_ready + ttr.draw()
+                else:
+                    # Deferred repair: the missing share waits for the
+                    # periodic checker (or an immediate data-loss repair).
+                    completion = _INF
 
                 if t >= ddf_until:
                     # Overlap means failing strictly inside another drive's
                     # restore window; a failure landing exactly at a restore
                     # completion is not simultaneous (the boundary is
                     # measure-zero for continuous TTRs, but scripted tests
-                    # and deterministic delays hit it).
+                    # and deterministic delays hit it).  A checker-deferred
+                    # failure (restore_until = inf) is always an overlap.
                     failed_others = [
                         j
                         for j in range(n)
@@ -251,31 +295,29 @@ class RaidGroupSimulator:
                         and not slots[j].op_up
                         and slots[j].restore_until > t
                     ]
-                    # Generalized redundancy rule (fault tolerance k; k = 1
-                    # is the paper's N+1 group): this failure makes
-                    # len(failed_others) + 1 dead drives.  Data loss when
-                    # that exceeds k outright, or equals k while a latent
-                    # defect sits on a surviving drive (each defect costs
-                    # one more erasure on its stripe than the code can
-                    # absorb).
-                    tolerance = cfg.fault_tolerance
-                    if len(failed_others) >= tolerance:
-                        # Two simultaneous operational failures.  Per the
-                        # Fig. 5 discipline the group returns to service
-                        # when the *later* restoration completes; shift the
-                        # earlier drive's restart to coincide.
-                        window_end = max(
-                            completion, max(slots[j].restore_until for j in failed_others)
-                        )
-                        for j in failed_others:
-                            slots[j].restore_until = window_end
+                    # The data-loss predicate generalizes the paper's N+1
+                    # rule to any MDS tolerance (RAID N+m or k-of-n): loss
+                    # outright when the dead-drive count exceeds tolerance,
+                    # loss through the latent pathway when redundancy is
+                    # exactly exhausted while a defect sits on a survivor.
+                    if predicate.direct_loss(len(failed_others)):
+                        # Simultaneous operational failures beyond the
+                        # code's tolerance.  Per the Fig. 5 discipline the
+                        # group returns to service when the *later*
+                        # restoration completes; shift the earlier drives'
+                        # restarts to coincide.  Data loss is repaired
+                        # immediately even under a checker policy.
+                        if policy is not None:
+                            completion = t + ttr.draw()
+                        window_end = shared_window_end(completion, failed_others)
+                        align_restores(window_end, failed_others)
                         completion = window_end
                         ddf_until = window_end
                         ddf_times.append(t)
                         ddf_types.append(DDFType.DOUBLE_OP)
                         if recorder is not None:
                             recorder.record_ddf(t, DDFType.DOUBLE_OP.value)
-                    elif len(failed_others) == tolerance - 1:
+                    elif predicate.exposure_boundary(len(failed_others)):
                         exposed_others = [
                             j
                             for j in range(n)
@@ -290,14 +332,14 @@ class RaidGroupSimulator:
                             # concomitant operational failure's TTR (the
                             # latest restore completion when several drives
                             # are down, i.e. tolerance >= 2).
+                            if policy is not None:
+                                completion = t + ttr.draw()
                             window_end = completion
                             if failed_others:
-                                window_end = max(
-                                    completion,
-                                    max(slots[j].restore_until for j in failed_others),
+                                window_end = shared_window_end(
+                                    completion, failed_others
                                 )
-                                for j in failed_others:
-                                    slots[j].restore_until = window_end
+                                align_restores(window_end, failed_others)
                                 completion = window_end
                             ddf_until = window_end
                             ddf_times.append(t)
@@ -319,7 +361,8 @@ class RaidGroupSimulator:
                 # its pending latent events.
                 slot.latent_exposed = False
                 slot.latent_generation += 1
-                queue.push(completion, EventKind.OP_RESTORED, event.slot)
+                if completion < _INF:
+                    queue.push(completion, EventKind.OP_RESTORED, event.slot)
                 if recorder is not None:
                     recorder.record_op_fail(event.slot, t)
 
@@ -399,6 +442,31 @@ class RaidGroupSimulator:
                 if recorder is not None:
                     recorder.record_scrub(event.slot, t)
 
+            elif kind is EventKind.CHECK:
+                assert policy is not None
+                n_checks += 1
+                # The checker sees the instant's recovered state (CHECK
+                # outranks same-time failures); repairs trigger only when
+                # surviving shares have dropped below the threshold AND a
+                # share is actually waiting (a DDF's emergency repair may
+                # already cover every missing share).
+                pending = [
+                    j
+                    for j in range(n)
+                    if not slots[j].op_up and slots[j].restore_until >= _INF
+                ]
+                surviving = sum(1 for st in slots if st.op_up)
+                if surviving < policy.repair_threshold and pending:
+                    # One repair pass regenerates every missing share: all
+                    # pending failures share a single TTR draw, like the
+                    # DDF window's shared restore completion.
+                    n_policy_repairs += 1
+                    repair_completion = t + ttr.draw()
+                    for j in pending:
+                        slots[j].restore_until = repair_completion
+                        queue.push(repair_completion, EventKind.OP_RESTORED, j)
+                queue.push(t + policy.check_interval_hours, EventKind.CHECK, 0)
+
             else:  # pragma: no cover - exhaustive over EventKind
                 raise SimulationError(f"unhandled event kind {kind!r}")
 
@@ -412,4 +480,6 @@ class RaidGroupSimulator:
             mission_hours=mission,
             n_spare_waits=pool.n_waits if pool is not None else 0,
             spare_wait_hours=pool.total_wait_hours if pool is not None else 0.0,
+            n_checks=n_checks,
+            n_policy_repairs=n_policy_repairs,
         )

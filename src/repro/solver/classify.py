@@ -102,11 +102,18 @@ def _structural_reason(config: RaidGroupConfig) -> Optional[str]:
         return "spare pool has no chain counterpart"
     if config.latent_age_anchored:
         return "age-anchored latent process has no chain counterpart"
+    if config.repair_policy is not None:
+        return (
+            "checker/repairer policy has no chain counterpart (the check "
+            "clock is deterministic, not exponential)"
+        )
     if config.fault_tolerance == 1:
         if config.models_latent_defects and not config.scrubbing_enabled:
             return "no-scrub latent model has no chain counterpart"
         return None
-    if config.fault_tolerance == 2 and not config.models_latent_defects:
+    if not config.models_latent_defects:
+        # Tolerance 2 uses the double-parity chain; tolerance >= 3 the
+        # k-of-n birth-death chain (kofn_chain_spec).
         return None
     return (
         f"no chain topology for fault tolerance {config.fault_tolerance} "

@@ -22,7 +22,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..analytical.markov import raid5_ctmc, raid5_latent_ctmc, raid6_ctmc
+from ..analytical.markov import (
+    kofn_chain_spec,
+    raid5_ctmc,
+    raid5_latent_ctmc,
+    raid6_ctmc,
+)
 from ..distributions import Exponential
 from ..simulation.config import RaidGroupConfig
 from ..simulation.raid_simulator import GroupChronology
@@ -48,6 +53,11 @@ def anchor_ineligibility(config: RaidGroupConfig) -> Optional[str]:
         return "spare pool has no CTMC counterpart"
     if config.latent_age_anchored:
         return "age-anchored latent process has no CTMC counterpart"
+    if config.repair_policy is not None:
+        return (
+            "checker/repairer policy has no CTMC counterpart "
+            "(deterministic check clock)"
+        )
     for name, dist in (
         ("time_to_op", config.time_to_op),
         ("time_to_restore", config.time_to_restore),
@@ -60,7 +70,9 @@ def anchor_ineligibility(config: RaidGroupConfig) -> Optional[str]:
         if config.models_latent_defects and not config.scrubbing_enabled:
             return "no-scrub latent model has no CTMC counterpart"
         return None
-    if config.fault_tolerance == 2 and not config.models_latent_defects:
+    if not config.models_latent_defects:
+        # Tolerance 2: the double-parity chain.  Tolerance >= 3: the
+        # k-of-n birth-death chain — the new anchor family.
         return None
     return f"no CTMC for tolerance {config.fault_tolerance} with this latent model"
 
@@ -76,7 +88,16 @@ def expected_ddfs_per_group(config: RaidGroupConfig) -> float:
         raise ValueError(reason)
     op_mean = 1.0 / config.time_to_op.rate
     restore_mean = 1.0 / config.time_to_restore.rate
-    if config.fault_tolerance == 2:
+    if config.fault_tolerance >= 3:
+        spec = kofn_chain_spec(config.n_data, config.fault_tolerance)
+        chain = spec.chain(
+            {
+                "op": config.time_to_op.rate,
+                "restore": config.time_to_restore.rate,
+            }
+        )
+        targets = list(spec.ddf_states)
+    elif config.fault_tolerance == 2:
         chain = raid6_ctmc(config.n_data, op_mean, restore_mean)
         targets = [3]
     elif config.models_latent_defects:

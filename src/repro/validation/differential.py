@@ -508,6 +508,8 @@ class DifferentialFuzzer:
             candidates.append(replace(config, mission_hours=config.mission_hours / 2.0))
         if config.spare_pool is not None:
             candidates.append(replace(config, spare_pool=None))
+        if config.repair_policy is not None:
+            candidates.append(replace(config, repair_policy=None))
         if config.latent_age_anchored:
             candidates.append(replace(config, latent_age_anchored=False))
         if config.time_to_scrub is not None:

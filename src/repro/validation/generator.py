@@ -1,8 +1,10 @@
 """Seeded random configuration generation and JSON round-tripping.
 
 :class:`ConfigSampler` draws :class:`~repro.simulation.config.RaidGroupConfig`
-instances spanning the supported feature space — fault tolerance 1–3,
-spare pools, no-scrub and no-latent variants, deterministic / Weibull /
+instances spanning the supported feature space — fault tolerance 1 up
+to :data:`~repro.simulation.config.EXERCISED_TOLERANCE_MAX`, spare pools,
+k-of-n erasure-coded groups with checker/repairer policies, no-scrub and
+no-latent variants, deterministic / Weibull /
 mixture delay distributions, age-anchored latent processes — with event
 rates scaled to the drawn mission so every case produces enough activity
 to exercise the DDF pathways without degenerating into noise.
@@ -29,7 +31,11 @@ from ..distributions import (
     Weibull,
 )
 from ..exceptions import ParameterError
-from ..simulation.config import RaidGroupConfig
+from ..simulation.config import (
+    EXERCISED_TOLERANCE_MAX,
+    RaidGroupConfig,
+    RepairPolicyConfig,
+)
 from ..simulation.spares import SparePoolConfig
 
 # ---------------------------------------------------------------------------
@@ -153,12 +159,27 @@ def config_to_dict(config: RaidGroupConfig) -> dict:
             if config.spare_pool is not None
             else None
         ),
+        # Omitted entirely when absent so pre-existing bundle payloads
+        # (and their fingerprints) are byte-identical to this writer's.
+        **(
+            {
+                "repair_policy": {
+                    "check_interval_hours": (
+                        config.repair_policy.check_interval_hours
+                    ),
+                    "repair_threshold": config.repair_policy.repair_threshold,
+                }
+            }
+            if config.repair_policy is not None
+            else {}
+        ),
     }
 
 
 def config_from_dict(data: dict) -> RaidGroupConfig:
     """Inverse of :func:`config_to_dict` (numeric fields type-coerced)."""
     spare = data.get("spare_pool")
+    policy = data.get("repair_policy")
     return RaidGroupConfig(
         n_data=int(data["n_data"]),
         n_parity=int(data.get("n_parity", 1)),
@@ -182,6 +203,14 @@ def config_from_dict(data: dict) -> RaidGroupConfig:
                 replenishment_hours=float(spare["replenishment_hours"]),
             )
             if spare is not None
+            else None
+        ),
+        repair_policy=(
+            RepairPolicyConfig(
+                check_interval_hours=float(policy["check_interval_hours"]),
+                repair_threshold=int(policy["repair_threshold"]),
+            )
+            if policy is not None
             else None
         ),
     )
@@ -218,6 +247,12 @@ class ConfigSampler:
         the solver-vs-batch engine pair exercises every campaign.  At
         ``0.0`` (the default) the general stream is bit-identical to a
         sampler without the knob.
+    kn_bias:
+        Probability of drawing from the *k-of-n erasure-coding* regime
+        instead: wide groups (k data shares of n total), fault tolerance
+        at least 2, and — half the time — a periodic checker/repairer
+        policy instead of immediate repair.  Same gating convention as
+        ``analytical_bias``: ``0.0`` consumes no randomness.
 
     Notes
     -----
@@ -235,6 +270,7 @@ class ConfigSampler:
         p_spare_pool: float = 0.15,
         p_deterministic_delay: float = 0.3,
         analytical_bias: float = 0.0,
+        kn_bias: float = 0.0,
     ) -> None:
         self.p_no_latent = p_no_latent
         self.p_no_scrub = p_no_scrub
@@ -246,6 +282,9 @@ class ConfigSampler:
                 f"analytical_bias must be in [0, 1]; got {analytical_bias}"
             )
         self.analytical_bias = analytical_bias
+        if not 0.0 <= kn_bias <= 1.0:
+            raise ParameterError(f"kn_bias must be in [0, 1]; got {kn_bias}")
+        self.kn_bias = kn_bias
 
     # -- delay-family draws -------------------------------------------
     def _op_distribution(self, rng: np.random.Generator, mission: float) -> Distribution:
@@ -297,13 +336,15 @@ class ConfigSampler:
     # -- public API ----------------------------------------------------
     def sample(self, rng: np.random.Generator) -> RaidGroupConfig:
         """Draw one random configuration."""
-        # The bias roll is gated so a bias of 0.0 consumes no randomness
+        # The bias rolls are gated so a bias of 0.0 consumes no randomness
         # and the general stream stays bit-identical to an unbiased
         # sampler's (the determinism tests pin this).
+        if self.kn_bias > 0.0 and rng.random() < self.kn_bias:
+            return self.sample_kofn(rng)
         if self.analytical_bias > 0.0 and rng.random() < self.analytical_bias:
             return self.sample_solver_eligible(rng)
         mission = float(rng.uniform(20_000.0, 90_000.0))
-        n_parity = int(rng.integers(1, 4))
+        n_parity = int(rng.integers(1, EXERCISED_TOLERANCE_MAX + 1))
         n_data = int(rng.integers(max(2, n_parity), 9))
         models_latent = rng.random() >= self.p_no_latent
 
@@ -403,6 +444,63 @@ class ConfigSampler:
             time_to_restore=time_to_restore,
             time_to_latent=time_to_latent,
             time_to_scrub=time_to_scrub,
+        )
+
+    def sample_kofn(self, rng: np.random.Generator) -> RaidGroupConfig:
+        """Draw a wide k-of-n erasure-coded configuration.
+
+        Groups carry ``k`` data shares out of ``n`` total (fault
+        tolerance ``n - k``, at least 2).  Half the draws attach a
+        periodic checker/repairer policy (Tahoe-style: repair only when
+        surviving shares drop below a threshold ``R``); the rest repair
+        immediately.  Immediate-repair draws keep exponential op/restore
+        lives half the time, so the stream regularly lands in the
+        k-of-n CTMC anchor regime and the closed-form oracle engages.
+        Latent defects stay rare here — wide-group exposure windows are
+        dominated by whole-share loss, and the policy's check clock is
+        the feature under test.
+        """
+        n_total = int(rng.integers(5, 15))
+        n_data = int(rng.integers(2, n_total - 1))
+        mission = float(rng.uniform(20_000.0, 90_000.0))
+
+        with_policy = rng.random() < 0.5
+        all_expo = rng.random() < 0.5
+        if all_expo:
+            # Faster lives than the general stream: wide groups spread
+            # failures over more drives, and the anchor needs activity.
+            time_to_op: Distribution = Exponential(
+                mean=mission * rng.uniform(0.5, 4.0)
+            )
+            time_to_restore: Distribution = Exponential(
+                mean=rng.uniform(8.0, 200.0)
+            )
+        else:
+            time_to_op = self._op_distribution(rng, mission)
+            time_to_restore = self._restore_distribution(rng)
+
+        repair_policy: Optional[RepairPolicyConfig] = None
+        if with_policy:
+            repair_policy = RepairPolicyConfig(
+                check_interval_hours=mission * rng.uniform(0.005, 0.08),
+                repair_threshold=int(rng.integers(n_data + 1, n_total + 1)),
+            )
+
+        time_to_latent: Optional[Distribution] = None
+        time_to_scrub: Optional[Distribution] = None
+        if rng.random() < 0.15:
+            time_to_latent = self._latent_distribution(rng, mission)
+            time_to_scrub = self._scrub_distribution(rng)
+
+        return RaidGroupConfig(
+            n_data=n_data,
+            n_parity=n_total - n_data,
+            mission_hours=mission,
+            time_to_op=time_to_op,
+            time_to_restore=time_to_restore,
+            time_to_latent=time_to_latent,
+            time_to_scrub=time_to_scrub,
+            repair_policy=repair_policy,
         )
 
     def sample_anchor(self, rng: np.random.Generator) -> RaidGroupConfig:

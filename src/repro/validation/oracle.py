@@ -50,6 +50,7 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from ..simulation.config import RaidGroupConfig
+from ..simulation.predicate import loss_predicate_for
 from ..simulation.raid_simulator import DDFType, GroupChronology
 from ..simulation.trace import TimelineRecorder
 
@@ -196,7 +197,10 @@ def check_trace(
 
     n = config.n_drives
     mission = config.mission_hours
-    tolerance = config.fault_tolerance
+    # The replay re-derives loss instants through the same predicate the
+    # engines consult, so a tolerance off-by-one cannot cancel between
+    # simulator and oracle.
+    predicate = loss_predicate_for(config)
 
     # ---- per-slot failure/restore pairing (restore-well-nested) -------
     ops: Dict[int, List[float]] = {s: [] for s in range(n)}
@@ -268,11 +272,11 @@ def check_trace(
                 if j != s and not slots[j].up and slots[j].restore_until > t
             ]
             exposed_others = [j for j in range(n) if j != s and slots[j].exposed]
-            is_double = eligible and len(failed_others) >= tolerance
+            is_double = eligible and predicate.direct_loss(len(failed_others))
             is_latent = (
                 eligible
                 and not is_double
-                and len(failed_others) == tolerance - 1
+                and predicate.exposure_boundary(len(failed_others))
                 and bool(exposed_others)
             )
             if is_double or is_latent:

@@ -1,0 +1,102 @@
+"""Unit tests for the k-of-n birth-death chain topology.
+
+The chain is the closed-form anchor family for fault tolerance >= 3:
+state ``j`` holds ``j`` simultaneously-dead drives, failures arrive at
+``(n_total - j) * lambda`` and repairs complete at ``j * mu`` (each dead
+drive runs its own restore clock).  The tests pin the topology, the
+degenerate m=1 agreement with the classic (N+1) chain, and the
+simulation-facing monotonicity the anchor relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytical.markov import ddf_chain_spec, kofn_chain_spec
+from repro.exceptions import ParameterError
+
+LAMBDA = 1.0 / 10_000.0
+MU = 1.0 / 100.0
+
+
+def rates(spec):
+    return spec.rates({"op": LAMBDA, "restore": MU})
+
+
+class TestTopology:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 7])
+    def test_state_count(self, m):
+        spec = kofn_chain_spec(3, m)
+        assert spec.n_states == m + 2
+        assert spec.ddf_states == (m + 1,)
+        assert spec.state_names[-1] == "data_loss"
+
+    def test_failure_rates_scale_with_survivors(self):
+        n_data, m = 3, 4
+        n_total = n_data + m
+        r = rates(kofn_chain_spec(n_data, m))
+        for j in range(m + 1):
+            assert r[(j, j + 1)] == pytest.approx((n_total - j) * LAMBDA)
+
+    def test_repair_rates_scale_with_dead_drives(self):
+        m = 4
+        r = rates(kofn_chain_spec(3, m))
+        for j in range(1, m + 1):
+            assert r[(j, j - 1)] == pytest.approx(j * MU)
+        # The data-loss state renews through one shared restoration.
+        assert r[(m + 1, 0)] == pytest.approx(MU)
+
+    def test_routed_from_ddf_chain_spec(self):
+        assert ddf_chain_spec(5, 3) == kofn_chain_spec(5, 3)
+        assert ddf_chain_spec(2, 7) == kofn_chain_spec(2, 7)
+
+    def test_latent_high_tolerance_has_no_chain(self):
+        with pytest.raises(ParameterError):
+            ddf_chain_spec(5, 3, models_latent=True, scrubbing=True)
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ParameterError):
+            kofn_chain_spec(0, 3)
+        with pytest.raises(ParameterError):
+            kofn_chain_spec(3, 0)
+
+
+class TestExpectations:
+    def horizon_entries(self, spec, mission=87_600.0):
+        chain = spec.chain({"op": LAMBDA, "restore": MU})
+        return float(
+            chain.expected_entries(list(spec.ddf_states), [mission])[0]
+        )
+
+    def test_more_tolerance_means_fewer_losses(self):
+        entries = [
+            self.horizon_entries(kofn_chain_spec(3, m)) for m in range(1, 6)
+        ]
+        assert all(a > b > 0.0 for a, b in zip(entries, entries[1:]))
+
+    def test_m1_repair_multiplicity_is_degenerate(self):
+        """At m=1 at most one drive is ever down, so per-drive repair
+        clocks coincide with the classic chain's single-rate repair."""
+        kofn = self.horizon_entries(kofn_chain_spec(4, 1))
+        classic = self.horizon_entries(ddf_chain_spec(4, 1))
+        assert kofn == pytest.approx(classic, rel=1e-9)
+
+    def test_tolerance2_repair_multiplicity_differs_from_raid6_chain(self):
+        """The tolerance-2 anchor keeps the prior-art single-rate repair
+        chain; the k-of-n chain repairs state 2 at 2*mu, which roughly
+        halves the exit through the brink state.  The k-of-n chain must
+        never show *more* loss, and the gap stays bounded by the doubled
+        repair rate."""
+        kofn = self.horizon_entries(kofn_chain_spec(4, 2))
+        classic = self.horizon_entries(ddf_chain_spec(4, 2))
+        assert 0.0 < kofn < classic
+        assert classic / kofn == pytest.approx(2.0, rel=0.05)
+
+    def test_survival_from_absorbing_chain(self):
+        spec = kofn_chain_spec(3, 3)
+        chain = spec.chain({"op": LAMBDA, "restore": MU}, absorbing=True)
+        times = np.linspace(0.0, 87_600.0, 5)
+        occupancy = chain.transient_probabilities(times)
+        survival = 1.0 - occupancy[:, list(spec.ddf_states)].sum(axis=1)
+        assert survival[0] == pytest.approx(1.0)
+        assert np.all(np.diff(survival) <= 1e-12)
+        assert survival[-1] > 0.99

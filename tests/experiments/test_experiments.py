@@ -20,6 +20,7 @@ from repro.experiments import (
     figure10,
     get_experiment,
     mttdl_line,
+    share_survival,
     table1,
     table3,
 )
@@ -37,6 +38,7 @@ class TestRegistry:
             "fig9",
             "fig10",
             "tab3",
+            "kofn",
         }
 
     def test_get_experiment(self):
@@ -242,3 +244,28 @@ class TestTable3:
         rows = result.rows()
         assert rows[0] == ["MTTDL", result.mttdl_first_year, 1.0]
         assert len(rows) == 6
+
+
+class TestShareSurvival:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return share_survival.run(n_groups=400, seed=0, n_points=6)
+
+    def test_anchor_point_matches_the_chain(self, result):
+        assert result.anchor.ok, result.anchor
+
+    def test_shorter_check_period_survives_longer(self, result):
+        final = {name: curve[-1] for name, curve in result.survival.items()}
+        weekly = final["check every 168 h (R=7)"]
+        quarterly = final["check every 2160 h (R=7)"]
+        assert weekly > quarterly
+
+    def test_immediate_repair_beats_any_checker(self, result):
+        final = {name: curve[-1] for name, curve in result.survival.items()}
+        checkers = [v for k, v in final.items() if k.startswith("check every")]
+        assert final["immediate repair"] >= max(checkers)
+
+    def test_rows_structure(self, result):
+        rows = result.rows()
+        assert any("anchor check" in str(row[0]) for row in rows)
+        assert any("closed form" in str(row[0]) for row in rows)

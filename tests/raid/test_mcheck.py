@@ -1,0 +1,179 @@
+"""Property and unit tests for the general m-check-drive Cauchy codec.
+
+The core contract is the MDS bound: encode, erase **any** pattern of at
+most ``m`` blocks (data, check, or a mix), recover bit-identically; one
+erasure past the bound must raise.  Hypothesis drives the pattern space
+up to m=4 (the fuzzer's exercised-tolerance ceiling) and the exhaustive
+tests sweep every pattern at small shapes, including the RAID-6 shape
+cross-checked against the fixed P+Q codec.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RaidConfigurationError, ReconstructionError
+from repro.raid.mcheck import MAX_TOTAL_BLOCKS, MCheckCodec
+from repro.raid.reed_solomon import RaidSixCodec
+from repro.simulation.config import EXERCISED_TOLERANCE_MAX
+
+
+def _data_blocks(rng, k, size=16):
+    return [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(k)]
+
+
+def _stripe(codec, data):
+    return {i: b for i, b in enumerate(data + codec.encode(data))}
+
+
+def assert_roundtrip(codec, data, erased):
+    stripe = _stripe(codec, data)
+    present = {i: b for i, b in stripe.items() if i not in set(erased)}
+    recovered = codec.recover(present, erased)
+    assert sorted(recovered) == sorted(set(erased))
+    for index, block in recovered.items():
+        np.testing.assert_array_equal(block, stripe[index])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k,m", [(0, 2), (3, 0), (-1, 1)])
+    def test_rejects_degenerate_shapes(self, k, m):
+        with pytest.raises(RaidConfigurationError):
+            MCheckCodec(k, m)
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(RaidConfigurationError):
+            MCheckCodec(MAX_TOTAL_BLOCKS - 1, 2)
+
+    def test_accepts_maximal_group(self):
+        codec = MCheckCodec(MAX_TOTAL_BLOCKS - 4, 4)
+        assert codec.n_total == MAX_TOTAL_BLOCKS
+
+
+class TestExhaustiveSmallShapes:
+    """Every erasure pattern of every weight <= m at small (k, m)."""
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (2, 2), (3, 3), (2, 4), (5, 2)])
+    def test_all_patterns(self, k, m):
+        import itertools
+
+        rng = np.random.default_rng(k * 31 + m)
+        codec = MCheckCodec(k, m)
+        data = _data_blocks(rng, k, size=8)
+        for weight in range(1, m + 1):
+            for erased in itertools.combinations(range(k + m), weight):
+                assert_roundtrip(codec, data, list(erased))
+
+    @pytest.mark.parametrize("k,m", [(2, 2), (3, 3), (2, 4)])
+    def test_every_pattern_past_the_bound_raises(self, k, m):
+        import itertools
+
+        rng = np.random.default_rng(7)
+        codec = MCheckCodec(k, m)
+        stripe = _stripe(codec, _data_blocks(rng, k, size=8))
+        for erased in itertools.combinations(range(k + m), m + 1):
+            present = {i: b for i, b in stripe.items() if i not in set(erased)}
+            with pytest.raises(ReconstructionError):
+                codec.recover(present, list(erased))
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(min_value=1, max_value=10),
+        m=st.integers(min_value=1, max_value=EXERCISED_TOLERANCE_MAX),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_any_erasure_within_bound(self, seed, k, m, data):
+        """encode -> erase <= m blocks -> recover bit-identically."""
+        rng = np.random.default_rng(seed)
+        codec = MCheckCodec(k, m)
+        weight = data.draw(st.integers(min_value=1, max_value=m))
+        erased = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=k + m - 1),
+                min_size=weight,
+                max_size=weight,
+                unique=True,
+            )
+        )
+        assert_roundtrip(codec, _data_blocks(rng, k, size=12), erased)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(min_value=1, max_value=8),
+        m=st.integers(min_value=1, max_value=EXERCISED_TOLERANCE_MAX),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_beyond_bound_raises(self, seed, k, m, data):
+        """Erasing m+1 blocks must raise, never silently mis-decode."""
+        rng = np.random.default_rng(seed)
+        codec = MCheckCodec(k, m)
+        erased = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=k + m - 1),
+                min_size=m + 1,
+                max_size=m + 1,
+                unique=True,
+            )
+        )
+        stripe = _stripe(codec, _data_blocks(rng, k, size=12))
+        present = {i: b for i, b in stripe.items() if i not in set(erased)}
+        with pytest.raises(ReconstructionError):
+            codec.recover(present, erased)
+
+    @given(seed=st.integers(0, 2**31), k=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_raid6_data_recovery(self, seed, k):
+        """At m=2 the codec recovers the same data the P+Q codec does.
+
+        The two codes use different check constructions, so only the
+        *data* reconstructions are comparable — and they must both be
+        exact for every double-data erasure.
+        """
+        rng = np.random.default_rng(seed)
+        data = _data_blocks(rng, k, size=12)
+        cauchy = MCheckCodec(k, 2)
+        raid6 = RaidSixCodec(k)
+        p, q = raid6.encode(data)
+        stripe = _stripe(cauchy, data)
+        for a in range(k):
+            for b in range(a + 1, k):
+                survivors = {
+                    i: blk for i, blk in enumerate(data) if i not in (a, b)
+                }
+                expected = raid6.recover(survivors, p, q, [a, b])
+                present = {
+                    i: blk for i, blk in stripe.items() if i not in (a, b)
+                }
+                got = cauchy.recover(present, [a, b])
+                for idx in (a, b):
+                    np.testing.assert_array_equal(got[idx], data[idx])
+                    np.testing.assert_array_equal(expected[idx], data[idx])
+
+
+class TestValidation:
+    def test_overlapping_present_and_erased(self):
+        codec = MCheckCodec(2, 2)
+        stripe = _stripe(codec, _data_blocks(np.random.default_rng(0), 2))
+        with pytest.raises(ReconstructionError):
+            codec.recover(stripe, [0])
+
+    def test_erased_index_out_of_range(self):
+        codec = MCheckCodec(2, 2)
+        with pytest.raises(ReconstructionError):
+            codec.recover({}, [4])
+
+    def test_too_few_survivors(self):
+        codec = MCheckCodec(3, 2)
+        stripe = _stripe(codec, _data_blocks(np.random.default_rng(0), 3))
+        with pytest.raises(ReconstructionError):
+            codec.recover({0: stripe[0]}, [1, 2])
+
+    def test_encode_wrong_count(self):
+        codec = MCheckCodec(3, 2)
+        with pytest.raises(ReconstructionError):
+            codec.encode(_data_blocks(np.random.default_rng(0), 2))

@@ -28,7 +28,7 @@ from repro.simulation.checkpoint import (
     save_checkpoint,
 )
 from repro.simulation.config import RaidGroupConfig
-from repro.simulation.streaming import Precision
+from repro.simulation.streaming import Precision, normal_two_sided_z
 from repro.validation import fingerprint
 
 SHARD = 16
@@ -154,6 +154,50 @@ class TestLookupSemantics:
         cache.put(small)  # racing smaller run must not clobber
         _, entry = cache.lookup(big.key, Precision(rel_ci_width=1e-9))
         assert entry is not None and entry.groups == 2 * SHARD
+
+    def test_rescaled_width_is_the_exact_z_ratio(self):
+        entry = self.entry(SHARD, width=0.3, confidence=0.99)
+        expected = 0.3 * (
+            normal_two_sided_z(0.95) / normal_two_sided_z(0.99)
+        )
+        assert entry.rescaled_width(0.95) == pytest.approx(expected, rel=1e-12)
+        # Rescaling to the entry's own confidence is the identity.
+        assert entry.rescaled_width(0.99) == pytest.approx(0.3, rel=1e-12)
+
+    def test_cross_confidence_lookup_is_a_rescaled_hit(self):
+        """A 99%-confidence entry answers a looser 95% query without
+        resimulation: its width shrinks under the smaller z."""
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        cache.put(self.entry(SHARD, width=0.3, confidence=0.99))
+
+        fits = Precision(rel_ci_width=0.25, confidence=0.95, max_groups=10_000)
+        status, entry = cache.lookup(key, fits)
+        assert status == "hit_rescaled" and entry is not None
+
+        too_tight = Precision(
+            rel_ci_width=0.05, confidence=0.95, max_groups=10_000
+        )
+        status, entry = cache.lookup(key, too_tight)
+        assert status == "extend" and entry is not None
+
+    def test_raising_confidence_extends(self):
+        """The rescale cuts both ways: a 90% entry queried at 99% grows
+        wider and must extend, not serve a loosened interval."""
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        cache.put(self.entry(SHARD, width=0.3, confidence=0.90))
+        query = Precision(rel_ci_width=0.3, confidence=0.99, max_groups=10_000)
+        status, _ = cache.lookup(key, query)
+        assert status == "extend"
+
+    def test_same_confidence_stays_a_plain_hit(self):
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        cache.put(self.entry(SHARD, width=0.3, confidence=0.95))
+        loose = Precision(rel_ci_width=0.5, confidence=0.95, max_groups=10_000)
+        status, _ = cache.lookup(key, loose)
+        assert status == "hit"
 
     def test_lru_eviction_is_bounded(self):
         cache = ResultCache(max_entries=2)

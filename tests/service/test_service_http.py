@@ -153,6 +153,76 @@ class TestDeterminism:
         assert answers[0] == answers[1]
 
 
+class TestRescaledHits:
+    def precision_query(self, confidence, rel_ci_width, max_groups):
+        return {
+            "config": config_to_dict(mc_config()),
+            "precision": {
+                "rel_ci_width": rel_ci_width,
+                "confidence": confidence,
+                "min_groups": SHARD,
+                "max_groups": max_groups,
+            },
+        }
+
+    def test_rescaled_hit_equals_cold_run_at_query_confidence(self):
+        """Warm a cache at 99% confidence, query at 95%: the rescaled
+        hit's answer must be byte-identical to a cold run asked directly
+        at 95% over the same fleet — the accumulator keeps full moments,
+        so the cross-confidence interval is exact, not approximated."""
+        groups = 2 * SHARD
+        with ServiceThread(make_service()) as h:
+            warm = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.99, 1e-9, groups),
+            ).json()
+            assert warm["source"] == "simulated"
+            assert warm["answer"]["groups"] == groups
+
+            # Loose width at 95%: met by the entry's rescaled width, but
+            # max_groups is raised so the capped-entry clause cannot
+            # turn this into a plain hit.
+            rescaled = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.95, 1_000.0, 2 * groups),
+            ).json()
+            assert rescaled["source"] == "cache-rescaled"
+            stats = requests.get(h.url("/stats")).json()["service"]
+            assert stats["cache_rescaled_hits"] == 1
+            assert stats["cache_hits"] == 0
+
+        with ServiceThread(make_service()) as h:
+            cold = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.95, 1e-9, groups),
+            ).json()
+            assert cold["source"] == "simulated"
+
+        cold_answer = dict(cold["answer"])
+        cold_answer.pop("converged")
+        cold_answer.pop("stop_reason")
+        assert json.dumps(rescaled["answer"], sort_keys=True) == json.dumps(
+            cold_answer, sort_keys=True
+        )
+
+    def test_widened_confidence_goes_back_to_simulation(self):
+        """The inverse direction must not serve a loosened interval: a
+        90%-entry queried at 99% with the same width target extends."""
+        with ServiceThread(make_service()) as h:
+            first = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.90, 1e-9, SHARD),
+            ).json()
+            assert first["source"] == "simulated"
+            achieved = first["answer"]["rel_ci_width"]
+            second = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.99, achieved, 2 * SHARD),
+            ).json()
+            assert second["source"] == "cache-extend"
+            assert second["answer"]["groups"] == 2 * SHARD
+
+
 class GateObserver:
     """Blocks the simulation after its first committed shard until released."""
 

@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.distributions import Deterministic
-from repro.simulation.config import RaidGroupConfig
+from repro.simulation.config import EXERCISED_TOLERANCE_MAX, RaidGroupConfig
 from repro.simulation.raid_simulator import (
     DDFType,
     GroupChronology,
@@ -181,14 +181,161 @@ class TestRaid6LatentThenOpGolden:
         assert_oracle_clean(self.CONFIG)
 
 
+class TestToleranceThreeBoundary:
+    """Exactly tolerance+1 simultaneous failures on a 2+3 group.
+
+    All five drives fail at t=100.  Failures are processed one at a
+    time even at a shared instant, so the running ``failed_others``
+    count walks 0, 1, 2, 3, 4: the third processed failure sits exactly
+    on the exposure boundary (tolerance-1 concurrent reconstructions,
+    but nothing exposed — no DDF), and only the *fourth* crosses the
+    direct-loss line.  An off-by-one in either predicate direction moves
+    the DDF to a different processed failure or erases it, changing the
+    pinned chronology.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=3,
+        mission_hours=200.0,
+        time_to_op=Deterministic(100.0),
+        time_to_restore=Deterministic(30.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [100.0]
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.n_op_failures == 5
+        assert chrono.n_latent_defects == 0
+        assert chrono.n_restores == 5  # all share the 130h completion
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+class TestToleranceThreeLatentBoundary:
+    """Latent-then-op at tolerance 3: the m-1 exposure boundary.
+
+    All five drives take a latent defect at t=50 and fail at t=100.
+    The third processed failure sees exactly two concurrent
+    reconstructions (tolerance-1) plus exposed defects on the remaining
+    drives: the latent-then-op pathway fires at the boundary, and the
+    last two failures fall inside the open window.  The 175h mission
+    ends before the restored drives' latent clocks (180h) re-arrive.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=3,
+        mission_hours=175.0,
+        time_to_op=Deterministic(100.0),
+        time_to_restore=Deterministic(30.0),
+        time_to_latent=Deterministic(50.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [100.0]
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP]
+        assert chrono.n_op_failures == 5
+        assert chrono.n_latent_defects == 5
+        assert chrono.n_scrub_repairs == 0
+        assert chrono.n_restores == 5
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+class TestToleranceFourBoundary:
+    """Exactly tolerance+1 simultaneous failures on a 2+4 group.
+
+    Six drives fail at t=100; only the fifth processed failure (four
+    concurrent reconstructions) is a DDF, the sixth falls inside the
+    window, and all six restorations share the 140h completion.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=4,
+        mission_hours=200.0,
+        time_to_op=Deterministic(100.0),
+        time_to_restore=Deterministic(40.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [100.0]
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.n_op_failures == 6
+        assert chrono.n_restores == 6
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+class TestToleranceFourLatentBoundary:
+    """Latent-then-op at tolerance 4 (the m-1 = 3 exposure boundary)."""
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=4,
+        mission_hours=195.0,
+        time_to_op=Deterministic(100.0),
+        time_to_restore=Deterministic(40.0),
+        time_to_latent=Deterministic(60.0),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [100.0]
+        assert chrono.ddf_types == [DDFType.LATENT_THEN_OP]
+        assert chrono.n_op_failures == 6
+        assert chrono.n_latent_defects == 6
+        assert chrono.n_scrub_repairs == 0
+        assert chrono.n_restores == 6
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG)
+        assert_chronologies_equal(event, batch)
+
+    def test_oracle_clean(self):
+        assert_oracle_clean(self.CONFIG)
+
+
+_BOUNDARY_CONFIGS = {
+    "scrub-op": TestScrubOpBoundary.CONFIG,
+    "latent-op": TestLatentOpBoundary.CONFIG,
+    "raid6-latent-op": TestRaid6LatentThenOpGolden.CONFIG,
+    "tolerance3-double": TestToleranceThreeBoundary.CONFIG,
+    "tolerance3-latent": TestToleranceThreeLatentBoundary.CONFIG,
+    "tolerance4-double": TestToleranceFourBoundary.CONFIG,
+    "tolerance4-latent": TestToleranceFourLatentBoundary.CONFIG,
+}
+
+
+def test_boundary_goldens_cover_exercised_tolerances():
+    """Every tolerance the fuzzer exercises has a deterministic golden."""
+    covered = {c.fault_tolerance for c in _BOUNDARY_CONFIGS.values()}
+    assert covered >= set(range(1, EXERCISED_TOLERANCE_MAX + 1))
+
+
 @pytest.mark.parametrize(
     "config",
-    [
-        TestScrubOpBoundary.CONFIG,
-        TestLatentOpBoundary.CONFIG,
-        TestRaid6LatentThenOpGolden.CONFIG,
-    ],
-    ids=["scrub-op", "latent-op", "raid6-latent-op"],
+    list(_BOUNDARY_CONFIGS.values()),
+    ids=list(_BOUNDARY_CONFIGS),
 )
 def test_boundary_fleets_agree(config):
     """Whole fleets (crossing shard boundaries) agree, not just one group."""

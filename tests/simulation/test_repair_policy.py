@@ -1,0 +1,249 @@
+"""Checker/repairer policy semantics, pinned on both engines.
+
+With a :class:`RepairPolicyConfig`, an operational failure no longer
+starts its own restoration: the slot stays down (*pending*) until either
+a periodic check finds the surviving count below the repair threshold
+``R`` — one shared repair draw then fixes every pending slot — or a DDF
+forces an emergency repair of everything involved.  The deterministic
+scenario below hand-computes one full timeline through both pathways;
+the stochastic tests pin the policy's distributional behaviour and the
+exact check count, which is deterministic (``floor(mission/interval)``)
+and must be identical across engines group-by-group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.exceptions import ParameterError
+from repro.simulation.batch import simulate_groups_batch
+from repro.simulation.config import (
+    MAX_GROUP_DRIVES,
+    RaidGroupConfig,
+    RepairPolicyConfig,
+)
+from repro.simulation.raid_simulator import DDFType, RaidGroupSimulator
+from repro.simulation.spares import SparePoolConfig
+from repro.simulation.trace import TimelineRecorder
+from repro.validation.oracle import check_trace
+from repro.validation.stats import compare_fleets
+
+
+def run_both_engines(config, n=1):
+    event = [
+        RaidGroupSimulator(config).run(np.random.default_rng(i)) for i in range(n)
+    ]
+    batch = simulate_groups_batch(config, n, np.random.default_rng(99))
+    return event, batch
+
+
+class TestConfigValidation:
+    def test_policy_requires_positive_interval(self):
+        with pytest.raises(ParameterError):
+            RepairPolicyConfig(check_interval_hours=0.0, repair_threshold=2)
+
+    def test_policy_requires_integer_threshold(self):
+        with pytest.raises(ParameterError):
+            RepairPolicyConfig(check_interval_hours=24.0, repair_threshold=1.5)
+
+    def test_threshold_must_be_within_group(self):
+        policy = RepairPolicyConfig(check_interval_hours=24.0, repair_threshold=9)
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=2,
+                n_parity=2,
+                time_to_op=Exponential(mean=1000.0),
+                time_to_restore=Exponential(mean=24.0),
+                repair_policy=policy,
+            )
+
+    def test_threshold_below_n_data_rejected(self):
+        policy = RepairPolicyConfig(check_interval_hours=24.0, repair_threshold=1)
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=2,
+                n_parity=2,
+                time_to_op=Exponential(mean=1000.0),
+                time_to_restore=Exponential(mean=24.0),
+                repair_policy=policy,
+            )
+
+    def test_policy_excludes_spare_pool(self):
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=2,
+                n_parity=2,
+                time_to_op=Exponential(mean=1000.0),
+                time_to_restore=Exponential(mean=24.0),
+                repair_policy=RepairPolicyConfig(
+                    check_interval_hours=24.0, repair_threshold=3
+                ),
+                spare_pool=SparePoolConfig(n_spares=1, replenishment_hours=48.0),
+            )
+
+    def test_group_width_capped_at_codec_bound(self):
+        with pytest.raises(ParameterError):
+            RaidGroupConfig(
+                n_data=MAX_GROUP_DRIVES,
+                n_parity=1,
+                time_to_op=Exponential(mean=1000.0),
+                time_to_restore=Exponential(mean=24.0),
+            )
+
+    def test_k_of_n_constructor(self):
+        config = RaidGroupConfig.k_of_n(
+            3,
+            10,
+            time_to_op=Exponential(mean=1000.0),
+            time_to_restore=Exponential(mean=24.0),
+        )
+        assert config.n_data == 3
+        assert config.n_parity == 7
+        assert config.fault_tolerance == 7
+
+    def test_k_of_n_requires_redundancy(self):
+        with pytest.raises(ParameterError):
+            RaidGroupConfig.k_of_n(
+                5,
+                5,
+                time_to_op=Exponential(mean=1000.0),
+                time_to_restore=Exponential(mean=24.0),
+            )
+
+
+class TestDeterministicGolden:
+    """Hand-computed timeline through both repair pathways.
+
+    2+1 group, ops at t=100, TTR 50h, checks every 30h, R=3:
+
+    * t=30/60/90 — checks, nothing down;
+    * t=100 — three simultaneous failures.  The first stays pending (no
+      restore under the policy).  The second is a DDF (one concurrent
+      reconstruction >= tolerance 1): emergency repair draws 50h, the
+      pending slot is pulled into the shared 150h window.  The third
+      falls inside the open window and stays pending;
+    * t=120 — check: survivors 0 < R, one pending slot -> policy repair
+      completing at 170h;
+    * t=150 — the two DDF-involved slots restore (shared completion);
+      the 150h check then sees no pending slot;
+    * t=170 — the policy-repaired slot restores; renewed op clocks
+      (250h+) fall past the 200h mission; the 180h check is the last.
+    """
+
+    CONFIG = RaidGroupConfig(
+        n_data=2,
+        n_parity=1,
+        mission_hours=200.0,
+        time_to_op=Deterministic(100.0),
+        time_to_restore=Deterministic(50.0),
+        repair_policy=RepairPolicyConfig(
+            check_interval_hours=30.0, repair_threshold=3
+        ),
+    )
+
+    def test_event_engine_golden(self):
+        chrono = RaidGroupSimulator(self.CONFIG).run(np.random.default_rng(0))
+        assert chrono.ddf_times == [100.0]
+        assert chrono.ddf_types == [DDFType.DOUBLE_OP]
+        assert chrono.n_op_failures == 3
+        assert chrono.n_restores == 3
+        assert chrono.n_checks == 6
+        assert chrono.n_policy_repairs == 1
+
+    def test_restore_instants(self):
+        recorder = TimelineRecorder()
+        RaidGroupSimulator(self.CONFIG).run(
+            np.random.default_rng(0), recorder=recorder
+        )
+        restores = sorted(
+            e.time for e in recorder.entries if e.kind == "restore"
+        )
+        assert restores == [150.0, 150.0, 170.0]
+
+    def test_engines_agree(self):
+        event, batch = run_both_engines(self.CONFIG, n=4)
+        for a, b in zip(event, batch):
+            assert a.ddf_times == b.ddf_times
+            assert a.ddf_types == b.ddf_types
+            assert a.n_op_failures == b.n_op_failures
+            assert a.n_restores == b.n_restores
+            assert a.n_checks == b.n_checks
+            assert a.n_policy_repairs == b.n_policy_repairs
+
+    def test_oracle_clean(self):
+        recorder = TimelineRecorder()
+        chrono = RaidGroupSimulator(self.CONFIG).run(
+            np.random.default_rng(0), recorder=recorder
+        )
+        violations = check_trace(self.CONFIG, chrono, recorder)
+        assert violations == [], [str(v) for v in violations]
+
+
+def _policy_config(repair_threshold, check_interval=400.0):
+    return RaidGroupConfig.k_of_n(
+        3,
+        8,
+        time_to_op=Exponential(mean=6_000.0),
+        time_to_restore=Exponential(mean=48.0),
+        repair_policy=RepairPolicyConfig(
+            check_interval_hours=check_interval,
+            repair_threshold=repair_threshold,
+        ),
+        mission_hours=50_000.0,
+    )
+
+
+class TestStochasticPolicy:
+    def test_check_count_is_deterministic(self):
+        """Every group logs exactly floor(mission/interval) checks."""
+        config = _policy_config(repair_threshold=6)
+        expected = int(config.mission_hours // 400.0)
+        event, batch = run_both_engines(config, n=16)
+        for chrono in event + list(batch):
+            assert chrono.n_checks == expected
+
+    def test_policy_repairs_bounded_by_checks(self):
+        config = _policy_config(repair_threshold=8)
+        batch = simulate_groups_batch(config, 64, np.random.default_rng(5))
+        for chrono in batch:
+            assert 0 <= chrono.n_policy_repairs <= chrono.n_checks
+            assert chrono.n_restores <= chrono.n_op_failures
+
+    def test_no_policy_means_no_checks(self):
+        config = RaidGroupConfig.k_of_n(
+            3,
+            8,
+            time_to_op=Exponential(mean=6_000.0),
+            time_to_restore=Exponential(mean=48.0),
+        )
+        batch = simulate_groups_batch(config, 16, np.random.default_rng(5))
+        for chrono in batch:
+            assert chrono.n_checks == 0
+            assert chrono.n_policy_repairs == 0
+
+    def test_aggressive_threshold_reduces_loss(self):
+        """Repairing at the first lost share beats repairing at the brink."""
+        rng_seed = 11
+        lazy = _policy_config(repair_threshold=4, check_interval=1_000.0)
+        eager = _policy_config(repair_threshold=8, check_interval=1_000.0)
+        lazy_fleet = simulate_groups_batch(
+            lazy, 600, np.random.default_rng(rng_seed)
+        )
+        eager_fleet = simulate_groups_batch(
+            eager, 600, np.random.default_rng(rng_seed)
+        )
+        lazy_ddfs = sum(c.n_ddfs for c in lazy_fleet)
+        eager_ddfs = sum(c.n_ddfs for c in eager_fleet)
+        assert eager_ddfs <= lazy_ddfs
+
+    def test_cross_engine_distributional_agreement(self):
+        config = _policy_config(repair_threshold=6, check_interval=500.0)
+        event = [
+            RaidGroupSimulator(config).run(rng)
+            for rng in [np.random.default_rng(i) for i in range(300)]
+        ]
+        batch = simulate_groups_batch(config, 300, np.random.default_rng(777))
+        comparison = compare_fleets(event, batch)
+        assert not comparison.suspect(p_floor=1e-4, z_ceiling=5.0), (
+            comparison.worst()
+        )

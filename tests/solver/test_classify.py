@@ -18,7 +18,7 @@ from repro.distributions import (
     Weibull,
 )
 from repro.exceptions import ParameterError
-from repro.simulation.config import RaidGroupConfig
+from repro.simulation.config import RaidGroupConfig, RepairPolicyConfig
 from repro.simulation.spares import SparePoolConfig
 from repro.solver import MAX_HAZARD_VARIATION, classify, hazard_variation_ratio
 
@@ -51,6 +51,13 @@ class TestMarkovRoute:
 
     def test_all_exponential_raid6(self):
         assert classify(config(n_parity=2)).route == "markov"
+
+    def test_all_exponential_high_tolerance(self):
+        # Tolerance >= 3 without latent defects routes through the
+        # k-of-n birth-death chain, not monte-carlo.
+        for parity in (3, 4, 7):
+            c = classify(config(n_parity=parity))
+            assert c.route == "markov", (parity, c.reason)
 
     def test_exponential_with_location_is_not_markov(self):
         cfg = config(time_to_restore=Exponential(mean=24.0, location=6.0))
@@ -130,9 +137,30 @@ class TestMonteCarloFallback:
         assert c.route == "monte-carlo"
         assert "no-scrub" in c.reason
 
-    def test_triple_parity_is_structural(self):
-        cfg = config(n_parity=3)
-        assert classify(cfg).route == "monte-carlo"
+    def test_triple_parity_with_latent_is_structural(self):
+        cfg = config(
+            n_parity=3,
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert "tolerance" in c.reason
+
+    def test_repair_policy_is_structural(self):
+        cfg = RaidGroupConfig.k_of_n(
+            3,
+            10,
+            time_to_op=Exponential(mean=300_000.0),
+            time_to_restore=Exponential(mean=24.0),
+            repair_policy=RepairPolicyConfig(
+                check_interval_hours=720.0, repair_threshold=7
+            ),
+            mission_hours=MISSION,
+        )
+        c = classify(cfg)
+        assert c.route == "monte-carlo"
+        assert "check" in c.reason
 
     def test_raid6_with_latent_is_structural(self):
         cfg = config(

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.distributions import Exponential, Weibull
-from repro.simulation.config import RaidGroupConfig
+from repro.simulation.config import RaidGroupConfig, RepairPolicyConfig
 from repro.simulation.raid_simulator import GroupChronology
 from repro.simulation.spares import SparePoolConfig
 from repro.validation import (
@@ -74,8 +74,31 @@ class TestEligibility:
         config = exp_config(time_to_latent=Exponential(mean=10_000.0))
         assert "no-scrub" in anchor_ineligibility(config)
 
-    def test_triple_parity_rejected(self):
-        assert "tolerance 3" in anchor_ineligibility(exp_config(n_parity=3))
+    def test_high_tolerance_without_latent_is_eligible(self):
+        # The k-of-n birth-death chain anchors tolerance >= 3.
+        assert anchor_ineligibility(exp_config(n_parity=3)) is None
+        assert anchor_ineligibility(exp_config(n_parity=5)) is None
+
+    def test_repair_policy_rejected(self):
+        config = RaidGroupConfig.k_of_n(
+            3,
+            10,
+            time_to_op=Exponential(mean=80_000.0),
+            time_to_restore=Exponential(mean=200.0),
+            repair_policy=RepairPolicyConfig(
+                check_interval_hours=720.0, repair_threshold=7
+            ),
+            mission_hours=40_000.0,
+        )
+        assert "check" in anchor_ineligibility(config)
+
+    def test_triple_parity_with_latent_rejected(self):
+        config = exp_config(
+            n_parity=3,
+            time_to_latent=Exponential(mean=10_000.0),
+            time_to_scrub=Exponential(mean=168.0),
+        )
+        assert anchor_ineligibility(config) is not None
 
     def test_raid6_with_latent_rejected(self):
         config = exp_config(
@@ -128,6 +151,19 @@ class TestAgainstSimulation:
     def test_raid5_simulation_matches_closed_form(self):
         config = exp_config()
         fleet = run_batch_engine(config, 3000, seed=11)
+        result = check_anchor(config, fleet)
+        assert result.ok, result
+
+    def test_kofn_simulation_matches_closed_form(self):
+        """Tolerance-3 all-exponential fleet vs the k-of-n birth-death
+        chain — the new anchor family's end-to-end check."""
+        config = exp_config(
+            n_data=4,
+            n_parity=3,
+            time_to_op=Exponential(mean=30_000.0),
+            time_to_restore=Exponential(mean=2_000.0),
+        )
+        fleet = run_batch_engine(config, 3000, seed=13)
         result = check_anchor(config, fleet)
         assert result.ok, result
 

@@ -8,6 +8,7 @@ from repro.distributions import Exponential, Weibull
 from repro.simulation.config import RaidGroupConfig
 from repro.simulation.raid_simulator import DDFType
 from repro.validation import (
+    ConfigSampler,
     DifferentialFuzzer,
     load_bundle,
     run_batch_engine,
@@ -255,6 +256,46 @@ class TestCampaign:
         payload = report.to_dict()
         assert payload["n_cases"] == 10
         assert payload["n_failures"] == 0
+
+    def test_kn_biased_campaign_is_clean(self):
+        """A fully k-of-n-biased campaign — wide groups, tolerance up to
+        the codec bound, half the cases with checker/repairer policies —
+        runs the whole battery without a failure."""
+        report = run_fuzz_campaign(
+            seed=7,
+            budget_seconds=0.0,
+            min_cases=12,
+            max_cases=12,
+            fuzzer=DifferentialFuzzer(
+                n_groups=32, n_traces=2, sampler=ConfigSampler(kn_bias=1.0)
+            ),
+            anchor_every=4,
+        )
+        assert report.ok, report.summary()
+        assert report.n_cases == 12
+        assert any(c.config.fault_tolerance >= 3 for c in report.cases)
+        assert any(c.config.repair_policy is not None for c in report.cases)
+
+    def test_shrinker_strips_the_repair_policy(self):
+        """A failure on a policy config must offer a policy-free shrink
+        candidate (the smaller config reproduces a corrupt-batch bug)."""
+        from repro.simulation.config import RepairPolicyConfig
+
+        config = RaidGroupConfig.k_of_n(
+            3,
+            8,
+            time_to_op=Exponential(mean=20_000.0),
+            time_to_restore=Exponential(mean=100.0),
+            repair_policy=RepairPolicyConfig(
+                check_interval_hours=1_000.0, repair_threshold=6
+            ),
+            mission_hours=50_000.0,
+        )
+        fuzzer = self.small_fuzzer(batch_runner=corrupt_chronologies)
+        result = fuzzer.run_case(config, seed=3)
+        assert result.failed
+        assert result.shrunk_config is not None
+        assert result.shrunk_config.repair_policy is None
 
     def test_failing_campaign_writes_replayable_bundles(self, tmp_path):
         report = run_fuzz_campaign(

@@ -12,7 +12,7 @@ from repro.distributions import (
     WeibullPhase,
 )
 from repro.exceptions import ParameterError
-from repro.simulation.config import RaidGroupConfig
+from repro.simulation.config import RaidGroupConfig, RepairPolicyConfig
 from repro.validation import (
     ConfigSampler,
     anchor_ineligibility,
@@ -52,6 +52,29 @@ class TestSerialization:
     def test_deterministic_round_trip(self):
         dist = Deterministic(24.0)
         assert repr(distribution_from_dict(distribution_to_dict(dist))) == repr(dist)
+
+    def test_repair_policy_round_trip(self):
+        config = RaidGroupConfig.k_of_n(
+            3,
+            10,
+            time_to_op=Exponential(mean=4_380.0),
+            time_to_restore=Exponential(mean=200.0),
+            repair_policy=RepairPolicyConfig(
+                check_interval_hours=720.0, repair_threshold=7
+            ),
+        )
+        payload = config_to_dict(config)
+        assert payload["repair_policy"] == {
+            "check_interval_hours": 720.0,
+            "repair_threshold": 7,
+        }
+        assert repr(config_from_dict(payload)) == repr(config)
+
+    def test_policy_key_omitted_when_absent(self):
+        # Fingerprint stability: the canonical payload of a policy-free
+        # config must be byte-identical to the pre-policy writer's.
+        payload = config_to_dict(RaidGroupConfig.paper_base_case())
+        assert "repair_policy" not in payload
 
     def test_unknown_family_rejected(self):
         with pytest.raises(ParameterError):
@@ -168,3 +191,59 @@ class TestAnalyticalBias:
             ConfigSampler(analytical_bias=1.5)
         with pytest.raises(ParameterError):
             ConfigSampler(analytical_bias=-0.1)
+
+
+class TestKnBias:
+    def test_biased_samples_are_wide_kofn_groups(self):
+        sampler = ConfigSampler(kn_bias=1.0)
+        rng = np.random.default_rng(17)
+        configs = [sampler.sample(rng) for _ in range(200)]
+        assert all(5 <= c.n_drives <= 14 for c in configs)
+        assert any(c.fault_tolerance >= 3 for c in configs)
+        assert any(c.repair_policy is not None for c in configs)
+        assert any(c.repair_policy is None for c in configs)
+        assert all(c.supports_batch_engine for c in configs)
+
+    def test_policy_thresholds_stay_in_the_repairable_band(self):
+        sampler = ConfigSampler(kn_bias=1.0)
+        rng = np.random.default_rng(23)
+        seen_policy = 0
+        for _ in range(200):
+            config = sampler.sample(rng)
+            if config.repair_policy is None:
+                continue
+            seen_policy += 1
+            threshold = config.repair_policy.repair_threshold
+            assert config.n_data <= threshold <= config.n_drives
+            assert config.repair_policy.check_interval_hours < config.mission_hours
+        assert seen_policy > 30
+
+    def test_biased_samples_round_trip_json_exactly(self):
+        import json
+
+        sampler = ConfigSampler(kn_bias=1.0)
+        rng = np.random.default_rng(41)
+        for _ in range(200):
+            config = sampler.sample(rng)
+            payload = json.dumps(config_to_dict(config))
+            assert repr(config_from_dict(json.loads(payload))) == repr(config)
+
+    def test_zero_bias_stream_is_unchanged(self):
+        rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+        plain, knobbed = ConfigSampler(), ConfigSampler(kn_bias=0.0)
+        baseline = [plain.sample(rng_a) for _ in range(20)]
+        stream = [knobbed.sample(rng_b) for _ in range(20)]
+        assert [repr(c) for c in stream] == [repr(c) for c in baseline]
+
+    def test_bias_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            ConfigSampler(kn_bias=1.0001)
+        with pytest.raises(ParameterError):
+            ConfigSampler(kn_bias=-0.5)
+
+    def test_composes_with_analytical_bias(self):
+        sampler = ConfigSampler(analytical_bias=0.5, kn_bias=0.5)
+        rng = np.random.default_rng(77)
+        configs = [sampler.sample(rng) for _ in range(200)]
+        assert any(c.n_data >= 2 and c.fault_tolerance >= 3 for c in configs)
+        assert any(c.fault_tolerance == 1 for c in configs)
