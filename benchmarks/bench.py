@@ -15,6 +15,18 @@ Cases (all seed 0):
 * ``batch_5000``   — the kernel at fleet scale (the ISSUE's 1.5x bar).
 * ``stream_5000``  — streaming runner + pipelined executor,
   ``n_jobs = min(4, cpus)``.
+* ``compiled_5000`` / ``stream_compiled_5000`` — the Numba-JIT kernel
+  (same shapes as the batch cases); measured only when numba is
+  importable, and held to ``compiled_5000 >= COMPILED_MIN_SPEEDUP x
+  batch_5000`` groups/s in the same run.
+
+``--case NAME`` (repeatable) re-measures just the named case(s) —
+handy for iterating on one kernel without the full suite.  The anchor
+is skipped like any other case, so regression comparison needs an
+unfiltered run.  Every row records ``engine_backend`` (``python`` /
+``numpy`` / ``compiled``), so baselines written on machines without
+numba stay comparable: the compiled cases are simply absent there and
+the case intersection does the rest.
 
 Regression check (``--baseline BENCH_x.json``): for each non-anchor case
 present in both files, compare ``groups_per_s / anchor_groups_per_s``
@@ -45,10 +57,20 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.simulation import MonteCarloRunner, RaidGroupConfig, simulate_raid_groups
+from repro.simulation import (
+    MonteCarloRunner,
+    RaidGroupConfig,
+    numba_available,
+    simulate_raid_groups,
+)
 
 #: The case every other case is normalized by for cross-machine comparison.
 ANCHOR_CASE = "event_1000"
+
+#: Same-run speedup the compiled kernel must hold over the NumPy batch
+#: kernel at 5,000 groups (the ISSUE 9 bar; checked only when numba is
+#: importable, since the compiled cases do not run otherwise).
+COMPILED_MIN_SPEEDUP = 2.0
 
 #: Relative (anchor-normalized) slowdown tolerated before failing.
 DEFAULT_MAX_SLOWDOWN = 0.30
@@ -71,13 +93,23 @@ def _time_best(repeats, fn):
     return best, result
 
 
-def run_cases(handicap: float = 1.0) -> List[Dict[str, object]]:
-    """Measure every benchmark case; returns schema-shaped result rows."""
+def run_cases(
+    handicap: float = 1.0, only: Optional[List[str]] = None
+) -> List[Dict[str, object]]:
+    """Measure the benchmark cases; returns schema-shaped result rows.
+
+    ``only`` restricts the run to the named cases (``--case`` on the
+    command line); ``None`` means all cases available on this machine.
+    The compiled cases are measured only when numba is importable.
+    """
     config = RaidGroupConfig.paper_base_case()
     cpus = os.cpu_count() or 1
     rows: List[Dict[str, object]] = []
 
-    def add(case, n_groups, engine, wall_s, ddf_count, handicapped):
+    def wanted(case):
+        return only is None or case in only
+
+    def add(case, n_groups, engine, backend, wall_s, ddf_count, handicapped):
         gps = n_groups / wall_s if wall_s > 0 else 0.0
         if handicapped:
             gps /= handicap
@@ -86,6 +118,7 @@ def run_cases(handicap: float = 1.0) -> List[Dict[str, object]]:
                 "case": case,
                 "n_groups": n_groups,
                 "engine": engine,
+                "engine_backend": backend,
                 "wall_s": round(wall_s, 4),
                 "groups_per_s": round(gps, 1),
                 "ddf_count": int(ddf_count),
@@ -95,30 +128,103 @@ def run_cases(handicap: float = 1.0) -> List[Dict[str, object]]:
     # Warm NumPy/import state so the first timed case is not penalized.
     simulate_raid_groups(config, n_groups=64, seed=SEED, engine="batch")
 
-    wall, result = _time_best(
-        2, lambda: simulate_raid_groups(config, n_groups=1000, seed=SEED, engine="event")
-    )
-    add("event_1000", 1000, "event", wall, result.summary()["total_ddfs"], False)
+    if wanted("event_1000"):
+        wall, result = _time_best(
+            2,
+            lambda: simulate_raid_groups(config, n_groups=1000, seed=SEED, engine="event"),
+        )
+        add("event_1000", 1000, "event", "python", wall, result.summary()["total_ddfs"], False)
 
     for n in (1000, 5000):
+        if not wanted(f"batch_{n}"):
+            continue
         wall, result = _time_best(
             3,
             lambda n=n: simulate_raid_groups(config, n_groups=n, seed=SEED, engine="batch"),
         )
-        add(f"batch_{n}", n, "batch", wall, result.summary()["total_ddfs"], True)
+        add(f"batch_{n}", n, "batch", "numpy", wall, result.summary()["total_ddfs"], True)
 
     jobs = min(4, cpus)
-    runner = MonteCarloRunner(config, n_groups=5000, seed=SEED, engine="batch", n_jobs=jobs)
-    wall, streaming = _time_best(2, lambda: runner.run_streaming())
-    add(
-        "stream_5000",
-        5000,
-        f"streaming+batch/j{jobs}",
-        wall,
-        streaming.accumulator.total_ddfs,
-        True,
-    )
+    if wanted("stream_5000"):
+        runner = MonteCarloRunner(
+            config, n_groups=5000, seed=SEED, engine="batch", n_jobs=jobs
+        )
+        wall, streaming = _time_best(2, lambda: runner.run_streaming())
+        add(
+            "stream_5000",
+            5000,
+            f"streaming+batch/j{jobs}",
+            "numpy",
+            wall,
+            streaming.accumulator.total_ddfs,
+            True,
+        )
+
+    if numba_available():
+        if wanted("compiled_5000"):
+            # One untimed call first so JIT compilation does not pollute
+            # the measurement (the batch warmup above does not touch the
+            # compiled kernel).
+            simulate_raid_groups(config, n_groups=64, seed=SEED, engine="compiled")
+            wall, result = _time_best(
+                3,
+                lambda: simulate_raid_groups(
+                    config, n_groups=5000, seed=SEED, engine="compiled"
+                ),
+            )
+            add(
+                "compiled_5000",
+                5000,
+                "compiled",
+                "compiled",
+                wall,
+                result.summary()["total_ddfs"],
+                False,
+            )
+        if wanted("stream_compiled_5000"):
+            runner = MonteCarloRunner(
+                config, n_groups=5000, seed=SEED, engine="compiled", n_jobs=jobs
+            )
+            wall, streaming = _time_best(2, lambda: runner.run_streaming())
+            add(
+                "stream_compiled_5000",
+                5000,
+                f"streaming+compiled/j{jobs}",
+                "compiled",
+                wall,
+                streaming.accumulator.total_ddfs,
+                False,
+            )
+    elif only and {"compiled_5000", "stream_compiled_5000"} & set(only):
+        print(
+            "bench: compiled cases skipped — numba is not installed "
+            '(pip install "repro[speed]")',
+            file=sys.stderr,
+        )
     return rows
+
+
+def compiled_floor_failures(
+    doc: Dict[str, object], min_speedup: float = COMPILED_MIN_SPEEDUP
+) -> List[str]:
+    """Same-run ``compiled_5000 >= min_speedup x batch_5000`` check.
+
+    Empty when either case is absent (numba missing, or a ``--case``
+    filter excluded one side) — the bar only applies when both kernels
+    were actually measured in this run.
+    """
+    cases = {r["case"]: r for r in doc["results"]}
+    if "compiled_5000" not in cases or "batch_5000" not in cases:
+        return []
+    compiled_gps = float(cases["compiled_5000"]["groups_per_s"])
+    batch_gps = float(cases["batch_5000"]["groups_per_s"])
+    if batch_gps <= 0 or compiled_gps >= min_speedup * batch_gps:
+        return []
+    return [
+        f"compiled_5000: {compiled_gps:.1f} groups/s is "
+        f"{compiled_gps / batch_gps:.2f}x batch_5000 ({batch_gps:.1f}); "
+        f"the compiled kernel must hold >= {min_speedup:.1f}x"
+    ]
 
 
 def bench_document(rows: List[Dict[str, object]]) -> Dict[str, object]:
@@ -182,7 +288,8 @@ def _report(doc: Dict[str, object], baseline: Optional[Dict[str, object]]) -> No
             else ""
         )
         print(
-            f"  {r['case']:<12} {r['engine']:<18} {r['wall_s']:>8.3f}s "
+            f"  {r['case']:<20} {r['engine']:<20} "
+            f"[{r.get('engine_backend', '?')}] {r['wall_s']:>8.3f}s "
             f"{float(r['groups_per_s']):>10.1f} groups/s  "
             f"ddfs={r['ddf_count']}{rel}"
         )
@@ -224,9 +331,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help=f"enforce the bar even on < {MIN_CORES_FOR_BAR} CPUs",
     )
+    parser.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="cases",
+        help="measure only this case (repeatable); default: all cases",
+    )
     args = parser.parse_args(argv)
 
-    rows = run_cases(handicap=args.handicap)
+    rows = run_cases(handicap=args.handicap, only=args.cases)
     doc = bench_document(rows)
     out = args.out or f"BENCH_{doc['date']}.json"
     Path(out).write_text(json.dumps(doc, indent=2) + "\n")
@@ -236,10 +351,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline = json.loads(Path(args.baseline).read_text())
     _report(doc, baseline)
     print(f"wrote {out}")
-    if baseline is None:
-        return 0
 
-    failures = compare(doc, baseline, max_slowdown=args.max_slowdown)
+    failures = compiled_floor_failures(doc)
+    if baseline is not None:
+        failures += compare(doc, baseline, max_slowdown=args.max_slowdown)
+    if baseline is None and not failures:
+        return 0
     cpus = os.cpu_count() or 1
     enforced = args.enforce or cpus >= MIN_CORES_FOR_BAR
     for failure in failures:

@@ -1,0 +1,597 @@
+"""Compiled (Numba-JIT) batch simulation engine.
+
+The NumPy batch kernel (:mod:`~repro.simulation.batch`) advances whole
+shards in lockstep, but every iteration still pays Python/NumPy dispatch
+for one event per active group — the profiled hot path at fleet scale.
+This module collapses the per-iteration flat argmin, the event
+application, the repair-policy row and the active-set bookkeeping into
+**one nopython loop** over preallocated state arrays: the kernel walks
+each group's mission sequentially with scalar operations, so lockstep
+waste and compaction disappear entirely and the per-event cost is a few
+dozen machine instructions instead of a masked-array pass.
+
+Sampling stays *outside* the JIT region.  Distributions are arbitrary
+Python objects (``sample(rng, size)``), so the driver pre-draws pools of
+transition samples — the compiled analogue of the batch engine's
+:class:`~repro.simulation.batch._BlockSampler` — and the kernel consumes
+them by cursor.  When a pool runs dry (or the DDF log fills) the kernel
+suspends with a status code, the driver refills from the shard's single
+generator, and the kernel resumes from its saved ``progress`` cursor;
+the refill schedule is a pure function of demand, so a fixed
+``(config, n_groups, seed)`` is byte-reproducible *on this engine*.
+
+Equivalence contract (``DESIGN.md`` §4k): the compiled engine realises
+the same stochastic process as the event and batch engines — the Fig.
+4/5 DDF semantics are ported rule for rule, including the
+recoveries-before-failures tie-break at equal event times (restore,
+clear, scrub, check, latent arrival, operational failure; lower slot
+first — exactly the batch engine's flat-argmin order).  But it consumes
+the random stream in a different order (per-group chronological rather
+than fleet-lockstep), so compiled-vs-batch agreement is **statistical,
+not byte-level**: the differential fuzzer registers compiled-vs-batch as
+an engine pair under the same KS/chi-square/Welch battery and
+confirmation re-run as the other pairs, while the byte-identity golden
+fingerprints continue to pin the NumPy path unchanged.
+
+Numba is an optional dependency (the ``[speed]`` extra).  The module
+imports lazily: without numba everything here still imports, the gates
+report the engine unavailable, ``engine="auto"`` silently falls back to
+the NumPy batch kernel, and ``engine="compiled"`` raises an actionable
+:class:`~repro.exceptions.SimulationError` naming the extra.  Setting
+``REPRO_COMPILED_PUREPY=1`` runs the identical kernel un-jitted — slow,
+but it lets the parity suite and the fuzzer exercise the compiled code
+path on numba-free machines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .config import RaidGroupConfig
+from .raid_simulator import DDFType, GroupChronology
+
+#: Samples drawn per pool refill.  Like the batch engine's block size
+#: this is part of the engine's own determinism contract — the sequence
+#: of refill sizes fixes how the shard's one random stream is
+#: interleaved between distributions — but it is *not* shared with the
+#: batch engine's schedule, which is why the two engines agree in
+#: distribution rather than byte for byte.
+COMPILED_POOL_BLOCK = 8192
+
+#: Initial capacity of the per-shard DDF log (doubled on demand).
+_DDF_LOG_START = 64
+
+#: Environment variable forcing the un-jitted (pure-Python) kernel.
+PURE_PYTHON_ENV = "REPRO_COMPILED_PUREPY"
+
+#: Actionable gate message when numba is not importable.
+MISSING_NUMBA_HINT = (
+    "the compiled engine needs numba, which is not installed; "
+    'install the optional extra with `pip install "repro[speed]"` '
+    "or use engine='batch'/'auto'"
+)
+
+_INF = float("inf")
+
+# Kernel suspension statuses: the driver refills the named pool (or
+# grows the DDF log) and re-enters; state arrays carry everything.
+_DONE = 0
+_NEED_OP = 1
+_NEED_RESTORE = 2
+_NEED_LD = 3
+_NEED_SCRUB = 4
+_NEED_DDF_ROOM = 5
+
+# Pool cursor indices (order of the `cursors` array).
+_POOL_OP = 0
+_POOL_RESTORE = 1
+_POOL_LD = 2
+_POOL_SCRUB = 3
+
+_numba_checked = False
+_numba_ok = False
+_jitted_kernel = None
+
+
+def numba_available() -> bool:
+    """Whether numba is importable (checked once, cached)."""
+    global _numba_checked, _numba_ok
+    if not _numba_checked:
+        try:
+            import numba  # noqa: F401
+
+            _numba_ok = True
+        except Exception:
+            _numba_ok = False
+        _numba_checked = True
+    return _numba_ok
+
+
+def _pure_python_forced() -> bool:
+    """Test-only escape hatch: run the kernel un-jitted."""
+    return os.environ.get(PURE_PYTHON_ENV, "") not in ("", "0")
+
+
+def compiled_kernel_available() -> bool:
+    """Whether ``engine="compiled"`` can run here (numba or forced pure-Python)."""
+    return numba_available() or _pure_python_forced()
+
+
+def compiled_engine_unsupported_reason(config: RaidGroupConfig) -> Optional[str]:
+    """Why this config cannot run on the compiled engine (``None`` if it can).
+
+    Mirrors :func:`~repro.simulation.batch.batch_engine_unsupported_reason`:
+    the compiled kernel supports exactly the batch-compatible configs
+    (same per-slot renewal structure; age-anchored latent processes and
+    spare pools still need the event engine), plus the runtime gate that
+    numba must be importable.
+    """
+    reason = config.batch_engine_unsupported_reason
+    if reason is not None:
+        return reason
+    if not compiled_kernel_available():
+        return MISSING_NUMBA_HINT
+    return None
+
+
+# ----------------------------------------------------------------------
+# The kernel.  Written as plain nopython-compatible Python: scalars,
+# preallocated arrays, no Python objects — so the very same function
+# body runs un-jitted (REPRO_COMPILED_PUREPY=1) or under @njit.
+def _kernel_loop(
+    mission,
+    tolerance,
+    has_latent,
+    has_scrub,
+    has_check,
+    check_interval,
+    repair_threshold,
+    t_op,
+    t_restore,
+    t_ld,
+    t_scrub,
+    t_clear,
+    t_check,
+    ddf_until,
+    op_up,
+    exposed,
+    n_op_failures,
+    n_latent_defects,
+    n_scrub_repairs,
+    n_restores,
+    n_checks,
+    n_policy_repairs,
+    pool_op,
+    pool_restore,
+    pool_ld,
+    pool_scrub,
+    cursors,
+    ddf_time,
+    ddf_is_double,
+    ddf_group,
+    overlap_scratch,
+    progress,
+):
+    """Advance groups ``progress[0]..n_groups-1`` through their missions.
+
+    Returns a status code: ``_DONE`` when every group finished, else
+    which pool to refill (``_NEED_*``) or ``_NEED_DDF_ROOM`` to grow the
+    DDF log.  All state lives in the argument arrays, so the driver can
+    re-enter after servicing the request and the kernel resumes exactly
+    where it suspended.
+    """
+    n_groups = t_op.shape[0]
+    n_slots = t_op.shape[1]
+    g = progress[0]
+    n_ddfs = progress[1]
+    while g < n_groups:
+        while True:
+            # Preflight: one event consumes at most one sample per pool
+            # and records at most one DDF, so a single-slot guarantee per
+            # active pool makes every event application infallible.
+            if cursors[_POOL_OP] >= pool_op.shape[0]:
+                progress[0] = g
+                progress[1] = n_ddfs
+                return _NEED_OP
+            if cursors[_POOL_RESTORE] >= pool_restore.shape[0]:
+                progress[0] = g
+                progress[1] = n_ddfs
+                return _NEED_RESTORE
+            if has_latent and cursors[_POOL_LD] >= pool_ld.shape[0]:
+                progress[0] = g
+                progress[1] = n_ddfs
+                return _NEED_LD
+            if has_scrub and cursors[_POOL_SCRUB] >= pool_scrub.shape[0]:
+                progress[0] = g
+                progress[1] = n_ddfs
+                return _NEED_SCRUB
+            if n_ddfs >= ddf_time.shape[0]:
+                progress[0] = g
+                progress[1] = n_ddfs
+                return _NEED_DDF_ROOM
+
+            # Earliest pending event.  Scan order (restore, clear,
+            # scrub, check, latent, op; low slot first within a kind,
+            # strict < throughout) reproduces the batch engine's
+            # flat-argmin tie-break at equal event times.
+            best_t = _INF
+            best_kind = -1
+            best_slot = -1
+            for s in range(n_slots):
+                if t_restore[g, s] < best_t:
+                    best_t = t_restore[g, s]
+                    best_kind = 0
+                    best_slot = s
+            for s in range(n_slots):
+                if t_clear[g, s] < best_t:
+                    best_t = t_clear[g, s]
+                    best_kind = 1
+                    best_slot = s
+            for s in range(n_slots):
+                if t_scrub[g, s] < best_t:
+                    best_t = t_scrub[g, s]
+                    best_kind = 2
+                    best_slot = s
+            if has_check and t_check[g] < best_t:
+                best_t = t_check[g]
+                best_kind = 5
+                best_slot = -1
+            for s in range(n_slots):
+                if t_ld[g, s] < best_t:
+                    best_t = t_ld[g, s]
+                    best_kind = 3
+                    best_slot = s
+            for s in range(n_slots):
+                if t_op[g, s] < best_t:
+                    best_t = t_op[g, s]
+                    best_kind = 4
+                    best_slot = s
+            if best_t > mission:
+                break
+            t = best_t
+            s = best_slot
+
+            if best_kind == 4:
+                # ----------------------------------------------- OP_FAIL
+                n_op_failures[g] += 1
+                if has_check:
+                    # Deferred repair: the missing share waits for the
+                    # periodic checker; only data losses draw a TTR.
+                    completion = _INF
+                else:
+                    completion = t + pool_restore[cursors[_POOL_RESTORE]]
+                    cursors[_POOL_RESTORE] += 1
+                eligible = t >= ddf_until[g]
+                # Other drives still inside their restore window (the
+                # failing slot is up, so it never counts itself);
+                # checker-deferred failures (inf restore) always overlap.
+                n_failed_others = 0
+                for j in range(n_slots):
+                    overlapping = (not op_up[g, j]) and t_restore[g, j] > t
+                    overlap_scratch[j] = overlapping
+                    if overlapping:
+                        n_failed_others += 1
+                any_exposed_other = False
+                for j in range(n_slots):
+                    if j != s and exposed[g, j]:
+                        any_exposed_other = True
+                        break
+                # The shared threshold data-loss rule
+                # (repro.simulation.predicate) inlined for nopython.
+                is_double = eligible and n_failed_others >= tolerance
+                is_latent = (
+                    eligible
+                    and (not is_double)
+                    and n_failed_others == tolerance - 1
+                    and any_exposed_other
+                )
+                if is_double or is_latent:
+                    if has_check:
+                        # Emergency repair at data loss.
+                        completion = t + pool_restore[cursors[_POOL_RESTORE]]
+                        cursors[_POOL_RESTORE] += 1
+                    # The group returns to service when the latest
+                    # involved restoration completes; every overlapping
+                    # restore (and this failure's own) is extended to
+                    # that instant.  Pending (inf) restores take the
+                    # shared completion rather than extending it.
+                    other_max = -_INF
+                    for j in range(n_slots):
+                        if overlap_scratch[j] and t_restore[g, j] < _INF:
+                            if t_restore[g, j] > other_max:
+                                other_max = t_restore[g, j]
+                    window_end = completion if completion > other_max else other_max
+                    completion = window_end
+                    for j in range(n_slots):
+                        if overlap_scratch[j]:
+                            t_restore[g, j] = window_end
+                    ddf_until[g] = window_end
+                    if is_latent:
+                        # Latent pathway: the exposed drives' defects are
+                        # repaired by the shared DDF restoration — cancel
+                        # their scrubs, clear at the window end.
+                        for j in range(n_slots):
+                            if j != s and exposed[g, j]:
+                                t_clear[g, j] = window_end
+                                t_scrub[g, j] = _INF
+                    ddf_time[n_ddfs] = t
+                    ddf_is_double[n_ddfs] = is_double
+                    ddf_group[n_ddfs] = g
+                    n_ddfs += 1
+                # The failed drive leaves with its corruption; all its
+                # pending processes are invalidated until replacement.
+                op_up[g, s] = False
+                exposed[g, s] = False
+                t_op[g, s] = _INF
+                t_restore[g, s] = completion
+                t_ld[g, s] = _INF
+                t_scrub[g, s] = _INF
+                t_clear[g, s] = _INF
+            elif best_kind == 0:
+                # ------------------------------------------- OP_RESTORED
+                n_restores[g] += 1
+                op_up[g, s] = True
+                t_restore[g, s] = _INF
+                t_op[g, s] = t + pool_op[cursors[_POOL_OP]]
+                cursors[_POOL_OP] += 1
+                if has_latent:
+                    # Fresh drive: fresh latent process.
+                    t_ld[g, s] = t + pool_ld[cursors[_POOL_LD]]
+                    cursors[_POOL_LD] += 1
+            elif best_kind == 3:
+                # --------------------------------------------- LD_ARRIVE
+                exposed[g, s] = True
+                n_latent_defects[g] += 1
+                t_ld[g, s] = _INF
+                if has_scrub:
+                    t_scrub[g, s] = t + pool_scrub[cursors[_POOL_SCRUB]]
+                    cursors[_POOL_SCRUB] += 1
+                # NB: arriving during another drive's reconstruction is
+                # NOT a DDF (operational failure *before* latent defect).
+            elif best_kind == 2:
+                # --------------------------------------------- SCRUB_DONE
+                exposed[g, s] = False
+                n_scrub_repairs[g] += 1
+                t_scrub[g, s] = _INF
+                if has_latent:
+                    t_ld[g, s] = t + pool_ld[cursors[_POOL_LD]]
+                    cursors[_POOL_LD] += 1
+            elif best_kind == 1:
+                # --------------------------------------------- LD_CLEARED
+                exposed[g, s] = False
+                t_clear[g, s] = _INF
+                # An operational failure before the window end
+                # invalidates the clear, so the slot is up here.
+                if has_latent:
+                    t_ld[g, s] = t + pool_ld[cursors[_POOL_LD]]
+                    cursors[_POOL_LD] += 1
+            else:
+                # -------------------------------------------------- CHECK
+                n_checks[g] += 1
+                surviving = 0
+                any_pending = False
+                for j in range(n_slots):
+                    if op_up[g, j]:
+                        surviving += 1
+                    elif t_restore[g, j] == _INF:
+                        # Down with no restore scheduled: awaiting repair.
+                        any_pending = True
+                if surviving < repair_threshold and any_pending:
+                    n_policy_repairs[g] += 1
+                    # One shared TTR draw per triggered repair pass.
+                    repair_completion = t + pool_restore[cursors[_POOL_RESTORE]]
+                    cursors[_POOL_RESTORE] += 1
+                    for j in range(n_slots):
+                        if (not op_up[g, j]) and t_restore[g, j] == _INF:
+                            t_restore[g, j] = repair_completion
+                t_check[g] = t + check_interval
+        g += 1
+    progress[0] = g
+    progress[1] = n_ddfs
+    return _DONE
+
+
+def _load_kernel():
+    """The kernel callable: jitted when numba is present, else un-jitted."""
+    if _pure_python_forced():
+        return _kernel_loop
+    if not numba_available():
+        raise SimulationError(MISSING_NUMBA_HINT)
+    global _jitted_kernel
+    if _jitted_kernel is None:
+        import numba
+
+        _jitted_kernel = numba.njit(cache=True)(_kernel_loop)
+    return _jitted_kernel
+
+
+def _draw(distribution, rng: np.random.Generator, k: int) -> np.ndarray:
+    """``k`` fresh samples as a contiguous float64 vector."""
+    return np.ascontiguousarray(
+        np.atleast_1d(np.asarray(distribution.sample(rng, k), dtype=np.float64))
+    )
+
+
+def simulate_groups_compiled(
+    config: RaidGroupConfig,
+    n_groups: int,
+    rng: np.random.Generator,
+) -> List[GroupChronology]:
+    """Simulate ``n_groups`` missions on the compiled kernel.
+
+    Drop-in replacement for
+    :func:`~repro.simulation.batch.simulate_groups_batch` with the same
+    shard/seeding conventions (one generator per shard), byte-
+    reproducible for a fixed ``(config, n_groups, seed)`` on *this*
+    engine, and statistically — not byte — equivalent to the other
+    engines (see the module docstring).
+
+    Raises
+    ------
+    SimulationError:
+        If the configuration needs the event engine, or numba is not
+        installed (and the pure-Python escape is not forced).
+    """
+    reason = compiled_engine_unsupported_reason(config)
+    if reason is not None:
+        raise SimulationError(f"compiled engine cannot simulate this config: {reason}")
+    if n_groups < 1:
+        raise SimulationError(f"n_groups must be >= 1, got {n_groups!r}")
+    kernel = _load_kernel()
+
+    n_slots = config.n_drives
+    mission = float(config.mission_hours)
+    tolerance = int(config.fault_tolerance)
+    has_latent = config.models_latent_defects
+    has_scrub = config.scrubbing_enabled
+    policy = config.repair_policy
+    has_check = policy is not None
+    check_interval = float(policy.check_interval_hours) if has_check else 0.0
+    repair_threshold = int(policy.repair_threshold) if has_check else 0
+
+    # Initial state: every slot starts up with a fresh failure (and,
+    # when modeled, latent) clock — the same renewal start as the other
+    # engines.  Initial draws happen up front, in slot-major order.
+    t_op = _draw(config.time_to_op, rng, n_groups * n_slots).reshape(n_groups, n_slots)
+    t_op = np.ascontiguousarray(t_op)
+    if has_latent:
+        t_ld = _draw(config.time_to_latent, rng, n_groups * n_slots).reshape(
+            n_groups, n_slots
+        )
+        t_ld = np.ascontiguousarray(t_ld)
+    else:
+        t_ld = np.full((n_groups, n_slots), _INF)
+    t_restore = np.full((n_groups, n_slots), _INF)
+    t_scrub = np.full((n_groups, n_slots), _INF)
+    t_clear = np.full((n_groups, n_slots), _INF)
+    t_check = np.full(n_groups, check_interval if has_check else _INF)
+    ddf_until = np.full(n_groups, -_INF)
+    op_up = np.ones((n_groups, n_slots), dtype=np.bool_)
+    exposed = np.zeros((n_groups, n_slots), dtype=np.bool_)
+
+    n_op_failures = np.zeros(n_groups, dtype=np.int64)
+    n_latent_defects = np.zeros(n_groups, dtype=np.int64)
+    n_scrub_repairs = np.zeros(n_groups, dtype=np.int64)
+    n_restores = np.zeros(n_groups, dtype=np.int64)
+    n_checks = np.zeros(n_groups, dtype=np.int64)
+    n_policy_repairs = np.zeros(n_groups, dtype=np.int64)
+
+    # Sample pools, one per active transition distribution.  The first
+    # block of each is drawn up front in a fixed order (op, restore,
+    # latent, scrub); refills happen strictly on kernel demand, so the
+    # interleaving of the shard's one stream is deterministic.
+    empty = np.empty(0, dtype=np.float64)
+    pool_op = _draw(config.time_to_op, rng, COMPILED_POOL_BLOCK)
+    pool_restore = _draw(config.time_to_restore, rng, COMPILED_POOL_BLOCK)
+    pool_ld = (
+        _draw(config.time_to_latent, rng, COMPILED_POOL_BLOCK) if has_latent else empty
+    )
+    pool_scrub = (
+        _draw(config.time_to_scrub, rng, COMPILED_POOL_BLOCK) if has_scrub else empty
+    )
+    cursors = np.zeros(4, dtype=np.int64)
+
+    ddf_time = np.empty(_DDF_LOG_START, dtype=np.float64)
+    ddf_is_double = np.empty(_DDF_LOG_START, dtype=np.bool_)
+    ddf_group = np.empty(_DDF_LOG_START, dtype=np.int64)
+    overlap_scratch = np.zeros(n_slots, dtype=np.bool_)
+    progress = np.zeros(2, dtype=np.int64)
+
+    while True:
+        status = kernel(
+            mission,
+            tolerance,
+            has_latent,
+            has_scrub,
+            has_check,
+            check_interval,
+            repair_threshold,
+            t_op,
+            t_restore,
+            t_ld,
+            t_scrub,
+            t_clear,
+            t_check,
+            ddf_until,
+            op_up,
+            exposed,
+            n_op_failures,
+            n_latent_defects,
+            n_scrub_repairs,
+            n_restores,
+            n_checks,
+            n_policy_repairs,
+            pool_op,
+            pool_restore,
+            pool_ld,
+            pool_scrub,
+            cursors,
+            ddf_time,
+            ddf_is_double,
+            ddf_group,
+            overlap_scratch,
+            progress,
+        )
+        if status == _DONE:
+            break
+        if status == _NEED_OP:
+            pool_op = _draw(config.time_to_op, rng, COMPILED_POOL_BLOCK)
+            cursors[_POOL_OP] = 0
+        elif status == _NEED_RESTORE:
+            pool_restore = _draw(config.time_to_restore, rng, COMPILED_POOL_BLOCK)
+            cursors[_POOL_RESTORE] = 0
+        elif status == _NEED_LD:
+            pool_ld = _draw(config.time_to_latent, rng, COMPILED_POOL_BLOCK)
+            cursors[_POOL_LD] = 0
+        elif status == _NEED_SCRUB:
+            pool_scrub = _draw(config.time_to_scrub, rng, COMPILED_POOL_BLOCK)
+            cursors[_POOL_SCRUB] = 0
+        else:  # _NEED_DDF_ROOM: double the DDF log, keeping the prefix.
+            count = int(progress[1])
+            grown = ddf_time.shape[0] * 2
+            new_time = np.empty(grown, dtype=np.float64)
+            new_double = np.empty(grown, dtype=np.bool_)
+            new_group = np.empty(grown, dtype=np.int64)
+            new_time[:count] = ddf_time[:count]
+            new_double[:count] = ddf_is_double[:count]
+            new_group[:count] = ddf_group[:count]
+            ddf_time, ddf_is_double, ddf_group = new_time, new_double, new_group
+
+    # Groups are advanced sequentially, so each group's log entries are
+    # contiguous and chronological.
+    ddf_times: List[List[float]] = [[] for _ in range(n_groups)]
+    ddf_types: List[List[DDFType]] = [[] for _ in range(n_groups)]
+    for i in range(int(progress[1])):
+        gi = int(ddf_group[i])
+        ddf_times[gi].append(float(ddf_time[i]))
+        ddf_types[gi].append(
+            DDFType.DOUBLE_OP if ddf_is_double[i] else DDFType.LATENT_THEN_OP
+        )
+
+    return [
+        GroupChronology(
+            ddf_times=times,
+            ddf_types=types,
+            n_op_failures=ops,
+            n_latent_defects=lds,
+            n_scrub_repairs=scrubs,
+            n_restores=restores,
+            mission_hours=mission,
+            n_checks=checks,
+            n_policy_repairs=repairs,
+        )
+        for times, types, ops, lds, scrubs, restores, checks, repairs in zip(
+            ddf_times,
+            ddf_types,
+            n_op_failures.tolist(),
+            n_latent_defects.tolist(),
+            n_scrub_repairs.tolist(),
+            n_restores.tolist(),
+            n_checks.tolist(),
+            n_policy_repairs.tolist(),
+        )
+    ]

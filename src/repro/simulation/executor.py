@@ -46,6 +46,7 @@ import numpy as np
 
 from ..exceptions import SimulationError
 from .batch import next_shard_size, simulate_groups_batch
+from .compiled import simulate_groups_compiled
 from .config import RaidGroupConfig
 from .raid_simulator import GroupChronology, RaidGroupSimulator
 
@@ -157,14 +158,18 @@ def simulate_shard(
 ) -> List[GroupChronology]:
     """Simulate one shard from its indices alone (pure, order-free).
 
-    Batch engine: one root child per shard (child ``task.index``).
-    Event engine: one root child per group (children ``task.group_offset``
-    through ``task.group_offset + task.n_groups - 1``).  Both match the
-    serial streaming path's sequential ``spawn`` cursor exactly.
+    Batch/compiled engines: one root child per shard (child
+    ``task.index``).  Event engine: one root child per group (children
+    ``task.group_offset`` through ``task.group_offset + task.n_groups -
+    1``).  All match the serial streaming path's sequential ``spawn``
+    cursor exactly.
     """
-    if engine == "batch":
+    if engine in ("batch", "compiled"):
         rng = np.random.Generator(np.random.PCG64(_child_seed(root_state, task.index)))
-        return simulate_groups_batch(config, task.n_groups, rng)
+        kernel = (
+            simulate_groups_compiled if engine == "compiled" else simulate_groups_batch
+        )
+        return kernel(config, task.n_groups, rng)
     simulator = RaidGroupSimulator(config)
     return [
         simulator.run(

@@ -20,10 +20,18 @@ engines"):
     byte-identical for a fixed ``(config, n_groups, seed)`` regardless of
     ``n_jobs``, but the engines' random streams differ, so the two
     engines agree in distribution rather than sample for sample.
+``"compiled"``
+    The Numba-JIT kernel (:mod:`~repro.simulation.compiled`): the batch
+    engine's shard structure and seeding with a nopython per-group event
+    loop.  Needs the optional ``[speed]`` extra (numba); byte-
+    reproducible on its own stream order, statistically equivalent to
+    the other engines.
 ``"auto"``
-    ``"batch"`` whenever the configuration supports it
+    ``"compiled"`` when numba is importable and the configuration
+    supports the vectorized kernels
     (:attr:`~repro.simulation.config.RaidGroupConfig.supports_batch_engine`),
-    else ``"event"``.
+    else ``"batch"`` when the configuration supports it, else
+    ``"event"``.
 """
 
 from __future__ import annotations
@@ -36,13 +44,18 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 import numpy as np
 
 from .._validation import require_int
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, SimulationError
 from .batch import BATCH_SHARD_SIZE, shard_sizes, simulate_groups_batch
 from .checkpoint import (
     RunCheckpoint,
     config_fingerprint,
     load_checkpoint,
     save_checkpoint,
+)
+from .compiled import (
+    MISSING_NUMBA_HINT,
+    compiled_kernel_available,
+    simulate_groups_compiled,
 )
 from .config import RaidGroupConfig
 from .executor import (
@@ -65,7 +78,12 @@ from .streaming import (
 )
 
 #: Engine names accepted by :class:`MonteCarloRunner`.
-ENGINES = ("event", "batch", "auto")
+ENGINES = ("event", "batch", "compiled", "auto")
+
+#: The concrete engines sharing the batch shard/seeding structure (one
+#: spawned SeedSequence child per shard; the event engine spawns one per
+#: group).
+_SHARDED_ENGINES = ("batch", "compiled")
 
 
 def _run_batch(args) -> List[GroupChronology]:
@@ -80,10 +98,11 @@ def _run_batch(args) -> List[GroupChronology]:
 
 
 def _run_shard(args) -> List[GroupChronology]:
-    """Worker: one vectorized shard (module-level for pickling)."""
-    config, seed_state, n = args
+    """Worker: one vectorized/compiled shard (module-level for pickling)."""
+    config, seed_state, n, engine = args
     rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(**seed_state)))
-    return simulate_groups_batch(config, n, rng)
+    kernel = simulate_groups_compiled if engine == "compiled" else simulate_groups_batch
+    return kernel(config, n, rng)
 
 
 def _seed_state(seq: np.random.SeedSequence) -> dict:
@@ -173,8 +192,11 @@ class MonteCarloRunner:
         up to ``n_jobs`` shards in flight on **both** engines.
     engine:
         ``"event"`` (default, the reference per-group event loop),
-        ``"batch"`` (the vectorized lockstep engine), or ``"auto"``
-        (``"batch"`` when the config supports it, else ``"event"``).
+        ``"batch"`` (the vectorized lockstep engine), ``"compiled"``
+        (the Numba-JIT kernel; needs the ``[speed]`` extra), or
+        ``"auto"`` (``"compiled"`` when numba is importable and the
+        config supports the vectorized kernels, else ``"batch"`` when
+        the config supports it, else ``"event"``).
     """
 
     config: RaidGroupConfig
@@ -190,16 +212,22 @@ class MonteCarloRunner:
             raise ParameterError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
-        if self.engine == "batch":
+        if self.engine in _SHARDED_ENGINES:
             reason = self.config.batch_engine_unsupported_reason
             if reason is not None:
-                raise ParameterError(f"engine='batch' cannot run this config: {reason}")
+                raise ParameterError(
+                    f"engine={self.engine!r} cannot run this config: {reason}"
+                )
+        if self.engine == "compiled" and not compiled_kernel_available():
+            raise SimulationError(MISSING_NUMBA_HINT)
 
     # ------------------------------------------------------------------
     def resolve_engine(self) -> str:
         """The concrete engine a :meth:`run` call will use."""
         if self.engine == "auto":
-            return "batch" if self.config.supports_batch_engine else "event"
+            if self.config.supports_batch_engine:
+                return "compiled" if compiled_kernel_available() else "batch"
+            return "event"
         return self.engine
 
     def run(self, until: "Union[Precision, float, None]" = None) -> SimulationResult:
@@ -221,8 +249,8 @@ class MonteCarloRunner:
             assert isinstance(streaming.result, SimulationResult)
             return streaming.result
         engine = self.resolve_engine()
-        if engine == "batch":
-            chronologies = self._run_batch_engine()
+        if engine in _SHARDED_ENGINES:
+            chronologies = self._run_sharded_engine(engine)
         else:
             chronologies = self._run_event_engine()
         return SimulationResult(
@@ -257,7 +285,8 @@ class MonteCarloRunner:
         discarded (unless ``keep_chronologies``).  Shard seeding matches
         the materialized :meth:`run` path exactly — one spawned
         :class:`~numpy.random.SeedSequence` child per group (event
-        engine) or per shard (batch engine) — so a fixed-size streaming
+        engine) or per shard (batch and compiled engines) — so a
+        fixed-size streaming
         run reproduces :meth:`run` and a converged run is reproducible
         from ``(config, seed, engine, shards_run)``.
 
@@ -380,7 +409,7 @@ class MonteCarloRunner:
             # Serial path: advance the sequential spawn cursor past every
             # stream the completed shards consumed, so shard k always
             # sees the same children regardless of interruptions.
-            if engine == "batch":
+            if engine in _SHARDED_ENGINES:
                 if shards_done:
                     root.spawn(shards_done)
             elif groups_done:
@@ -556,9 +585,11 @@ class MonteCarloRunner:
         n: int,
     ) -> List[GroupChronology]:
         """One shard's chronologies, consuming the next spawn positions."""
-        if engine == "batch":
+        if engine in _SHARDED_ENGINES:
             (child,) = root.spawn(1)
             rng = np.random.Generator(np.random.PCG64(child))
+            if engine == "compiled":
+                return simulate_groups_compiled(self.config, n, rng)
             return simulate_groups_batch(self.config, n, rng)
         children = root.spawn(n)
         simulator = RaidGroupSimulator(self.config)
@@ -595,28 +626,31 @@ class MonteCarloRunner:
             chronologies[idx] = next(flat_iters[idx % jobs])
         return chronologies
 
-    def _run_batch_engine(self) -> List[GroupChronology]:
-        """Vectorized path: one seed-spawned kernel shard per ~256 groups.
+    def _run_sharded_engine(self, engine: str) -> List[GroupChronology]:
+        """Vectorized/compiled path: one seed-spawned kernel shard each.
 
         The shard partition is a pure function of ``n_groups``
         (:data:`~repro.simulation.batch.BATCH_SHARD_SIZE`), so results do
-        not depend on ``n_jobs``.
+        not depend on ``n_jobs``.  The compiled engine reuses the batch
+        engine's partition and per-shard seeding verbatim — only the
+        kernel that consumes each shard's generator differs.
         """
+        kernel = (
+            simulate_groups_compiled if engine == "compiled" else simulate_groups_batch
+        )
         root = make_seed_sequence(self.seed)
         sizes = shard_sizes(self.n_groups, BATCH_SHARD_SIZE)
         children = root.spawn(len(sizes))
         jobs = min(self.n_jobs, len(sizes))
         if jobs == 1:
             shards = [
-                simulate_groups_batch(
-                    self.config, n, np.random.Generator(np.random.PCG64(child))
-                )
+                kernel(self.config, n, np.random.Generator(np.random.PCG64(child)))
                 for n, child in zip(sizes, children)
             ]
         else:
             ctx = get_context("spawn")
             tasks = [
-                (self.config, _seed_state(child), n)
+                (self.config, _seed_state(child), n, engine)
                 for n, child in zip(sizes, children)
             ]
             with ctx.Pool(jobs) as pool:

@@ -38,6 +38,7 @@ from .differential import (
     compare_solver_answer,
     load_bundle,
     run_batch_engine,
+    run_compiled_engine,
     run_event_engine,
     run_event_engine_traced,
     run_fuzz_campaign,
@@ -73,6 +74,7 @@ __all__ = [
     "compare_solver_answer",
     "load_bundle",
     "run_batch_engine",
+    "run_compiled_engine",
     "run_event_engine",
     "run_event_engine_traced",
     "run_fuzz_campaign",
