@@ -15,6 +15,10 @@ Cases (all seed 0):
 * ``batch_5000``   — the kernel at fleet scale (the ISSUE's 1.5x bar).
 * ``stream_5000``  — streaming runner + pipelined executor,
   ``n_jobs = min(4, cpus)``.
+* ``stream_remote_5000`` — streaming runner over the TCP remote-worker
+  backend: a loopback hub plus two real ``repro worker`` subprocesses,
+  no local pool.  Skipped (with a stderr line) on machines with fewer
+  than 2 CPUs, where the loopback workers would just contend.
 * ``compiled_5000`` / ``stream_compiled_5000`` — the Numba-JIT kernel
   (same shapes as the batch cases); measured only when numba is
   importable, and held to ``compiled_5000 >= COMPILED_MIN_SPEEDUP x
@@ -160,6 +164,25 @@ def run_cases(
             True,
         )
 
+    if wanted("stream_remote_5000"):
+        if cpus < 2:
+            print(
+                "bench: stream_remote_5000 skipped — needs >= 2 CPUs for "
+                "loopback workers",
+                file=sys.stderr,
+            )
+        else:
+            wall, ddf_count = _measure_stream_remote(config)
+            add(
+                "stream_remote_5000",
+                5000,
+                "streaming+batch/remote2",
+                "numpy",
+                wall,
+                ddf_count,
+                True,
+            )
+
     if numba_available():
         if wanted("compiled_5000"):
             # One untimed call first so JIT compilation does not pollute
@@ -202,6 +225,49 @@ def run_cases(
             file=sys.stderr,
         )
     return rows
+
+
+def _measure_stream_remote(config, n_workers: int = 2):
+    """(best wall seconds, ddf count) for a 5,000-group remote-only run.
+
+    Opens a loopback hub and dials ``n_workers`` real ``repro worker``
+    subprocesses into it; the timed run uses ``n_jobs=0`` so every shard
+    travels the wire.
+    """
+    import subprocess
+
+    import repro
+    from repro.simulation.remote import RemoteWorkerHub
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    hub = RemoteWorkerHub()
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--connect", hub.address],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for _ in range(n_workers)
+    ]
+    try:
+        if not hub.wait_for_workers(n_workers, timeout=60.0):
+            raise RuntimeError("remote bench workers failed to connect")
+        runner = MonteCarloRunner(
+            config, n_groups=5000, seed=SEED, engine="batch", n_jobs=0
+        )
+        wall, streaming = _time_best(2, lambda: runner.run_streaming(workers=hub))
+        return wall, streaming.accumulator.total_ddfs
+    finally:
+        for proc in procs:
+            proc.kill()
+        for proc in procs:
+            proc.wait(timeout=30.0)
+        hub.close()
 
 
 def compiled_floor_failures(

@@ -215,6 +215,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-25 cumulative entries to stderr",
     )
+    simulate.add_argument(
+        "--workers",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "listen here for `repro worker --connect` processes and "
+            "distribute shards across them alongside the local pool "
+            "(bit-identical to a serial run)"
+        ),
+    )
+
+    worker_cmd = sub.add_parser(
+        "worker",
+        help=(
+            "join a distributed run: connect to a coordinator started "
+            "with `repro simulate --workers` or `repro serve "
+            "--remote-workers` and simulate shards for it"
+        ),
+    )
+    worker_cmd.add_argument(
+        "--connect",
+        type=str,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to dial",
+    )
+    worker_cmd.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between heartbeats (default 1.0)",
+    )
+    worker_cmd.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "give up after this many consecutive failed dials "
+            "(default: keep retrying forever with capped backoff)"
+        ),
+    )
 
     solve_cmd = sub.add_parser(
         "solve",
@@ -450,6 +494,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="in-memory cache entry bound (default 1024)",
     )
+    serve_cmd.add_argument(
+        "--remote-workers",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "listen here for `repro worker --connect` processes and fan "
+            "cold simulation jobs across them (--workers already names "
+            "the background simulation threads)"
+        ),
+    )
     return parser
 
 
@@ -513,6 +568,7 @@ def _run_simulate(args: argparse.Namespace) -> str:
         checkpoint_path=checkpoint_path,
         resume_from=args.resume,
         observers=observers,
+        workers=args.workers,
     )
     if args.manifest:
         from .reporting import write_run_manifest
@@ -730,6 +786,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             port=args.port,
             cache_dir=args.cache_dir,
             max_entries=args.cache_entries,
+            remote_workers=args.remote_workers,
             max_workers=args.workers,
             engine=args.engine,
             n_jobs=args.jobs,
@@ -737,6 +794,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             shard_size=args.shard_size,
             max_groups=args.max_groups,
         )
+        return 0
+    if args.command == "worker":
+        from .simulation.remote import DEFAULT_HEARTBEAT_INTERVAL, run_worker
+
+        print(f"repro worker: connecting to {args.connect}", flush=True)
+        shards = run_worker(
+            args.connect,
+            heartbeat_interval=(
+                args.heartbeat_interval
+                if args.heartbeat_interval is not None
+                else DEFAULT_HEARTBEAT_INTERVAL
+            ),
+            max_reconnects=args.max_reconnects,
+        )
+        print(f"repro worker: done ({shards} shards simulated)", flush=True)
         return 0
     runner = _run_simulate if args.command == "simulate" else _run_experiment
     if getattr(args, "profile", False):

@@ -115,27 +115,34 @@ class CacheEntry:
     def satisfies(self, precision: Precision) -> bool:
         """Whether this entry already meets a requested precision as-is.
 
-        Strict on the confidence axis: the achieved width is compared
-        only at the confidence level the entry was computed at.  An
-        entry whose fleet already reached the request's ``max_groups``
-        cap is also a hit — no further shard could be simulated for it,
-        so "extending" would be a no-op job.
+        Strict on the confidence axis: the achieved width is compared —
+        and the ``max_groups``-capped short-circuit granted — only at
+        the confidence level the entry was computed at.  A capped entry
+        at a *different* confidence is not servable verbatim (its stored
+        interval is the wrong ``z``); it goes through
+        :meth:`satisfies_rescaled` instead, so the answer is re-expressed
+        at the query's confidence before being served.
         """
-        if (
-            self.confidence == precision.confidence
-            and self.achieved_rel_ci_width <= precision.rel_ci_width
-        ):
+        if self.confidence != precision.confidence:
+            return False
+        if self.achieved_rel_ci_width <= precision.rel_ci_width:
             return True
         return precision.max_groups is not None and self.groups >= precision.max_groups
 
     def satisfies_rescaled(self, precision: Precision) -> bool:
         """Whether this entry meets the target after exact z-rescaling.
 
-        Covers the cross-confidence case :meth:`satisfies` refuses: an
+        Covers the cross-confidence cases :meth:`satisfies` refuses: an
         entry achieved at e.g. 99% confidence whose width, rescaled to
-        the query's 95% ``z``, already fits the requested width.
+        the query's 95% ``z``, already fits the requested width — and a
+        cross-confidence entry that already reached the request's
+        ``max_groups`` cap, for which no further shard could be
+        simulated, so the only correct answer is the stored moments
+        served at the query's confidence.
         """
-        return self.rescaled_width(precision.confidence) <= precision.rel_ci_width
+        if self.rescaled_width(precision.confidence) <= precision.rel_ci_width:
+            return True
+        return precision.max_groups is not None and self.groups >= precision.max_groups
 
 
 class ResultCache:
@@ -158,6 +165,13 @@ class ResultCache:
             os.makedirs(cache_dir, exist_ok=True)
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        # Per-key write ordering for disk persistence: _persist runs
+        # outside the main lock (it does file I/O), so racing puts for
+        # the same key serialize on the key's own lock and consult
+        # _persisted_groups to guarantee the file never regresses to a
+        # smaller (looser) run than it already holds.
+        self._persist_locks: Dict[CacheKey, threading.Lock] = {}
+        self._persisted_groups: Dict[CacheKey, int] = {}
         self.evictions = 0
         self.disk_loads = 0
         self.integrity_rejections = 0
@@ -209,7 +223,11 @@ class ResultCache:
 
         An extension never *loosens* an entry: a stored entry with more
         accumulated groups than the incoming one is kept (two coalesced
-        misses racing to store resolve to the larger run).
+        misses racing to store resolve to the larger run), and the same
+        ordering holds on disk — persistence happens under a per-key
+        lock that skips the write when the file already holds a larger
+        run, so a restart can never resurrect the loosened loser of a
+        race.
         """
         with self._lock:
             existing = self._entries.get(entry.key)
@@ -217,10 +235,50 @@ class ResultCache:
                 return
             self._entries[entry.key] = entry
             self._entries.move_to_end(entry.key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-        self._persist(entry)
+            self._evict_locked()
+            persist_lock = self._persist_locks.setdefault(
+                entry.key, threading.Lock()
+            )
+        with persist_lock:
+            if self._disk_would_regress(entry):
+                return
+            self._persist(entry)
+            with self._lock:
+                recorded = self._persisted_groups.get(entry.key, -1)
+                self._persisted_groups[entry.key] = max(recorded, entry.groups)
+
+    def _evict_locked(self) -> None:
+        """Enforce the LRU bound (caller holds the main lock)."""
+        while len(self._entries) > self.max_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._persist_locks.pop(evicted_key, None)
+            self._persisted_groups.pop(evicted_key, None)
+
+    def _disk_would_regress(self, entry: CacheEntry) -> bool:
+        """Whether persisting ``entry`` would shrink the on-disk run.
+
+        Consults the in-memory high-water mark first; with no record
+        (fresh start, or the key was evicted) it reads the existing
+        file's cursor, so the never-loosen rule survives restarts too.
+        """
+        path = self._entry_path(entry.key)
+        if path is None:
+            return True  # nothing to persist to
+        with self._lock:
+            recorded = self._persisted_groups.get(entry.key)
+        if recorded is not None:
+            return recorded > entry.groups
+        if not os.path.exists(path):
+            return False
+        import json
+
+        try:
+            with open(path) as handle:
+                on_disk = int(json.load(handle).get("groups_completed", 0))
+        except (OSError, ValueError):
+            return False  # unreadable file: overwrite it
+        return on_disk > entry.groups
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: CacheKey) -> Optional[str]:
@@ -286,8 +344,18 @@ class ResultCache:
         )
         with self._lock:
             self.disk_loads += 1
-            self._entries.setdefault(key, entry)
+            existing = self._entries.get(key)
+            if existing is None or existing.groups < entry.groups:
+                self._entries[key] = entry
+            else:
+                entry = existing  # a racing put landed a larger run
             self._entries.move_to_end(key)
+            # Disk loads obey the same LRU bound as puts — a cold
+            # restart scanning thousands of persisted keys must not grow
+            # the in-memory map without bound.
+            self._evict_locked()
+            recorded = self._persisted_groups.get(key, -1)
+            self._persisted_groups[key] = max(recorded, entry.groups)
         return entry
 
     # ------------------------------------------------------------------

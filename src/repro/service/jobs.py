@@ -38,6 +38,7 @@ from ..simulation.checkpoint import RunCheckpoint, config_fingerprint
 from ..simulation.config import RaidGroupConfig
 from ..simulation.executor import DEFAULT_MAX_SHARD_RETRIES, ShardWorker
 from ..simulation.monte_carlo import MonteCarloRunner
+from ..simulation.remote import RemoteWorkerHub
 from ..simulation.streaming import (
     FleetAccumulator,
     Precision,
@@ -178,6 +179,7 @@ class JobManager:
         max_groups: int = DEFAULT_MAX_GROUPS,
         max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
         shard_worker: Optional[ShardWorker] = None,
+        workers: "Optional[RemoteWorkerHub]" = None,
         extra_observers: Sequence[RunObserver] = (),
     ) -> None:
         if max_workers < 1:
@@ -191,6 +193,7 @@ class JobManager:
         self.max_shard_retries = max_shard_retries
         self.max_workers = max_workers
         self._shard_worker = shard_worker
+        self.workers = workers
         self._extra_observers = tuple(extra_observers)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -291,6 +294,7 @@ class JobManager:
             time_grid=service_time_grid(spec.horizon_hours),
             stop_after_shards=stop_after_shards,
             max_shard_retries=self.max_shard_retries,
+            workers=self.workers,
             _shard_worker=self._shard_worker,
         )
 
@@ -366,6 +370,9 @@ class JobManager:
                 "groups_simulated": self.groups_simulated_total,
                 "shard_retries": self.shard_retries_total,
                 "pool_breaks": self.pool_breaks_total,
+                "remote_workers": (
+                    self.workers.stats() if self.workers is not None else None
+                ),
             }
 
     def shutdown(self) -> None:

@@ -593,15 +593,29 @@ def serve(
     *,
     cache_dir: Optional[str] = None,
     max_entries: Optional[int] = None,
+    remote_workers: Optional[str] = None,
     **job_kwargs: Any,
 ) -> None:
-    """Blocking entry point behind ``repro serve``."""
+    """Blocking entry point behind ``repro serve``.
+
+    ``remote_workers`` is a ``host:port`` bind address; when given, the
+    service opens a :class:`~repro.simulation.remote.RemoteWorkerHub`
+    there and every cold/extend simulation job fans its shards across
+    whatever ``repro worker --connect`` processes have dialed in (plus
+    the local shard pool), bit-identically to a local run.
+    """
     from .cache import DEFAULT_MAX_ENTRIES
 
     cache = ResultCache(
         max_entries=max_entries if max_entries is not None else DEFAULT_MAX_ENTRIES,
         cache_dir=cache_dir,
     )
+    hub = None
+    if remote_workers is not None:
+        from ..simulation.remote import RemoteWorkerHub
+
+        hub = RemoteWorkerHub(bind=remote_workers)
+        job_kwargs["workers"] = hub
     service = ReliabilityService(cache=cache, **job_kwargs)
     server = ReliabilityServer(service, host=host, port=port)
 
@@ -610,7 +624,9 @@ def serve(
         print(
             f"repro serve: listening on http://{server.host}:{server.port} "
             f"(workers={service.jobs.max_workers}, engine={service.jobs.engine!r}, "
-            f"cache={'disk:' + cache_dir if cache_dir else 'memory'})",
+            f"cache={'disk:' + cache_dir if cache_dir else 'memory'}"
+            + (f", remote workers on {hub.address}" if hub is not None else "")
+            + ")",
             flush=True,
         )
         await server.serve_forever()
@@ -621,3 +637,5 @@ def serve(
         print("repro serve: shutting down", flush=True)
     finally:
         service.close()
+        if hub is not None:
+            hub.close()

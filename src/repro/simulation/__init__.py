@@ -55,6 +55,7 @@ from .executor import (
 )
 from .monte_carlo import ENGINES, MonteCarloRunner, simulate_raid_groups
 from .raid_simulator import DDFType, GroupChronology, RaidGroupSimulator
+from .remote import DistributedShardExecutor, RemoteWorkerHub, run_worker
 from .results import DDFEvent, SimulationResult
 from .sensitivity import SweepResult, sweep
 from .spares import SparePool, SparePoolConfig
@@ -104,6 +105,9 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "PipelinedShardExecutor",
+    "DistributedShardExecutor",
+    "RemoteWorkerHub",
+    "run_worker",
     "ShardTask",
     "ShardOutcome",
     "shard_plan",

@@ -88,6 +88,12 @@ class ShardOutcome:
         cursor reached it (0 for serial execution).
     retries:
         Times this shard was re-run after a worker death.
+    worker:
+        Which worker simulated the committed copy — ``"local"`` for the
+        in-process pool, ``host:pid`` for a remote worker.
+    rtt_seconds:
+        Coordinator-side round trip (send task → receive result) for
+        remote workers; 0 for local execution.
     """
 
     task: ShardTask
@@ -96,6 +102,8 @@ class ShardOutcome:
     queue_depth: int = 0
     commit_lag_seconds: float = 0.0
     retries: int = 0
+    worker: str = "local"
+    rtt_seconds: float = 0.0
 
 
 def shard_plan(
@@ -319,26 +327,41 @@ class PipelinedShardExecutor:
         index; results that finished before the break are kept as-is.
         Each lost shard is charged one retry — a shard that keeps killing
         its workers exhausts ``max_retries`` and fails the run.
+
+        The resubmission itself can hit a *second* break (the freshly
+        rebuilt pool dying before the first resubmit lands), so the
+        rebuild-and-resubmit step loops: every break charges the still-
+        lost shards another retry, and a shard that keeps breaking pools
+        exhausts ``max_retries`` here like anywhere else.
         """
-        self.pool_breaks += 1
         by_index = {task.index: task for task in tasks}
-        lost: List[int] = []
-        for index, future in pending.items():
-            if future.done() and not future.cancelled() and future.exception() is None:
-                continue  # finished before the crash; its result survives
-            lost.append(index)
-        for index in lost:
-            count = retries.get(index, 0) + 1
-            retries[index] = count
-            if count > self.max_retries:
-                raise SimulationError(
-                    f"shard {index} was lost to a dying worker process "
-                    f"{count} times (max_retries={self.max_retries}); "
-                    "giving up on this run"
-                )
-            self._done_at.pop(index, None)
-        assert self._pool is not None
-        self._pool.shutdown(wait=False, cancel_futures=True)
-        self._pool = self._make_pool()
-        for index in sorted(lost):
-            pending[index] = self._submit(by_index[index])
+        while True:
+            self.pool_breaks += 1
+            lost: List[int] = []
+            for index, future in pending.items():
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    continue  # finished before the crash; its result survives
+                lost.append(index)
+            for index in lost:
+                count = retries.get(index, 0) + 1
+                retries[index] = count
+                if count > self.max_retries:
+                    raise SimulationError(
+                        f"shard {index} was lost to a dying worker process "
+                        f"{count} times (max_retries={self.max_retries}); "
+                        "giving up on this run"
+                    )
+                self._done_at.pop(index, None)
+            assert self._pool is not None
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._make_pool()
+            try:
+                for index in sorted(lost):
+                    pending[index] = self._submit(by_index[index])
+            except BrokenProcessPool:
+                continue
+            return

@@ -130,6 +130,7 @@ class _ExecutorStats:
     retries_total: int = 0
     pool_breaks: int = 0
     last_queue_depth: int = 0
+    workers: Dict[str, Dict[str, float]] = dataclasses.field(default_factory=dict)
 
     def observe(self, outcome: ShardOutcome) -> None:
         """Fold one committed shard's telemetry in."""
@@ -142,6 +143,14 @@ class _ExecutorStats:
         self.queue_depth_max = max(self.queue_depth_max, outcome.queue_depth)
         self.retries_total += outcome.retries
         self.last_queue_depth = outcome.queue_depth
+        per = self.workers.setdefault(
+            outcome.worker,
+            {"shards": 0, "groups": 0, "wall_seconds": 0.0, "rtt_seconds": 0.0},
+        )
+        per["shards"] += 1
+        per["groups"] += outcome.task.n_groups
+        per["wall_seconds"] += outcome.wall_seconds
+        per["rtt_seconds"] += outcome.rtt_seconds
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe summary (the manifest's ``executor`` section)."""
@@ -168,6 +177,19 @@ class _ExecutorStats:
             "discarded_in_flight": self.last_queue_depth,
             "shard_retries": self.retries_total,
             "pool_breaks": self.pool_breaks,
+            # Per-worker breakdown (one "local" row for in-process work;
+            # one host:pid row per remote worker that committed shards).
+            "workers": {
+                name: {
+                    "shards_committed": int(per["shards"]),
+                    "groups_committed": int(per["groups"]),
+                    "wall_seconds": per["wall_seconds"],
+                    "mean_rtt_seconds": (
+                        per["rtt_seconds"] / per["shards"] if per["shards"] else 0.0
+                    ),
+                }
+                for name, per in sorted(self.workers.items())
+            },
         }
 
 
@@ -189,7 +211,10 @@ class MonteCarloRunner:
         numeric results, only wall-clock.  Streaming runs
         (:meth:`run_streaming`) execute shards through a pipelined
         speculative pool (:mod:`~repro.simulation.executor`) that keeps
-        up to ``n_jobs`` shards in flight on **both** engines.
+        up to ``n_jobs`` shards in flight on **both** engines.  0 is
+        allowed only for distributed streaming runs
+        (``run_streaming(workers=...)``) and means "no local shard
+        pool": every shard is simulated by a remote worker.
     engine:
         ``"event"`` (default, the reference per-group event loop),
         ``"batch"`` (the vectorized lockstep engine), ``"compiled"``
@@ -207,7 +232,9 @@ class MonteCarloRunner:
 
     def __post_init__(self) -> None:
         require_int("n_groups", self.n_groups, minimum=1)
-        require_int("n_jobs", self.n_jobs, minimum=1)
+        # 0 = remote-only streaming (no local shard pool); validated
+        # against non-distributed use at run time.
+        require_int("n_jobs", self.n_jobs, minimum=0)
         if self.engine not in ENGINES:
             raise ParameterError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
@@ -273,6 +300,7 @@ class MonteCarloRunner:
         time_grid: Optional[Sequence[float]] = None,
         stop_after_shards: Optional[int] = None,
         max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        workers: "Union[str, RemoteWorkerHub, None]" = None,
         _shard_runner: Optional[Callable[[int, int], List[GroupChronology]]] = None,
         _shard_worker: Optional[ShardWorker] = None,
     ) -> StreamingResult:
@@ -339,6 +367,16 @@ class MonteCarloRunner:
             worker process died is reseeded from its index and re-run
             before the run raises
             :class:`~repro.exceptions.SimulationError`.
+        workers:
+            Distribute shards over remote TCP workers as well: either an
+            already-listening :class:`~repro.simulation.remote.RemoteWorkerHub`
+            (e.g. the one ``repro serve`` owns) or a ``"host:port"``
+            bind address, in which case an ephemeral hub is opened for
+            this run and closed with it.  ``repro worker --connect``
+            processes that dial the hub pull shards alongside the local
+            pool; because every shard is reseeded from its index and
+            commits stay in shard order, the distributed run is
+            bit-identical to the serial one.
         """
         require_int("shard_size", shard_size, minimum=1)
         if stop_after_shards is not None:
@@ -393,9 +431,41 @@ class MonteCarloRunner:
         target = fixed_target if fixed_target is not None else cap
         plan = shard_plan(shards_done, groups_done, target, shard_size)
         root = make_seed_sequence(self.seed)
-        parallel = self.n_jobs > 1 and _shard_runner is None and bool(plan)
-        executor: Optional[PipelinedShardExecutor] = None
-        if parallel:
+        hub: "Optional[RemoteWorkerHub]" = None
+        owned_hub = False
+        if workers is not None and _shard_runner is None and bool(plan):
+            from .remote import RemoteWorkerHub
+
+            if isinstance(workers, RemoteWorkerHub):
+                hub = workers
+            else:
+                hub = RemoteWorkerHub(bind=workers)
+                owned_hub = True
+        if self.n_jobs == 0 and hub is None and bool(plan):
+            raise ParameterError(
+                "n_jobs=0 (no local shard pool) requires workers= — there "
+                "would be nobody to simulate the shards"
+            )
+        parallel = (
+            (self.n_jobs > 1 or hub is not None)
+            and _shard_runner is None
+            and bool(plan)
+        )
+        executor = None
+        if hub is not None:
+            from .remote import DistributedShardExecutor
+
+            executor = DistributedShardExecutor(
+                self.config,
+                _seed_state(root),
+                engine,
+                self.n_jobs,
+                hub=hub,
+                max_retries=max_shard_retries,
+                worker=_shard_worker,
+            )
+            source = executor.outcomes(plan)
+        elif parallel:
             executor = PipelinedShardExecutor(
                 self.config,
                 _seed_state(root),
@@ -423,7 +493,11 @@ class MonteCarloRunner:
         stop_reason: Optional[str] = None
         converged = False
         stats = _ExecutorStats(
-            mode="pipelined" if parallel else "serial",
+            mode=(
+                "distributed"
+                if hub is not None
+                else "pipelined" if parallel else "serial"
+            ),
             n_jobs=executor.n_jobs if executor is not None else 1,
         )
         try:
@@ -484,6 +558,8 @@ class MonteCarloRunner:
                     break
         finally:
             source.close()
+            if owned_hub and hub is not None:
+                hub.close()
         if executor is not None:
             stats.pool_breaks = executor.pool_breaks
 
@@ -552,6 +628,7 @@ class MonteCarloRunner:
                 if outcome is not None and outcome.wall_seconds > 0
                 else 0.0
             ),
+            shard_worker=outcome.worker if outcome is not None else "local",
         )
         for observer in observers:
             observer(event)
@@ -604,7 +681,7 @@ class MonteCarloRunner:
         root = make_seed_sequence(self.seed)
         children = root.spawn(self.n_groups)
 
-        if self.n_jobs == 1:
+        if self.n_jobs <= 1:
             simulator = RaidGroupSimulator(self.config)
             return [
                 simulator.run(np.random.Generator(np.random.PCG64(child)))
@@ -642,7 +719,7 @@ class MonteCarloRunner:
         sizes = shard_sizes(self.n_groups, BATCH_SHARD_SIZE)
         children = root.spawn(len(sizes))
         jobs = min(self.n_jobs, len(sizes))
-        if jobs == 1:
+        if jobs <= 1:
             shards = [
                 kernel(self.config, n, np.random.Generator(np.random.PCG64(child)))
                 for n, child in zip(sizes, children)

@@ -582,6 +582,9 @@ class ProgressEvent:
         in-order commit cursor (0 for serial execution).
     shard_retries:
         Times the committed shard was re-run after a worker death.
+    shard_worker:
+        Which worker simulated the committed shard — ``"local"`` for
+        in-process execution, ``host:pid`` for a remote TCP worker.
     """
 
     shards_completed: int
@@ -600,6 +603,7 @@ class ProgressEvent:
     commit_lag_seconds: float = 0.0
     shard_retries: int = 0
     shard_groups_per_second: float = 0.0
+    shard_worker: str = "local"
 
 
 #: Observer signature: called after every shard and once more when done.
@@ -646,6 +650,8 @@ class StderrProgressReporter:
             # The committed shard's own monotonic-clock throughput: the
             # kernel's real speed, free of queue wait and commit ordering.
             visible += f"  [shard {event.shard_groups_per_second:.0f}/s]"
+        if event.shard_worker != "local":
+            visible += f"  [{event.shard_worker}]"
         if event.queue_depth:
             visible += f"  [{event.queue_depth} in flight]"
         if event.done:

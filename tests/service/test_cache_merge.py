@@ -13,6 +13,7 @@ and treated as a miss, never merged into the wrong design's statistics.
 
 import json
 import os
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -199,6 +200,27 @@ class TestLookupSemantics:
         status, _ = cache.lookup(key, loose)
         assert status == "hit"
 
+    def test_capped_cross_confidence_entry_is_a_rescaled_hit(self):
+        """Regression: a ``max_groups``-capped entry computed at a
+        *different* confidence must be served as ``hit_rescaled``, never
+        as a plain ``hit`` — the stored interval carries the wrong ``z``
+        and would hand the caller a 99% interval labelled 95%."""
+        cache = ResultCache()
+        key = CacheKey(fingerprint(CONFIG), CONFIG.mission_hours)
+        cache.put(self.entry(2 * SHARD, width=float("inf"), confidence=0.99))
+        capped = Precision(
+            rel_ci_width=0.05, confidence=0.95, max_groups=2 * SHARD
+        )
+        status, entry = cache.lookup(key, capped)
+        assert status == "hit_rescaled" and entry is not None
+        # Raising max_groups removes the cap: an infinite width cannot
+        # rescale into any target, so the query goes back to simulation.
+        uncapped = Precision(
+            rel_ci_width=0.05, confidence=0.95, max_groups=10_000
+        )
+        status, _ = cache.lookup(key, uncapped)
+        assert status == "extend"
+
     def test_lru_eviction_is_bounded(self):
         cache = ResultCache(max_entries=2)
         for horizon in (1_000.0, 2_000.0, 3_000.0):
@@ -266,6 +288,118 @@ class TestDiskIntegrity:
         status, found = reopened.lookup(foreign_key, Precision(rel_ci_width=0.5))
         assert (status, found) == ("miss", None)
         assert reopened.stats()["integrity_rejections"] == 1
+
+    def test_racing_puts_restart_keeps_larger_run_on_disk(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: ``put`` used to persist *outside* the cache lock,
+        so a slow write of a smaller (looser) run could land after the
+        larger run's write and a restart resurrected the loser of the
+        race.  Pin the fix by stalling the small entry's disk write until
+        after the large entry's put has run end to end."""
+        import repro.service.cache as cache_module
+
+        def build(groups: int, width: float) -> CacheEntry:
+            jobs = JobManager(
+                ResultCache(), max_workers=1, seed=0, shard_size=SHARD
+            )
+            try:
+                spec = make_spec(groups, jobs)
+                built = jobs.entry_from_result(spec, jobs.run_simulation(spec))
+            finally:
+                jobs.shutdown()
+            built.achieved_rel_ci_width = width
+            return built
+
+        small = build(SHARD, width=0.9)
+        big = build(2 * SHARD, width=0.2)
+        assert small.key == big.key
+
+        real_write = cache_module.atomic_write_text
+        small_write_started = threading.Event()
+        release_small_write = threading.Event()
+
+        def stalled_write(path: str, text: str) -> None:
+            if json.loads(text)["groups_completed"] == small.groups:
+                small_write_started.set()
+                assert release_small_write.wait(timeout=30.0)
+            real_write(path, text)
+
+        monkeypatch.setattr(cache_module, "atomic_write_text", stalled_write)
+
+        cache = ResultCache(cache_dir=str(tmp_path))
+        small_put = threading.Thread(target=cache.put, args=(small,))
+        big_put = threading.Thread(target=cache.put, args=(big,))
+        small_put.start()
+        assert small_write_started.wait(timeout=30.0)
+        big_put.start()  # races the in-flight small write
+        release_small_write.set()
+        small_put.join(timeout=30.0)
+        big_put.join(timeout=30.0)
+        assert not small_put.is_alive() and not big_put.is_alive()
+
+        path = os.path.join(str(tmp_path), big.key.filename())
+        with open(path) as handle:
+            assert json.load(handle)["groups_completed"] == 2 * SHARD
+
+        reopened = ResultCache(cache_dir=str(tmp_path))
+        status, found = reopened.lookup(
+            big.key,
+            Precision(rel_ci_width=1e-9, max_groups=10_000),
+            expected_run_fingerprint=config_fingerprint(CONFIG),
+        )
+        assert status == "extend" and found is not None
+        assert found.groups == 2 * SHARD
+
+    def test_disk_backed_put_never_loosens_across_restart(self, tmp_path):
+        """The never-loosen rule holds even when the high-water record
+        was lost to a restart: a smaller racing run arriving at a fresh
+        cache must not clobber the larger run already on disk."""
+        jobs = JobManager(ResultCache(), max_workers=1, seed=0, shard_size=SHARD)
+        try:
+            spec = make_spec(2 * SHARD, jobs)
+            big = jobs.entry_from_result(spec, jobs.run_simulation(spec))
+            small_spec = make_spec(SHARD, jobs)
+            small = jobs.entry_from_result(
+                small_spec, jobs.run_simulation(small_spec)
+            )
+        finally:
+            jobs.shutdown()
+        ResultCache(cache_dir=str(tmp_path)).put(big)
+
+        fresh = ResultCache(cache_dir=str(tmp_path))  # no in-memory record
+        fresh.put(small)
+        path = os.path.join(str(tmp_path), big.key.filename())
+        with open(path) as handle:
+            assert json.load(handle)["groups_completed"] == 2 * SHARD
+
+    def test_disk_loads_respect_the_lru_bound(self, tmp_path):
+        """Regression: ``_load_from_disk`` used to grow the in-memory map
+        without eviction, so a restart scanning many persisted keys blew
+        past ``max_entries``.  Loads now count against the bound exactly
+        like puts."""
+        writer = ResultCache(cache_dir=str(tmp_path))
+        jobs = JobManager(ResultCache(), max_workers=1, seed=0, shard_size=SHARD)
+        try:
+            spec = make_spec(SHARD, jobs)
+            streaming = jobs.run_simulation(spec)
+            keys = []
+            for horizon in (1_000.0, 2_000.0, 3_000.0):
+                entry = jobs.entry_from_result(spec, streaming)
+                entry.key = CacheKey(entry.key.fingerprint, horizon)
+                writer.put(entry)
+                keys.append(entry.key)
+        finally:
+            jobs.shutdown()
+
+        reopened = ResultCache(max_entries=2, cache_dir=str(tmp_path))
+        for key in keys:
+            status, found = reopened.lookup(key, Precision(rel_ci_width=1e-9))
+            assert status == "extend" and found is not None
+        stats = reopened.stats()
+        assert stats["disk_loads"] == 3
+        assert len(reopened) == 2
+        assert stats["evictions"] == 1
 
     def test_cache_survives_restart_and_extends_from_disk(self, tmp_path):
         entry = self.make_entry(tmp_path)

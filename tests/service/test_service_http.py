@@ -205,6 +205,46 @@ class TestRescaledHits:
             cold_answer, sort_keys=True
         )
 
+    def test_capped_rescaled_hit_equals_cold_run_at_query_confidence(self):
+        """Regression: a ``max_groups``-capped entry warmed at 99% and
+        queried at 95% *with the same cap* used to short-circuit into a
+        plain hit and serve the 99% interval mislabelled as 95%.  It must
+        route through the rescale path and match a cold 95% run over the
+        same fleet byte-for-byte."""
+        groups = 2 * SHARD
+        with ServiceThread(make_service()) as h:
+            warm = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.99, 1e-9, groups),
+            ).json()
+            assert warm["source"] == "simulated"
+            assert warm["answer"]["groups"] == groups
+
+            # Same unattainable width, same cap: only the capped clause
+            # can answer this, and it crossed a confidence boundary.
+            capped = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.95, 1e-9, groups),
+            ).json()
+            assert capped["source"] == "cache-rescaled"
+            stats = requests.get(h.url("/stats")).json()["service"]
+            assert stats["cache_rescaled_hits"] == 1
+            assert stats["cache_hits"] == 0
+
+        with ServiceThread(make_service()) as h:
+            cold = requests.post(
+                h.url("/query"),
+                json=self.precision_query(0.95, 1e-9, groups),
+            ).json()
+            assert cold["source"] == "simulated"
+
+        cold_answer = dict(cold["answer"])
+        cold_answer.pop("converged")
+        cold_answer.pop("stop_reason")
+        assert json.dumps(capped["answer"], sort_keys=True) == json.dumps(
+            cold_answer, sort_keys=True
+        )
+
     def test_widened_confidence_goes_back_to_simulation(self):
         """The inverse direction must not serve a loosened interval: a
         90%-entry queried at 99% with the same width target extends."""

@@ -9,6 +9,8 @@ shard is reseeded from its index and retried).
 
 import json
 import os
+import time
+from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.simulation.executor import (
     _child_seed,
     _run_shard_task,
     shard_plan,
+    simulate_shard,
 )
 from repro.simulation.monte_carlo import MonteCarloRunner, _seed_state
 
@@ -209,6 +212,53 @@ class TestWorkerFaultTolerance:
         assert broken.pool_breaks == 1
         assert [outcome.chronologies for outcome in outcomes] == reference
 
+    def test_double_break_inside_recover_is_recovered(self):
+        """A second ``BrokenProcessPool`` raised from ``_submit`` *inside*
+        ``_recover`` — the freshly rebuilt pool dying before the first
+        resubmission lands — must feed back into the retry accounting
+        (another pool break, another charged retry per lost shard), not
+        escape the run as a raw BrokenProcessPool.  Scripted per-attempt
+        so pool timing cannot change which shard is in flight: shard 1's
+        first attempt dies at ``result()``, its resubmission dies at
+        ``_submit`` inside ``_recover``, its third attempt completes."""
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        root_state = _seed_state(np.random.SeedSequence(11))
+        plan = shard_plan(0, 0, 4 * SHARD, SHARD)
+
+        clean = _ScriptedBreakExecutor(config, root_state, "batch", n_jobs=2)
+        reference = [outcome.chronologies for outcome in clean.outcomes(plan)]
+
+        broken = _ScriptedBreakExecutor(
+            config,
+            root_state,
+            "batch",
+            n_jobs=2,
+            script={(1, 0): "break-result", (1, 1): "break-submit"},
+        )
+        outcomes = list(broken.outcomes(plan))
+        assert [outcome.task.index for outcome in outcomes] == [0, 1, 2, 3]
+        assert broken.pool_breaks == 2
+        assert [outcome.chronologies for outcome in outcomes] == reference
+        # Each break charged the lost shard one retry.
+        assert [outcome.retries for outcome in outcomes] == [0, 2, 0, 0]
+
+    def test_double_break_inside_recover_still_charges_max_retries(self):
+        """The second break's retry charge counts toward ``max_retries``:
+        with a budget of one retry, two consecutive breaks exhaust it."""
+        config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+        root_state = _seed_state(np.random.SeedSequence(11))
+        plan = shard_plan(0, 0, 4 * SHARD, SHARD)
+        broken = _ScriptedBreakExecutor(
+            config,
+            root_state,
+            "batch",
+            n_jobs=2,
+            script={(1, 0): "break-result", (1, 1): "break-submit"},
+            max_retries=1,
+        )
+        with pytest.raises(SimulationError, match="dying worker"):
+            list(broken.outcomes(plan))
+
     def test_deterministic_worker_exception_not_retried(self):
         def failing_runner(shard_index, n):
             raise ValueError("boom")
@@ -233,7 +283,7 @@ class _SubmitBreakExecutor(PipelinedShardExecutor):
     the window a worker death opens when the pool's broken flag is set
     between a consumed result and the next submission."""
 
-    def __init__(self, *args, break_at_submit: int, **kwargs):
+    def __init__(self, *args, break_at_submit, **kwargs):
         super().__init__(*args, **kwargs)
         self._submit_calls = 0
         self._break_at = break_at_submit
@@ -243,3 +293,44 @@ class _SubmitBreakExecutor(PipelinedShardExecutor):
         if self._submit_calls == self._break_at:
             raise BrokenProcessPool("worker died before this submit")
         return super()._submit(task)
+
+
+class _FakePool:
+    """Stand-in for the process pool of a scripted executor."""
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _ScriptedBreakExecutor(PipelinedShardExecutor):
+    """No real pool: submissions simulate synchronously in-process and a
+    ``script`` mapping ``(shard index, attempt) -> "break-submit" |
+    "break-result"`` dictates exactly where ``BrokenProcessPool``
+    surfaces.  Worker timing cannot influence the schedule, so recovery
+    paths — including a rebuilt pool breaking again during ``_recover``'s
+    resubmission — are pinned deterministically."""
+
+    def __init__(self, *args, script=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._script = dict(script or {})
+        self._attempts = {}
+
+    def _make_pool(self):
+        return _FakePool()
+
+    def _submit(self, task):
+        attempt = self._attempts.get(task.index, 0)
+        self._attempts[task.index] = attempt + 1
+        action = self._script.get((task.index, attempt))
+        if action == "break-submit":
+            raise BrokenProcessPool("worker died before this submit")
+        future = Future()
+        if action == "break-result":
+            future.set_exception(BrokenProcessPool("worker died mid-shard"))
+        else:
+            start = time.perf_counter()
+            chronologies = simulate_shard(
+                self.config, self.root_state, self.engine, task
+            )
+            future.set_result((chronologies, time.perf_counter() - start))
+        return future
