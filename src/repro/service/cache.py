@@ -248,12 +248,21 @@ class ResultCache:
                 self._persisted_groups[entry.key] = max(recorded, entry.groups)
 
     def _evict_locked(self) -> None:
-        """Enforce the LRU bound (caller holds the main lock)."""
+        """Enforce the LRU bound (caller holds the main lock).
+
+        ``_persist_locks`` and ``_persisted_groups`` are deliberately
+        retained for evicted keys: a racing put may already hold a
+        reference to the key's lock (fetched under the main lock,
+        acquired after releasing it), and dropping the registration here
+        would let a later put for the same key mint a second lock — two
+        ``_persist`` calls for one key serializing on different locks,
+        re-opening the smaller-run-clobbers-larger disk race for keys
+        near the LRU boundary.  Both maps cost a few dozen bytes per key
+        ever cached, bounded by the query universe, not the LRU size.
+        """
         while len(self._entries) > self.max_entries:
-            evicted_key, _ = self._entries.popitem(last=False)
+            self._entries.popitem(last=False)
             self.evictions += 1
-            self._persist_locks.pop(evicted_key, None)
-            self._persisted_groups.pop(evicted_key, None)
 
     def _disk_would_regress(self, entry: CacheEntry) -> bool:
         """Whether persisting ``entry`` would shrink the on-disk run.

@@ -275,6 +275,12 @@ class MonteCarloRunner:
             streaming = self.run_streaming(until=until, keep_chronologies=True)
             assert isinstance(streaming.result, SimulationResult)
             return streaming.result
+        if self.n_jobs == 0:
+            raise ParameterError(
+                "n_jobs=0 (no local shard pool) is only valid for "
+                "distributed streaming runs (run_streaming(workers=...)); "
+                "a materialized run() has nobody else to simulate the fleet"
+            )
         engine = self.resolve_engine()
         if engine in _SHARDED_ENGINES:
             chronologies = self._run_sharded_engine(engine)

@@ -52,9 +52,13 @@ worker → coordinator
 ====================  =======================================================
 ``hello``             ``v`` (protocol version), ``host``, ``pid``
 ``init_ok``           worker accepted the run constants (``epoch``)
-``init_err``          worker cannot run this engine (``epoch``, ``reason``)
+``init_err``          worker cannot run this engine/config (``epoch``,
+                      ``reason``)
 ``result``            ``epoch``, ``index``, ``wall_seconds``,
                       ``chronologies``
+``task_err``          the shard raised on the worker (``epoch``,
+                      ``index``, ``error``) — fails the run with the
+                      real error instead of burning retries
 ``hb``                heartbeat (also sent while a long shard simulates)
 ====================  =======================================================
 
@@ -319,7 +323,25 @@ def _serve_connection(
 
                 epoch = int(message["epoch"])
                 engine = str(message["engine"])
-                reason = _engine_unavailable_reason(engine)
+                # Parse the config before the capability check: engine
+                # support is per-config (the compiled kernel gates on the
+                # same structure the batch engine does), and a config this
+                # host cannot even deserialize is an init_err, not a crash.
+                try:
+                    new_config = config_from_dict(message["config"])
+                except Exception as exc:
+                    send_frame(
+                        sock,
+                        send_lock,
+                        {
+                            "t": "init_err",
+                            "epoch": epoch,
+                            "reason": f"config rejected: {exc!r}",
+                        },
+                    )
+                    config = root_state = None
+                    continue
+                reason = _engine_unavailable_reason(engine, new_config)
                 if reason is not None:
                     send_frame(
                         sock,
@@ -328,7 +350,7 @@ def _serve_connection(
                     )
                     config = root_state = None
                     continue
-                config = config_from_dict(message["config"])
+                config = new_config
                 root_state = dict(message["root_state"])
                 send_frame(sock, send_lock, {"t": "init_ok", "epoch": epoch})
             elif kind == "task":
@@ -340,7 +362,25 @@ def _serve_connection(
                     n_groups=int(message["n_groups"]),
                 )
                 start = time.perf_counter()
-                chronologies = simulate_shard(config, root_state, engine, task)
+                try:
+                    chronologies = simulate_shard(config, root_state, engine, task)
+                except Exception as exc:
+                    # A deterministic shard failure must reach the
+                    # coordinator as an actionable error, not kill the
+                    # worker (which would surface only as a heartbeat
+                    # timeout and burn retries on a shard that will
+                    # fail identically everywhere).
+                    send_frame(
+                        sock,
+                        send_lock,
+                        {
+                            "t": "task_err",
+                            "epoch": epoch,
+                            "index": task.index,
+                            "error": repr(exc),
+                        },
+                    )
+                    continue
                 send_frame(
                     sock,
                     send_lock,
@@ -362,14 +402,20 @@ def _serve_connection(
     return completed
 
 
-def _engine_unavailable_reason(engine: str) -> Optional[str]:
-    """Why this host cannot run ``engine``, or None if it can."""
+def _engine_unavailable_reason(
+    engine: str, config: RaidGroupConfig
+) -> Optional[str]:
+    """Why this host cannot run ``engine`` for ``config``, or None if it can."""
     if engine == "compiled":
         from .compiled import compiled_engine_unsupported_reason
 
-        reason = compiled_engine_unsupported_reason()
+        reason = compiled_engine_unsupported_reason(config)
         if reason is not None:
             return f"compiled engine unavailable on this host: {reason}"
+    elif engine == "batch":
+        reason = config.batch_engine_unsupported_reason
+        if reason is not None:
+            return f"batch engine cannot run this config: {reason}"
     return None
 
 
@@ -632,7 +678,11 @@ class RemoteWorkerHub:
                 "root_state": session.root_state,
             }
         )
-        deadline = time.monotonic() + self.heartbeat_timeout
+        # Staleness-based, like _await_result: a worker still finishing a
+        # long stale shard from a previous session heartbeats (and may
+        # push a stale result) before it gets to the init frame — any
+        # traffic proves it alive, so only true silence drops it.
+        link.last_seen = time.monotonic()
         while True:
             message = link.reader.read(_POLL_SECONDS)
             if message is not None:
@@ -643,7 +693,7 @@ class RemoteWorkerHub:
                 if kind == "init_err" and int(message.get("epoch", -1)) == epoch:
                     link.rejected.add(epoch)
                     return
-            if time.monotonic() > deadline:
+            elif time.monotonic() - link.last_seen > self.heartbeat_timeout:
                 raise ConnectionError("worker did not answer init")
 
         while session.accepting():
@@ -679,6 +729,18 @@ class RemoteWorkerHub:
                 # flight (convergence drain): discard, don't commit.
                 session.abandon(task, "drained", charge=False)
                 return
+            if result.get("t") == "task_err":
+                # The shard raised deterministically on the worker —
+                # retrying it elsewhere would fail identically, so fail
+                # the run with the real error (the local pool's
+                # _harvest semantics) instead of burning retries.
+                session.fail(
+                    SimulationError(
+                        f"shard {task.index} raised on {link.name}: "
+                        f"{result.get('error')}"
+                    )
+                )
+                return
             chronologies = [
                 chronology_from_dict(c) for c in result["chronologies"]
             ]
@@ -704,14 +766,15 @@ class RemoteWorkerHub:
     ) -> Optional[dict]:
         """Wait for shard ``index``'s result, policing heartbeats.
 
-        Returns None if the session stops accepting first (drain).
+        Returns the ``result`` or ``task_err`` frame for the shard, or
+        None if the session stops accepting first (drain).
         """
         while True:
             message = link.reader.read(_POLL_SECONDS)
             if message is not None:
                 link.last_seen = time.monotonic()
                 if (
-                    message.get("t") == "result"
+                    message.get("t") in ("result", "task_err")
                     and int(message.get("epoch", -1)) == epoch
                     and int(message.get("index", -1)) == index
                 ):

@@ -230,6 +230,31 @@ class TestLookupSemantics:
         assert len(cache) == 2
         assert cache.stats()["evictions"] == 1
 
+    def test_persist_lock_registration_survives_eviction(self, tmp_path):
+        """Regression: eviction used to drop ``_persist_locks`` /
+        ``_persisted_groups`` for the evicted key, so a put that had
+        fetched the key's lock (under the main lock) but not yet acquired
+        it could race a later put that minted a *fresh* lock for the same
+        key — two ``_persist`` calls serializing on different locks, with
+        no high-water record, re-opening the smaller-run-clobbers-disk
+        race for keys near the LRU boundary.  The registration must
+        outlive the LRU entry."""
+        cache = ResultCache(max_entries=1, cache_dir=str(tmp_path))
+        first = self.entry(SHARD, width=0.5)
+        first.key = CacheKey(first.key.fingerprint, 1_000.0)
+        cache.put(first)
+        lock = cache._persist_locks[first.key]
+        high_water = cache._persisted_groups[first.key]
+
+        second = self.entry(SHARD, width=0.5)
+        second.key = CacheKey(second.key.fingerprint, 2_000.0)
+        cache.put(second)  # evicts `first` from the LRU map
+
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] == 1
+        assert cache._persist_locks.get(first.key) is lock
+        assert cache._persisted_groups.get(first.key) == high_water
+
 
 class TestDiskIntegrity:
     """Satellite: the checkpoint ➜ cache-entry path must reject files

@@ -23,7 +23,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ParameterError, SimulationError
 from repro.simulation import Precision, RaidGroupConfig
 from repro.simulation.executor import ShardTask, shard_plan, simulate_shard
 from repro.simulation.monte_carlo import MonteCarloRunner, _seed_state
@@ -334,6 +334,138 @@ class TestChaos:
         assert not executor.accepting()
 
 
+class TestWorkerRobustness:
+    """Regressions: a worker must answer errors over the wire, not die."""
+
+    def test_compiled_init_without_numba_answers_init_err(self, monkeypatch):
+        """Regression (high): a worker told to run ``engine="compiled"``
+        on a host without numba must reply ``init_err`` — the capability
+        check used to call ``compiled_engine_unsupported_reason()``
+        without its config argument and crash the worker process with a
+        TypeError instead of declining."""
+        import repro.simulation.compiled as compiled_module
+        from repro.validation.generator import config_to_dict
+
+        monkeypatch.setattr(
+            compiled_module, "compiled_kernel_available", lambda: False
+        )
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=run_worker,
+            args=(f"{host}:{port}",),
+            kwargs={"stop": stop, "heartbeat_interval": 0.2},
+            daemon=True,
+        )
+        worker.start()
+        try:
+            conn, _ = listener.accept()
+            lock = threading.Lock()
+            reader = FrameReader(conn)
+            assert _read_tagged(reader, "hello")["v"] == 1
+            config = RaidGroupConfig.paper_base_case(mission_hours=8_760.0)
+            constants = {
+                "config": config_to_dict(config),
+                "root_state": _seed_state(np.random.SeedSequence(7)),
+            }
+            send_frame(
+                conn, lock,
+                {"t": "init", "epoch": 1, "engine": "compiled", **constants},
+            )
+            err = _read_tagged(reader, "init_err")
+            assert err["epoch"] == 1
+            assert "compiled engine unavailable" in err["reason"]
+            # The rejection left the worker alive: the same connection
+            # still accepts an engine this host *can* run and serves it.
+            send_frame(
+                conn, lock,
+                {"t": "init", "epoch": 2, "engine": "batch", **constants},
+            )
+            assert _read_tagged(reader, "init_ok")["epoch"] == 2
+            send_frame(
+                conn, lock,
+                {"t": "task", "epoch": 2, "index": 0,
+                 "group_offset": 0, "n_groups": 8},
+            )
+            result = _read_tagged(reader, "result")
+            assert result["index"] == 0 and len(result["chronologies"]) == 8
+            conn.close()
+        finally:
+            stop.set()
+            listener.close()
+            worker.join(timeout=10.0)
+
+    def test_shard_error_on_worker_fails_run_with_real_error(
+        self, hub, monkeypatch
+    ):
+        """Regression: an exception from ``simulate_shard`` used to kill
+        the worker; the coordinator saw only heartbeat timeouts and
+        burned retries on a shard that fails identically everywhere.  It
+        now travels back as ``task_err`` and fails the run with the real
+        cause — and the worker survives."""
+        import repro.simulation.remote as remote_module
+
+        def explode(config, root_state, engine, task):
+            raise RuntimeError("boom: bad shard")
+
+        monkeypatch.setattr(remote_module, "simulate_shard", explode)
+        stop = start_workers(hub, 1)
+        with pytest.raises(SimulationError, match="boom: bad shard"):
+            make_runner("batch", n_jobs=0).run_streaming(
+                shard_size=SHARD, workers=hub
+            )
+        assert hub.n_workers() == 1  # still connected, not crash-looping
+        stop.set()
+
+    def test_heartbeating_worker_is_not_dropped_during_init(self):
+        """Regression: the init-handshake wait used a fixed deadline that
+        heartbeats did not extend, so a live worker still busy finishing
+        a long stale shard was dropped with 'worker did not answer init'.
+        A worker that heartbeats for 2.5× the timeout before answering
+        init must complete the run, with no retries charged."""
+        serial = make_runner("batch").run_streaming(shard_size=SHARD)
+        hub = RemoteWorkerHub(heartbeat_timeout=1.0)
+        stop = threading.Event()
+        holder = {}
+        try:
+            threading.Thread(
+                target=_slow_init_worker,
+                args=(hub.address, 2.5, stop),
+                daemon=True,
+            ).start()
+            assert hub.wait_for_workers(1, timeout=15.0)
+
+            def _run():
+                holder["result"] = make_runner("batch", n_jobs=0).run_streaming(
+                    shard_size=SHARD, workers=hub
+                )
+
+            run_thread = threading.Thread(target=_run, daemon=True)
+            run_thread.start()
+            run_thread.join(timeout=120.0)
+            assert not run_thread.is_alive(), "distributed run did not finish"
+        finally:
+            stop.set()
+            hub.close()
+        distributed = holder["result"]
+        assert canonical(distributed) == canonical(serial)
+        assert distributed.executor_stats["shard_retries"] == 0
+
+
+class TestNJobsZero:
+    """``n_jobs=0`` means "no local shard pool" and is only meaningful
+    when remote workers exist to do the simulating."""
+
+    def test_materialized_run_rejects_n_jobs_zero(self):
+        with pytest.raises(ParameterError, match="n_jobs=0"):
+            make_runner("batch", n_jobs=0).run()
+
+    def test_streaming_without_workers_rejects_n_jobs_zero(self):
+        with pytest.raises(ParameterError, match="requires workers="):
+            make_runner("batch", n_jobs=0).run_streaming(shard_size=SHARD)
+
+
 class TestLoopbackSubprocesses:
     """The CI acceptance shape: two real ``repro worker`` OS processes
     dialed into a loopback hub, run digest == serial golden digest."""
@@ -381,6 +513,75 @@ class TestLoopbackSubprocesses:
         assert digest == golden
         workers = distributed.executor_stats["workers"]
         assert len(workers) == 2 and "local" not in workers
+
+
+def _read_tagged(reader, tag, timeout=15.0):
+    """Next frame with ``t == tag``, skipping heartbeats and other chatter."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        message = reader.read(timeout=0.25)
+        if message is not None and message.get("t") == tag:
+            return message
+    raise AssertionError(f"no {tag!r} frame arrived within {timeout}s")
+
+
+def _slow_init_worker(address, delay, stop):
+    """Raw-socket worker that heartbeats through ``delay`` seconds before
+    answering init (a worker busy finishing a stale shard), then serves
+    tasks normally."""
+    host, port = parse_endpoint(address)
+    sock = socket.create_connection((host, port), timeout=10.0)
+    lock = threading.Lock()
+    reader = FrameReader(sock)
+    from repro.validation.generator import config_from_dict
+
+    config = root_state = None
+    engine = "batch"
+    epoch = -1
+    try:
+        send_frame(
+            sock, lock, {"t": "hello", "v": 1, "host": "slow", "pid": os.getpid()}
+        )
+        while not stop.is_set():
+            try:
+                message = reader.read(timeout=0.25)
+            except ConnectionError:
+                return
+            if message is None:
+                continue
+            kind = message.get("t")
+            if kind == "init":
+                deadline = time.monotonic() + delay
+                while time.monotonic() < deadline:
+                    send_frame(sock, lock, {"t": "hb"})
+                    time.sleep(0.2)
+                epoch = message["epoch"]
+                engine = message["engine"]
+                config = config_from_dict(message["config"])
+                root_state = message["root_state"]
+                send_frame(sock, lock, {"t": "init_ok", "epoch": epoch})
+            elif kind == "task":
+                task = ShardTask(
+                    index=message["index"],
+                    group_offset=message["group_offset"],
+                    n_groups=message["n_groups"],
+                )
+                chronologies = simulate_shard(config, root_state, engine, task)
+                send_frame(
+                    sock,
+                    lock,
+                    {
+                        "t": "result",
+                        "epoch": epoch,
+                        "index": task.index,
+                        "wall_seconds": 0.0,
+                        "chronologies": [chronology_to_dict(c) for c in chronologies],
+                    },
+                )
+    except OSError:
+        pass
+    finally:
+        sock.close()
 
 
 def _die_after_first_task(address, died):
